@@ -1,0 +1,77 @@
+// Command g5ktest runs the testbed testing framework for a configurable
+// number of simulated weeks and reports the campaign outcome: weekly
+// success rates, bug statistics, scheduler decisions and the final status
+// grid.
+//
+// Usage:
+//
+//	g5ktest [-weeks N] [-seed S] [-faults N] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/simclock"
+	"repro/internal/status"
+)
+
+func main() {
+	weeks := flag.Int("weeks", 8, "simulated weeks to run")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	initialFaults := flag.Int("faults", 25, "fault backlog at campaign start")
+	quiet := flag.Bool("quiet", false, "only print the final summary")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.InitialFaults = *initialFaults
+
+	f := core.New(cfg)
+	f.Start()
+
+	fmt.Printf("testbed: %s\n", f.TB.Stats())
+	for w := 1; w <= *weeks; w++ {
+		f.RunFor(simclock.Week)
+		if !*quiet {
+			st := f.Bugs.Stats()
+			fmt.Printf("week %2d: %4d builds total, %3d active faults, %s\n",
+				w, f.CI.TotalBuilds(), f.Faults.ActiveCount(), st)
+		}
+	}
+
+	fmt.Println("\nweekly success rate (verdicts only; unstable = could not run):")
+	for _, wc := range f.WeeklyReport() {
+		fmt.Printf("  week %2d: %4d runs, %5.1f%% ok, %3d unstable\n",
+			wc.Week+1, wc.Total(), 100*wc.Rate(), wc.Unstable)
+	}
+
+	fmt.Println("\nbug tracker:")
+	fmt.Print(indent(f.Bugs.Report()))
+
+	fmt.Println("scheduler decisions:")
+	for action, n := range f.Sched.DecisionCounts() {
+		fmt.Printf("  %-24s %d\n", action, n)
+	}
+
+	// Serve the CI REST API on a loopback listener and render the status
+	// grid through it, the way the real status page works.
+	ts := httptest.NewServer(f.CI.Handler())
+	defer ts.Close()
+	grid, err := status.NewClient(ts.URL).BuildGrid()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "status page: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nstatus grid:")
+	grid.RenderText(os.Stdout)
+
+	fmt.Printf("\n%s\n", f.Summary())
+}
+
+func indent(s string) string {
+	return "  " + s
+}

@@ -1,0 +1,20 @@
+// Package repro reproduces "Towards Trustworthy Testbeds thanks to
+// Throughout Testing" (Lucas Nussbaum, REPPAR'2017): a testing framework
+// for large-scale experimental testbeds, demonstrated on a simulated
+// Grid'5000-scale infrastructure.
+//
+// The public surface lives in the internal packages (this repository is a
+// self-contained research artefact, consumed through its binaries,
+// examples and benchmarks):
+//
+//   - internal/core — the assembled framework and operations simulation
+//   - internal/suites — the 751 test configurations in 16 families
+//   - internal/sched — the external test scheduler (the paper's core
+//     custom development)
+//   - internal/ci — the Jenkins-like automation server
+//   - internal/testbed, refapi, oar, kadeploy, kavlan, monitor, checks,
+//     faults, bugs — the simulated substrate
+//
+// bench_test.go at the repository root regenerates every quantitative
+// claim of the paper (see DESIGN.md §4 and EXPERIMENTS.md).
+package repro

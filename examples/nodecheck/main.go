@@ -1,0 +1,71 @@
+// Nodecheck: the slide-7 workflow in isolation — describe resources in the
+// Reference API, let reality drift (broken RAM, disk firmware update,
+// cables swapped by mistake), and verify the description with the
+// g5k-checks equivalent. Also demonstrates the archived-versions feature
+// ("state of the testbed 6 months ago?").
+//
+//	go run ./examples/nodecheck
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/checks"
+	"repro/internal/faults"
+	"repro/internal/refapi"
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+func main() {
+	clock := simclock.New(7)
+	tb := testbed.Default()
+	ref := refapi.NewStore(tb, clock.Now())
+	inj := faults.NewInjector(clock, tb)
+	checker := checks.NewChecker(clock, tb, ref)
+
+	fmt.Printf("captured Reference API v%d for %s\n\n", ref.Current().Version, tb.Stats())
+
+	// Reality drifts.
+	inj.InjectNode(faults.RAMLoss, "griffon-12.nancy")
+	inj.InjectNode(faults.DiskFirmwareDrift, "griffon-30.nancy")
+	inj.InjectCablingSwap("griffon-7.nancy", "griffon-8.nancy")
+	fmt.Println("three things silently went wrong on the griffon cluster...")
+
+	reports, failing, err := checker.CheckCluster("griffon")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ng5k-checks over %d nodes found %d drifted nodes:\n", len(reports), len(failing))
+	for _, r := range reports {
+		if r.OK {
+			continue
+		}
+		fmt.Printf("  %s\n", r.Summary())
+		for _, m := range r.Mismatches {
+			fmt.Printf("    %s\n", m)
+		}
+	}
+
+	// Homogeneity view: one drifted firmware splits the cluster.
+	byFW, _ := checker.HomogeneityReport("griffon", func(inv testbed.Inventory) string {
+		return inv.Disks[0].Firmware
+	})
+	fmt.Printf("\ndisk firmware homogeneity on griffon: %d distinct versions\n", len(byFW))
+	for fw, nodes := range byFW {
+		fmt.Printf("  %-14s %d node(s)\n", fw, len(nodes))
+	}
+
+	// Archive: fix the RAM, re-capture, and ask for the old state.
+	clock.RunUntil(30 * simclock.Day)
+	inj.FixBySignature("ram-loss:griffon-12.nancy")
+	inv := tb.Node("griffon-12.nancy").Inv.Clone()
+	ref.Update(clock.Now(), "griffon-12.nancy", inv)
+	fmt.Printf("\nafter repair: Reference API now at v%d\n", ref.Current().Version)
+	old := ref.At(simclock.Day)
+	fmt.Printf("description as of day 1 (v%d): griffon-12 RAM = %d GB\n",
+		old.Version, old.Nodes["griffon-12.nancy"].Inv.RAMGB)
+	cur, _ := ref.Describe("griffon-12.nancy")
+	fmt.Printf("description today        (v%d): griffon-12 RAM = %d GB\n",
+		ref.Current().Version, cur.Inv.RAMGB)
+}

@@ -1,0 +1,53 @@
+// Quickstart: assemble the whole testing framework, inject one silent
+// hardware fault, run two simulated days of operations, and watch the
+// framework detect it, file a deduplicated bug, and the operators fix it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/simclock"
+)
+
+func main() {
+	// A quiet configuration: no background entropy, so the one fault we
+	// inject is the whole story.
+	cfg := core.DefaultConfig()
+	cfg.InitialFaults = 0
+	cfg.FaultMeanInterval = 0
+	cfg.UserJobInterval = 0
+	cfg.EnvMatrixPeriod = 0
+	cfg.OperatorMinAge = 6 * simclock.Hour
+
+	f := core.New(cfg)
+	f.Start()
+	fmt.Printf("testbed: %s\n", f.TB.Stats())
+	fmt.Printf("test configurations: %d simple jobs + 448 matrix cells\n\n", len(f.Tests))
+
+	// Someone re-enabled C-states in the BIOS of one node — the classic
+	// silent performance bug from the paper's slide 13.
+	node := "taurus-7.lyon"
+	f.Faults.InjectNode(faults.CStatesOn, node)
+	fmt.Printf("[day 0] injected silent fault: C-states re-enabled on %s\n", node)
+
+	f.RunFor(2 * simclock.Day)
+
+	bug := f.Bugs.BySignature("cstates-on:" + node)
+	if bug == nil {
+		fmt.Println("bug not detected (unexpected)")
+		return
+	}
+	fmt.Printf("[%s] bug #%d filed by the %s test family: %s\n",
+		bug.FiledAt, bug.ID, bug.Family, bug.Title)
+	fmt.Printf("         detected %d times (deduplicated into one report)\n", bug.Occurrences)
+	if bug.State.String() == "fixed" {
+		fmt.Printf("[%s] operators fixed it; node verified clean again\n", bug.FixedAt)
+	}
+	rep, _ := f.Checker.CheckNode(node)
+	fmt.Printf("final g5k-checks verdict: %s\n", rep.Summary())
+	fmt.Printf("\n%s\n", f.Summary())
+}

@@ -1,0 +1,86 @@
+// Regression: the paper's future-work extension (slide 23: "Adding real
+// user experiments as regression tests?") in action. A researcher donates
+// the disk-IO experiment behind one of their figures; the framework replays
+// it weekly. When the cluster's disks silently change firmware, the replay
+// regresses by ~28 % and a bug is filed before any user wastes a paper on
+// wrong numbers.
+//
+//	go run ./examples/regression
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/simclock"
+	"repro/internal/suites"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.InitialFaults = 0
+	cfg.FaultMeanInterval = 0
+	cfg.UserJobInterval = 0
+	cfg.EnvMatrixPeriod = 0
+	cfg.OperatorMinAge = simclock.Day
+	f := core.New(cfg)
+
+	exp := &suites.Experiment{
+		Name:     "alice-europar16-fig5",
+		Owner:    "alice",
+		Cluster:  "suno",
+		Nodes:    2,
+		Env:      "jessie-x64-std",
+		Workload: suites.WorkloadDiskIO,
+		// The value Alice measured when the figure was made.
+		Baseline:  140, // MB/s on suno's 10k-rpm disks
+		Tolerance: 0.10,
+		Period:    simclock.Day,
+	}
+	if err := f.AddExperiments(exp); err != nil {
+		panic(err)
+	}
+	f.Start()
+	fmt.Printf("registered user experiment %q (baseline %.0f MB/s ±%.0f%%)\n\n",
+		exp.Name, exp.Baseline, 100*exp.Tolerance)
+
+	f.RunFor(simclock.Day)
+	last := f.CI.LastCompleted("regression/" + exp.Name)
+	fmt.Printf("[day 1] first replay: %s\n", last.Result)
+
+	// A maintenance pass flashes different disk firmware on suno.
+	for _, n := range f.TB.Cluster("suno").Nodes {
+		f.Faults.InjectNode(faults.DiskFirmwareDrift, n.Name)
+	}
+	fmt.Println("[day 1] maintenance flashed a different disk firmware on all of suno...")
+
+	f.RunFor(3 * simclock.Day)
+	bug := f.Bugs.BySignature("disk-firmware-drift:suno-1.sophia")
+	if bug == nil {
+		for _, b := range f.Bugs.All() {
+			if b.Family == "regression" {
+				bug = b
+				break
+			}
+		}
+	}
+	if bug == nil {
+		fmt.Println("no bug filed (unexpected)")
+		return
+	}
+	fmt.Printf("[%s] bug #%d filed by the %s family: %s\n", bug.FiledAt, bug.ID, bug.Family, bug.Title)
+	fmt.Printf("         (the regression replay and the disk/refapi families race to\n")
+	fmt.Printf("          detect the same fault; deduplication keeps a single report)\n")
+	for _, b := range f.CI.Builds("regression/" + exp.Name) {
+		if b.Result.String() == "FAILURE" {
+			fmt.Printf("\nthe failing replay build #%d logged:\n", b.Number)
+			for _, line := range b.Log {
+				fmt.Printf("    %s\n", line)
+			}
+			break
+		}
+	}
+	fmt.Printf("\nbug state now: %s (operators %s)\n", bug.State,
+		map[bool]string{true: "already repaired the firmware", false: "still on it"}[bug.State.String() == "fixed"])
+}

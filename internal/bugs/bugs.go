@@ -1,0 +1,194 @@
+// Package bugs implements the bug tracker that closes the paper's loop:
+// tests exhibit issues, issues become bug reports, operators fix them
+// ("118 bugs filed (inc. 84 already fixed)", slide 22).
+//
+// The paper stresses (slide 11) that typical testbed users rarely report
+// bugs; the testing framework is effectively the reporter of record, so
+// reports must be deduplicated — the same failing test firing nightly must
+// not open a new ticket every night. Deduplication is keyed on the bug
+// signature carried by the failing test's outcome.
+package bugs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simclock"
+)
+
+// State is a bug's lifecycle state.
+type State int
+
+const (
+	// Open means the problem is unresolved.
+	Open State = iota
+	// Fixed means an operator resolved it.
+	Fixed
+)
+
+func (s State) String() string {
+	if s == Fixed {
+		return "fixed"
+	}
+	return "open"
+}
+
+// Bug is one tracked issue.
+type Bug struct {
+	ID        int
+	Signature string // stable identity for deduplication
+	Title     string
+	Family    string // test family that exhibited it
+	Target    string // cluster/site/node concerned
+	State     State
+
+	FiledAt     simclock.Time
+	FixedAt     simclock.Time
+	Occurrences int // how many test failures matched this bug
+	Reopens     int // how many times it came back after a fix
+}
+
+func (b *Bug) String() string {
+	return fmt.Sprintf("#%d [%s] %s (%s)", b.ID, b.State, b.Title, b.Signature)
+}
+
+// Tracker is the bug database.
+type Tracker struct {
+	clock *simclock.Clock
+	bugs  []*Bug
+	bySig map[string]*Bug
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker(clock *simclock.Clock) *Tracker {
+	return &Tracker{clock: clock, bySig: map[string]*Bug{}}
+}
+
+// File records a problem. If an open bug already carries the signature, it
+// is deduplicated (occurrence count bumped). If a *fixed* bug carries it,
+// the bug is reopened — the problem came back. Returns the bug and whether
+// this filing created or reopened it (i.e. operators have new work).
+func (t *Tracker) File(signature, title, family, target string) (*Bug, bool) {
+	if b := t.bySig[signature]; b != nil {
+		b.Occurrences++
+		if b.State == Fixed {
+			b.State = Open
+			b.Reopens++
+			return b, true
+		}
+		return b, false
+	}
+	b := &Bug{
+		ID:          len(t.bugs) + 1,
+		Signature:   signature,
+		Title:       title,
+		Family:      family,
+		Target:      target,
+		State:       Open,
+		FiledAt:     t.clock.Now(),
+		Occurrences: 1,
+	}
+	t.bugs = append(t.bugs, b)
+	t.bySig[signature] = b
+	return b, true
+}
+
+// Fix marks a bug resolved.
+func (t *Tracker) Fix(id int) error {
+	if id < 1 || id > len(t.bugs) {
+		return fmt.Errorf("bugs: no bug #%d", id)
+	}
+	b := t.bugs[id-1]
+	if b.State == Fixed {
+		return fmt.Errorf("bugs: #%d already fixed", id)
+	}
+	b.State = Fixed
+	b.FixedAt = t.clock.Now()
+	return nil
+}
+
+// Get returns a bug by ID, or nil.
+func (t *Tracker) Get(id int) *Bug {
+	if id < 1 || id > len(t.bugs) {
+		return nil
+	}
+	return t.bugs[id-1]
+}
+
+// BySignature returns the bug carrying the signature, or nil.
+func (t *Tracker) BySignature(sig string) *Bug { return t.bySig[sig] }
+
+// All returns every bug in filing order.
+func (t *Tracker) All() []*Bug { return append([]*Bug(nil), t.bugs...) }
+
+// OpenBugs returns unresolved bugs, oldest first.
+func (t *Tracker) OpenBugs() []*Bug {
+	var out []*Bug
+	for _, b := range t.bugs {
+		if b.State == Open {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Stats summarises the tracker like the paper's slide 22 headline.
+type Stats struct {
+	Filed int
+	Fixed int
+	Open  int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d bugs filed (inc. %d already fixed)", s.Filed, s.Fixed)
+}
+
+// Stats returns filed/fixed/open counts.
+func (t *Tracker) Stats() Stats {
+	st := Stats{Filed: len(t.bugs)}
+	for _, b := range t.bugs {
+		if b.State == Fixed {
+			st.Fixed++
+		} else {
+			st.Open++
+		}
+	}
+	return st
+}
+
+// ByFamily groups filed-bug counts per test family, sorted by family name —
+// the operators' view of which tests earn their keep.
+func (t *Tracker) ByFamily() []FamilyCount {
+	m := map[string]int{}
+	for _, b := range t.bugs {
+		m[b.Family]++
+	}
+	out := make([]FamilyCount, 0, len(m))
+	for f, n := range m {
+		out = append(out, FamilyCount{Family: f, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Family < out[j].Family
+	})
+	return out
+}
+
+// FamilyCount pairs a test family with its bug tally.
+type FamilyCount struct {
+	Family string
+	Count  int
+}
+
+// Report renders a text summary for operators.
+func (t *Tracker) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Stats())
+	for _, fc := range t.ByFamily() {
+		fmt.Fprintf(&sb, "  %-16s %d\n", fc.Family, fc.Count)
+	}
+	return sb.String()
+}

@@ -1,0 +1,132 @@
+// Package checks implements the g5k-checks equivalent (slide 7): a per-node
+// verification tool that acquires the node's actual hardware inventory (the
+// real tool shells out to OHAI, ethtool, dmidecode...) and compares it with
+// the Reference API description. Mismatches mean either broken hardware or
+// a stale description — both harm experiment reproducibility.
+//
+// Like the real tool, it runs at node boot (wired into deployment flows by
+// internal/core) or manually (the refapi test family runs it across whole
+// clusters).
+package checks
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/refapi"
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+// Report is the outcome of checking one node.
+type Report struct {
+	Node       string
+	At         simclock.Time
+	OK         bool
+	Mismatches []refapi.Difference
+}
+
+// Summary renders a one-line, operator-friendly verdict.
+func (r *Report) Summary() string {
+	if r.OK {
+		return fmt.Sprintf("%s: OK", r.Node)
+	}
+	fields := make([]string, len(r.Mismatches))
+	for i, m := range r.Mismatches {
+		fields[i] = m.Field
+	}
+	return fmt.Sprintf("%s: %d mismatch(es): %s", r.Node, len(r.Mismatches), strings.Join(fields, ", "))
+}
+
+// Checker verifies nodes against a reference store.
+type Checker struct {
+	clock *simclock.Clock
+	tb    *testbed.Testbed
+	ref   *refapi.Store
+
+	runs int
+}
+
+// NewChecker returns a checker bound to the testbed and reference store.
+func NewChecker(clock *simclock.Clock, tb *testbed.Testbed, ref *refapi.Store) *Checker {
+	return &Checker{clock: clock, tb: tb, ref: ref}
+}
+
+// Runs returns how many node checks have been performed.
+func (c *Checker) Runs() int { return c.runs }
+
+// Acquire reads the node's live inventory, as OHAI/ethtool would. It is a
+// deep copy: callers can compare or store it without aliasing live state.
+func (c *Checker) Acquire(node string) (testbed.Inventory, error) {
+	n := c.tb.Node(node)
+	if n == nil {
+		return testbed.Inventory{}, fmt.Errorf("checks: unknown node %q", node)
+	}
+	return n.Inv.Clone(), nil
+}
+
+// CheckNode verifies one node against the current reference description.
+func (c *Checker) CheckNode(node string) (*Report, error) {
+	c.runs++
+	inv, err := c.Acquire(node)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := c.ref.Describe(node)
+	if err != nil {
+		return nil, err
+	}
+	diffs := refapi.DiffInventories(node, ref.Inv, inv)
+	return &Report{
+		Node:       node,
+		At:         c.clock.Now(),
+		OK:         len(diffs) == 0,
+		Mismatches: diffs,
+	}, nil
+}
+
+// CheckCluster verifies every node of a cluster, returning reports sorted
+// by node name and the list of failing nodes.
+func (c *Checker) CheckCluster(cluster string) ([]*Report, []string, error) {
+	cl := c.tb.Cluster(cluster)
+	if cl == nil {
+		return nil, nil, fmt.Errorf("checks: unknown cluster %q", cluster)
+	}
+	var reports []*Report
+	var failing []string
+	for _, n := range cl.Nodes {
+		r, err := c.CheckNode(n.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		reports = append(reports, r)
+		if !r.OK {
+			failing = append(failing, n.Name)
+		}
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Node < reports[j].Node })
+	sort.Strings(failing)
+	return reports, failing, nil
+}
+
+// HomogeneityReport lists, for a field extractor, the distinct values seen
+// across a cluster's live inventories. Clusters are supposed to be uniform;
+// more than one value means some nodes drifted (e.g. the paper's "different
+// disk firmware versions" bug) even if the reference description itself is
+// stale.
+func (c *Checker) HomogeneityReport(cluster string, field func(testbed.Inventory) string) (map[string][]string, error) {
+	cl := c.tb.Cluster(cluster)
+	if cl == nil {
+		return nil, fmt.Errorf("checks: unknown cluster %q", cluster)
+	}
+	byValue := map[string][]string{}
+	for _, n := range cl.Nodes {
+		v := field(n.Inv)
+		byValue[v] = append(byValue[v], n.Name)
+	}
+	for _, nodes := range byValue {
+		sort.Strings(nodes)
+	}
+	return byValue, nil
+}

@@ -1,0 +1,148 @@
+package checks
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/refapi"
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+func setup() (*simclock.Clock, *testbed.Testbed, *faults.Injector, *Checker) {
+	c := simclock.New(31)
+	tb := testbed.Default()
+	ref := refapi.NewStore(tb, c.Now())
+	inj := faults.NewInjector(c, tb)
+	return c, tb, inj, NewChecker(c, tb, ref)
+}
+
+func TestHealthyNodePasses(t *testing.T) {
+	_, _, _, ch := setup()
+	r, err := ch.CheckNode("griffon-42.nancy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("healthy node failed check: %v", r.Mismatches)
+	}
+	if r.Summary() != "griffon-42.nancy: OK" {
+		t.Fatalf("summary = %q", r.Summary())
+	}
+}
+
+func TestFaultedNodeFails(t *testing.T) {
+	_, _, inj, ch := setup()
+	node := "suno-7.sophia"
+	inj.InjectNode(faults.DiskFirmwareDrift, node)
+	inj.InjectNode(faults.CStatesOn, node)
+	r, err := ch.CheckNode(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK {
+		t.Fatal("drifted node passed check")
+	}
+	if len(r.Mismatches) != 2 {
+		t.Fatalf("mismatches = %v", r.Mismatches)
+	}
+	if !strings.Contains(r.Summary(), "2 mismatch(es)") {
+		t.Fatalf("summary = %q", r.Summary())
+	}
+}
+
+func TestBehaviouralFaultInvisibleToChecks(t *testing.T) {
+	_, _, inj, ch := setup()
+	node := "suno-8.sophia"
+	inj.InjectNode(faults.DiskDying, node)
+	inj.InjectNode(faults.RandomReboots, node)
+	r, _ := ch.CheckNode(node)
+	if !r.OK {
+		t.Fatalf("behavioural faults visible in description diff: %v", r.Mismatches)
+	}
+}
+
+func TestCheckAfterFixPasses(t *testing.T) {
+	_, _, inj, ch := setup()
+	node := "edel-9.grenoble"
+	f, _ := inj.InjectNode(faults.RAMLoss, node)
+	if r, _ := ch.CheckNode(node); r.OK {
+		t.Fatal("RAM loss not detected")
+	}
+	inj.Fix(f.ID)
+	if r, _ := ch.CheckNode(node); !r.OK {
+		t.Fatal("node still failing after fix")
+	}
+}
+
+func TestCheckUnknownNode(t *testing.T) {
+	_, _, _, ch := setup()
+	if _, err := ch.CheckNode("ghost-1.limbo"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestAcquireDoesNotAlias(t *testing.T) {
+	_, tb, _, ch := setup()
+	inv, err := ch.Acquire("sol-1.sophia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv.Disks[0].Firmware = "HACKED"
+	if tb.Node("sol-1.sophia").Inv.Disks[0].Firmware == "HACKED" {
+		t.Fatal("Acquire aliases live state")
+	}
+}
+
+func TestCheckCluster(t *testing.T) {
+	_, tb, inj, ch := setup()
+	inj.InjectNode(faults.TurboFlip, "helios-3.sophia")
+	inj.InjectNode(faults.WrongKernel, "helios-17.sophia")
+	reports, failing, err := ch.CheckCluster("helios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(tb.Cluster("helios").Nodes) {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if len(failing) != 2 || failing[0] != "helios-17.sophia" || failing[1] != "helios-3.sophia" {
+		t.Fatalf("failing = %v", failing)
+	}
+	if _, _, err := ch.CheckCluster("nimbus"); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+	if ch.Runs() != len(reports)+0 {
+		t.Fatalf("runs = %d", ch.Runs())
+	}
+}
+
+func TestHomogeneityReport(t *testing.T) {
+	_, _, inj, ch := setup()
+	inj.InjectNode(faults.DiskFirmwareDrift, "paradent-5.rennes")
+	byValue, err := ch.HomogeneityReport("paradent", func(inv testbed.Inventory) string {
+		return inv.Disks[0].Firmware
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byValue) != 2 {
+		t.Fatalf("distinct firmware values = %d, want 2", len(byValue))
+	}
+	if nodes := byValue["GM3OA52A-alt"]; len(nodes) != 1 || nodes[0] != "paradent-5.rennes" {
+		t.Fatalf("drifted set = %v", nodes)
+	}
+	if _, err := ch.HomogeneityReport("nimbus", nil); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+}
+
+func TestHomogeneityCleanCluster(t *testing.T) {
+	_, _, _, ch := setup()
+	byValue, _ := ch.HomogeneityReport("taurus", func(inv testbed.Inventory) string {
+		return inv.BIOS.Version
+	})
+	if len(byValue) != 1 {
+		t.Fatalf("clean cluster has %d BIOS versions", len(byValue))
+	}
+}

@@ -1,0 +1,195 @@
+package ci
+
+// REST API in the style of Jenkins' JSON remote API. The external status
+// page (internal/status) consumes these endpoints over real HTTP, exactly
+// as the paper's status page does ("external status page that uses
+// Jenkins' REST API", slide 18).
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// JobJSON is the wire form of a job summary.
+type JobJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Matrix      bool   `json:"matrix"`
+	CellCount   int    `json:"cell_count"`
+	LastBuild   int    `json:"last_build,omitempty"`
+	LastResult  string `json:"last_result,omitempty"`
+}
+
+// BuildJSON is the wire form of one build.
+type BuildJSON struct {
+	Job           string            `json:"job"`
+	Number        int               `json:"number"`
+	Cause         string            `json:"cause,omitempty"`
+	Cell          map[string]string `json:"cell,omitempty"`
+	Parent        int               `json:"parent,omitempty"`
+	CellBuilds    []int             `json:"cell_builds,omitempty"`
+	Result        string            `json:"result"`
+	Building      bool              `json:"building"`
+	QueuedAtSec   float64           `json:"queued_at_sec"`
+	StartedAtSec  float64           `json:"started_at_sec"`
+	EndedAtSec    float64           `json:"ended_at_sec"`
+	Log           []string          `json:"log,omitempty"`
+	BugSignatures []string          `json:"bug_signatures,omitempty"`
+}
+
+func buildJSON(b *Build, withLog bool) BuildJSON {
+	out := BuildJSON{
+		Job:           b.Job,
+		Number:        b.Number,
+		Cause:         b.Cause,
+		Cell:          b.Cell,
+		Parent:        b.Parent,
+		CellBuilds:    b.CellBuilds,
+		Result:        b.Result.String(),
+		Building:      !b.Completed(),
+		QueuedAtSec:   b.QueuedAt.Seconds(),
+		StartedAtSec:  b.StartedAt.Seconds(),
+		EndedAtSec:    b.EndedAt.Seconds(),
+		BugSignatures: b.BugSignatures,
+	}
+	if withLog {
+		out.Log = b.Log
+	}
+	return out
+}
+
+// Handler returns the REST API as an http.Handler:
+//
+//	GET  /api/json                    → server summary (jobs, queue, executors)
+//	GET  /job/{name}/api/json         → job detail + retained builds
+//	GET  /job/{name}/{n}/api/json     → one build, with log
+//	POST /job/{name}/build?token=T    → trigger (token access control)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/json", s.handleRoot)
+	mux.HandleFunc("/job/", s.handleJob)
+	return mux
+}
+
+// RootJSON is the wire form of the server summary endpoint.
+type RootJSON struct {
+	Jobs        []JobJSON `json:"jobs"`
+	QueueLength int       `json:"queue_length"`
+	Executors   int       `json:"executors"`
+	Busy        int       `json:"busy_executors"`
+	TotalBuilds int       `json:"total_builds"`
+}
+
+func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	out := RootJSON{
+		QueueLength: s.QueueLength(),
+		Executors:   s.Executors(),
+		Busy:        s.BusyExecutors(),
+		TotalBuilds: s.TotalBuilds(),
+	}
+	for _, name := range s.JobNames() {
+		j := s.JobByName(name)
+		jj := JobJSON{
+			Name:        j.Name,
+			Description: j.Description,
+			Matrix:      j.IsMatrix(),
+			CellCount:   j.CellCount(),
+		}
+		if last := s.LastCompleted(name); last != nil {
+			jj.LastBuild = last.Number
+			jj.LastResult = last.Result.String()
+		}
+		out.Jobs = append(out.Jobs, jj)
+	}
+	writeJSON(w, out)
+}
+
+// JobDetailJSON is the wire form of one job plus its retained builds.
+type JobDetailJSON struct {
+	JobJSON
+	Builds []BuildJSON `json:"builds"`
+}
+
+// handleJob routes /job/... paths. Job names may themselves contain slashes
+// ("disk/sol"), so the path is parsed from the END: the suffix decides the
+// endpoint and everything before it is the job name.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/job/")
+	switch {
+	case strings.HasSuffix(rest, "/build"):
+		name := strings.TrimSuffix(rest, "/build")
+		if s.JobByName(name) == nil {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		b, err := s.TriggerToken(name, r.URL.Query().Get("token"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		writeJSON(w, buildJSON(b, false))
+
+	case strings.HasSuffix(rest, "/api/json"):
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		name := strings.TrimSuffix(rest, "/api/json")
+		// Build detail when the last path segment is a number and the
+		// prefix names a registered job.
+		if slash := strings.LastIndexByte(name, '/'); slash > 0 {
+			if n, err := strconv.Atoi(name[slash+1:]); err == nil {
+				jobName := name[:slash]
+				if s.JobByName(jobName) != nil {
+					b := s.Build(jobName, n)
+					if b == nil {
+						http.NotFound(w, r)
+						return
+					}
+					writeJSON(w, buildJSON(b, true))
+					return
+				}
+			}
+		}
+		j := s.JobByName(name)
+		if j == nil {
+			http.NotFound(w, r)
+			return
+		}
+		out := JobDetailJSON{JobJSON: JobJSON{
+			Name:        j.Name,
+			Description: j.Description,
+			Matrix:      j.IsMatrix(),
+			CellCount:   j.CellCount(),
+		}}
+		if last := s.LastCompleted(name); last != nil {
+			out.LastBuild = last.Number
+			out.LastResult = last.Result.String()
+		}
+		for _, b := range s.Builds(name) {
+			out.Builds = append(out.Builds, buildJSON(b, false))
+		}
+		writeJSON(w, out)
+
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort on a closed client
+}

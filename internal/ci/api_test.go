@@ -1,0 +1,168 @@
+package ci
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func apiServer(t *testing.T) (*simclock.Clock, *Server, *httptest.Server) {
+	t.Helper()
+	c := simclock.New(20)
+	s := NewServer(c, 4)
+	s.CreateJob(&Job{Name: "smoke", Description: "basic check",
+		Script: constScript(Success, 5*simclock.Minute)})
+	s.CreateJob(&Job{Name: "envs", Script: constScript(Failure, simclock.Minute),
+		Axes: []Axis{{Name: "image", Values: []string{"a", "b"}}}})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return c, s, ts
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestAPIRoot(t *testing.T) {
+	c, s, ts := apiServer(t)
+	s.Trigger("smoke", "t")
+	c.Run()
+
+	var root RootJSON
+	if code := getJSON(t, ts.URL+"/api/json", &root); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(root.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(root.Jobs))
+	}
+	if root.Jobs[0].Name != "smoke" || root.Jobs[0].LastResult != "SUCCESS" {
+		t.Fatalf("job[0] = %+v", root.Jobs[0])
+	}
+	if !root.Jobs[1].Matrix || root.Jobs[1].CellCount != 2 {
+		t.Fatalf("job[1] = %+v", root.Jobs[1])
+	}
+	if root.TotalBuilds != 1 {
+		t.Fatalf("total = %d", root.TotalBuilds)
+	}
+}
+
+func TestAPIJobDetail(t *testing.T) {
+	c, s, ts := apiServer(t)
+	s.Trigger("envs", "t")
+	c.Run()
+
+	var jd JobDetailJSON
+	if code := getJSON(t, ts.URL+"/job/envs/api/json", &jd); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	// 1 parent + 2 cells.
+	if len(jd.Builds) != 3 {
+		t.Fatalf("builds = %d", len(jd.Builds))
+	}
+	if jd.LastResult != "FAILURE" {
+		t.Fatalf("last result = %q", jd.LastResult)
+	}
+	cells := 0
+	for _, b := range jd.Builds {
+		if b.Cell != nil {
+			cells++
+			if b.Result != "FAILURE" {
+				t.Fatalf("cell result = %q", b.Result)
+			}
+		}
+	}
+	if cells != 2 {
+		t.Fatalf("cells = %d", cells)
+	}
+}
+
+func TestAPIBuildDetailWithLog(t *testing.T) {
+	c, s, ts := apiServer(t)
+	b, _ := s.Trigger("smoke", "t")
+	c.Run()
+
+	var bj BuildJSON
+	if code := getJSON(t, ts.URL+"/job/smoke/1/api/json", &bj); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if bj.Number != b.Number || bj.Result != "SUCCESS" || bj.Building {
+		t.Fatalf("build = %+v", bj)
+	}
+	if len(bj.Log) == 0 {
+		t.Fatal("log missing")
+	}
+	if bj.EndedAtSec-bj.StartedAtSec != 300 {
+		t.Fatalf("duration = %v", bj.EndedAtSec-bj.StartedAtSec)
+	}
+}
+
+func TestAPINotFound(t *testing.T) {
+	_, _, ts := apiServer(t)
+	var v struct{}
+	if code := getJSON(t, ts.URL+"/job/ghost/api/json", &v); code != 404 {
+		t.Fatalf("ghost job status = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/job/smoke/99/api/json", &v); code != 404 {
+		t.Fatalf("ghost build status = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/job/smoke/abc/api/json", &v); code != 404 {
+		t.Fatalf("bad number status = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/job/smoke", &v); code != 404 {
+		t.Fatalf("short path status = %d", code)
+	}
+}
+
+func TestAPITriggerWithToken(t *testing.T) {
+	c, s, ts := apiServer(t)
+	s.AddToken("tok", "alice")
+
+	resp, err := http.Post(ts.URL+"/job/smoke/build?token=tok", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	c.Run()
+	if s.TotalBuilds() != 1 {
+		t.Fatal("trigger did not build")
+	}
+
+	resp, _ = http.Post(ts.URL+"/job/smoke/build?token=wrong", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("bad token status = %d", resp.StatusCode)
+	}
+
+	// GET on the build endpoint is rejected.
+	resp, _ = http.Get(ts.URL + "/job/smoke/build?token=tok")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET trigger status = %d", resp.StatusCode)
+	}
+}
+
+func TestAPIMethodNotAllowedOnRoot(t *testing.T) {
+	_, _, ts := apiServer(t)
+	resp, _ := http.Post(ts.URL+"/api/json", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,503 @@
+// Package ci implements the automation server at the heart of the paper's
+// framework — a Jenkins equivalent ("cron on steroids", slide 15) with the
+// two plugins the paper relies on:
+//
+//   - Matrix Project: a job is a matrix of options (test_environments:
+//     14 images × 32 clusters = 448 configurations);
+//   - Matrix Reloaded: re-run only a subset (the failed cells) of a matrix
+//     build.
+//
+// It also provides what slide 20 lists as the reasons Jenkins was worth
+// keeping: a clean execution environment per build (fresh BuildContext), a
+// queue with a bounded executor pool to control overloading, token-based
+// access control for manually triggered builds, and long-term storage of
+// results history and logs (per-job retention), all exposed over a REST API
+// (api.go) that the external status page consumes.
+package ci
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// Result is a build verdict, matching Jenkins semantics. Unstable is the
+// interesting one: the paper marks a build unstable when its testbed job
+// could not be scheduled immediately (slide 17) — the test neither passed
+// nor failed.
+type Result int
+
+const (
+	// NotBuilt means the build has not completed (queued or running).
+	NotBuilt Result = iota
+	// Success means the test passed.
+	Success
+	// Unstable means the test could not run (e.g. resources unavailable).
+	Unstable
+	// Failure means the test ran and found a problem.
+	Failure
+	// Aborted means the build was killed.
+	Aborted
+)
+
+func (r Result) String() string {
+	switch r {
+	case NotBuilt:
+		return "NOT_BUILT"
+	case Success:
+		return "SUCCESS"
+	case Unstable:
+		return "UNSTABLE"
+	case Failure:
+		return "FAILURE"
+	case Aborted:
+		return "ABORTED"
+	}
+	return fmt.Sprintf("Result(%d)", int(r))
+}
+
+// worse returns the more severe of two results (for matrix parent rollup).
+func worse(a, b Result) Result {
+	rank := func(r Result) int {
+		switch r {
+		case Success:
+			return 0
+		case NotBuilt:
+			return 1
+		case Unstable:
+			return 2
+		case Aborted:
+			return 3
+		case Failure:
+			return 4
+		}
+		return 5
+	}
+	if rank(a) >= rank(b) {
+		return a
+	}
+	return b
+}
+
+// Outcome is what a build script reports back.
+type Outcome struct {
+	Result   Result
+	Duration simclock.Time // how long the build occupies its executor
+	Log      []string
+	// BugSignatures identify the problems found; internal/core files
+	// deduplicated bug reports from them.
+	BugSignatures []string
+}
+
+// BuildContext is the clean execution environment handed to a script.
+type BuildContext struct {
+	Clock *simclock.Clock
+	Job   string
+	Cell  map[string]string // axis values for matrix cells, nil otherwise
+
+	log []string
+}
+
+// Logf appends to the build log.
+func (bc *BuildContext) Logf(format string, args ...any) {
+	bc.log = append(bc.log, fmt.Sprintf(format, args...))
+}
+
+// Axis returns the cell's value for an axis ("" when absent).
+func (bc *BuildContext) Axis(name string) string { return bc.Cell[name] }
+
+// Script is a build's payload. It runs at the build's start instant and
+// returns the outcome, including how much simulated time the build takes.
+type Script func(bc *BuildContext) Outcome
+
+// Axis is one dimension of a matrix job.
+type Axis struct {
+	Name   string
+	Values []string
+}
+
+// Job is a configured job.
+type Job struct {
+	Name        string
+	Description string
+	Script      Script
+	Axes        []Axis // empty for simple jobs
+	Retention   int    // completed builds kept per job (0 = DefaultRetention)
+
+	// Every enables Jenkins' native time-based scheduling ("cron on
+	// steroids", slide 15): the server triggers the job at this period.
+	// The paper's test jobs do NOT use it — their external scheduler
+	// replaces it — but plain CI/CD jobs (slide 20) do.
+	Every simclock.Time
+
+	nextNumber int
+	builds     []*Build
+	cron       *simclock.Ticker
+}
+
+// DefaultRetention is the per-job build history size.
+const DefaultRetention = 200
+
+// IsMatrix reports whether the job expands into cells.
+func (j *Job) IsMatrix() bool { return len(j.Axes) > 0 }
+
+// CellCount returns the number of matrix cells (1 for simple jobs).
+func (j *Job) CellCount() int {
+	n := 1
+	for _, a := range j.Axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Build is one execution (or one matrix cell, or a matrix parent).
+type Build struct {
+	Job    string
+	Number int
+	Cause  string            // what triggered it (scheduler, cron, user)
+	Cell   map[string]string // axis values; nil for simple/parent builds
+
+	// Matrix linkage.
+	Parent     int   // parent build number (0 = not a cell)
+	CellBuilds []int // children numbers (parent builds only)
+
+	Result        Result
+	QueuedAt      simclock.Time
+	StartedAt     simclock.Time
+	EndedAt       simclock.Time
+	Log           []string
+	BugSignatures []string
+
+	completed bool
+}
+
+// Completed reports whether the build has finished.
+func (b *Build) Completed() bool { return b.completed }
+
+// CellKey renders the cell coordinates as a stable string
+// ("cluster=sol,image=jessie-x64-min"), or "" for non-cell builds.
+func (b *Build) CellKey() string { return cellKey(b.Cell) }
+
+func cellKey(cell map[string]string) string {
+	if len(cell) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(cell))
+	for k := range cell {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + cell[k]
+	}
+	s := parts[0]
+	for _, p := range parts[1:] {
+		s += "," + p
+	}
+	return s
+}
+
+// Server is the automation server.
+type Server struct {
+	mu sync.RWMutex
+
+	clock     *simclock.Clock
+	executors int
+	running   int
+
+	jobs     map[string]*Job
+	jobOrder []string
+	queue    []*pending
+
+	// tokens implements the "access control for users to trigger jobs
+	// manually" benefit (slide 20): token → user name.
+	tokens map[string]string
+
+	// completion listeners (status page, bug filing in internal/core).
+	onComplete []func(*Build)
+
+	builtCount int
+}
+
+type pending struct {
+	build  *Build
+	script Script
+}
+
+// NewServer creates a server with the given executor count.
+func NewServer(clock *simclock.Clock, executors int) *Server {
+	if executors < 1 {
+		executors = 1
+	}
+	return &Server{
+		clock:     clock,
+		executors: executors,
+		jobs:      map[string]*Job{},
+		tokens:    map[string]string{},
+	}
+}
+
+// AddToken registers an API token for a user.
+func (s *Server) AddToken(token, user string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tokens[token] = user
+}
+
+// authenticate resolves a token to a user name.
+func (s *Server) authenticate(token string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.tokens[token]
+	return u, ok
+}
+
+// OnComplete registers a listener called whenever any build completes.
+func (s *Server) OnComplete(fn func(*Build)) {
+	s.onComplete = append(s.onComplete, fn)
+}
+
+// CreateJob registers a job. Re-registering a name is an error.
+func (s *Server) CreateJob(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.Name == "" {
+		return fmt.Errorf("ci: job needs a name")
+	}
+	if _, dup := s.jobs[j.Name]; dup {
+		return fmt.Errorf("ci: job %q already exists", j.Name)
+	}
+	if j.Script == nil {
+		return fmt.Errorf("ci: job %q has no script", j.Name)
+	}
+	if j.Retention <= 0 {
+		j.Retention = DefaultRetention
+	}
+	s.jobs[j.Name] = j
+	s.jobOrder = append(s.jobOrder, j.Name)
+	if j.Every > 0 {
+		name := j.Name
+		j.cron = s.clock.Every(j.Every, func() {
+			s.Trigger(name, "cron") //nolint:errcheck // job exists by construction
+		})
+	}
+	return nil
+}
+
+// DeleteJob unregisters a job, stopping its cron trigger. History is
+// discarded (Jenkins keeps it on disk; we drop it with the job).
+func (s *Server) DeleteJob(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[name]
+	if j == nil {
+		return fmt.Errorf("ci: unknown job %q", name)
+	}
+	if j.cron != nil {
+		j.cron.Stop()
+	}
+	delete(s.jobs, name)
+	for i, n := range s.jobOrder {
+		if n == name {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// JobNames returns registered job names in creation order.
+func (s *Server) JobNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.jobOrder...)
+}
+
+// JobByName returns a job, or nil.
+func (s *Server) JobByName(name string) *Job {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.jobs[name]
+}
+
+// Executors returns the executor pool size.
+func (s *Server) Executors() int { return s.executors }
+
+// BusyExecutors returns how many executors are currently running builds.
+func (s *Server) BusyExecutors() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.running
+}
+
+// QueueLength returns the number of builds waiting for an executor.
+func (s *Server) QueueLength() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.queue)
+}
+
+// TotalBuilds returns the number of completed builds since startup.
+func (s *Server) TotalBuilds() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.builtCount
+}
+
+// Trigger enqueues a build of a job. For matrix jobs the returned build is
+// the parent; every cell is enqueued behind it.
+func (s *Server) Trigger(jobName, cause string) (*Build, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[jobName]
+	if j == nil {
+		return nil, fmt.Errorf("ci: unknown job %q", jobName)
+	}
+	if j.IsMatrix() {
+		return s.triggerMatrixLocked(j, cause, nil), nil
+	}
+	b := s.newBuildLocked(j, cause, nil, 0)
+	s.enqueueLocked(b, j.Script)
+	return b, nil
+}
+
+// TriggerToken is Trigger gated by the access-control token (the manual
+// web-interface path).
+func (s *Server) TriggerToken(jobName, token string) (*Build, error) {
+	user, ok := s.authenticate(token)
+	if !ok {
+		return nil, fmt.Errorf("ci: invalid token")
+	}
+	return s.Trigger(jobName, "user "+user)
+}
+
+// newBuildLocked allocates the next build number for j.
+func (s *Server) newBuildLocked(j *Job, cause string, cell map[string]string, parent int) *Build {
+	j.nextNumber++
+	b := &Build{
+		Job:      j.Name,
+		Number:   j.nextNumber,
+		Cause:    cause,
+		Cell:     cell,
+		Parent:   parent,
+		QueuedAt: s.clock.Now(),
+	}
+	j.builds = append(j.builds, b)
+	// Retention: drop the oldest *completed* builds beyond the limit.
+	if excess := len(j.builds) - j.Retention; excess > 0 {
+		kept := j.builds[:0]
+		for _, old := range j.builds {
+			if excess > 0 && old.completed {
+				excess--
+				continue
+			}
+			kept = append(kept, old)
+		}
+		j.builds = kept
+	}
+	return b
+}
+
+func (s *Server) enqueueLocked(b *Build, script Script) {
+	s.queue = append(s.queue, &pending{build: b, script: script})
+	s.clock.After(0, s.pump) // start ASAP, from the event loop
+}
+
+// pump starts queued builds while executors are free.
+func (s *Server) pump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.running < s.executors && len(s.queue) > 0 {
+		p := s.queue[0]
+		s.queue = s.queue[1:]
+		s.running++
+		s.startLocked(p)
+	}
+}
+
+func (s *Server) startLocked(p *pending) {
+	b := p.build
+	b.StartedAt = s.clock.Now()
+	bc := &BuildContext{Clock: s.clock, Job: b.Job, Cell: b.Cell}
+	out := p.script(bc)
+	b.Log = append(bc.log, out.Log...)
+	dur := out.Duration
+	if dur < 0 {
+		dur = 0
+	}
+	s.clock.After(dur, func() {
+		s.completeBuild(b, out)
+	})
+}
+
+func (s *Server) completeBuild(b *Build, out Outcome) {
+	s.mu.Lock()
+	b.Result = out.Result
+	b.BugSignatures = out.BugSignatures
+	b.EndedAt = s.clock.Now()
+	b.completed = true
+	s.running--
+	s.builtCount++
+	var parentDone *Build
+	if b.Parent != 0 {
+		parentDone = s.maybeCompleteParentLocked(b)
+	}
+	listeners := s.onComplete
+	s.mu.Unlock()
+
+	for _, fn := range listeners {
+		fn(b)
+		if parentDone != nil {
+			fn(parentDone)
+		}
+	}
+	s.pump()
+}
+
+// Build returns one build of a job by number, or nil.
+func (s *Server) Build(jobName string, number int) *Build {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j := s.jobs[jobName]
+	if j == nil {
+		return nil
+	}
+	for _, b := range j.builds {
+		if b.Number == number {
+			return b
+		}
+	}
+	return nil
+}
+
+// Builds returns the retained builds of a job, oldest first.
+func (s *Server) Builds(jobName string) []*Build {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j := s.jobs[jobName]
+	if j == nil {
+		return nil
+	}
+	return append([]*Build(nil), j.builds...)
+}
+
+// LastCompleted returns a job's most recent completed top-level build
+// (matrix parents count, cells do not), or nil.
+func (s *Server) LastCompleted(jobName string) *Build {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j := s.jobs[jobName]
+	if j == nil {
+		return nil
+	}
+	for i := len(j.builds) - 1; i >= 0; i-- {
+		b := j.builds[i]
+		if b.completed && b.Parent == 0 {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package ci
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func TestCronTriggersPeriodically(t *testing.T) {
+	c := simclock.New(1)
+	s := NewServer(c, 2)
+	s.CreateJob(&Job{
+		Name:   "nightly-ci",
+		Script: constScript(Success, 10*simclock.Minute),
+		Every:  simclock.Day,
+	})
+	c.RunUntil(3*simclock.Day + simclock.Hour)
+	builds := s.Builds("nightly-ci")
+	if len(builds) != 3 {
+		t.Fatalf("cron builds = %d, want 3", len(builds))
+	}
+	for _, b := range builds {
+		if b.Cause != "cron" {
+			t.Fatalf("cause = %q", b.Cause)
+		}
+		if !b.Completed() || b.Result != Success {
+			t.Fatalf("build #%d = %v", b.Number, b.Result)
+		}
+	}
+}
+
+func TestCronStopsWithDeleteJob(t *testing.T) {
+	c := simclock.New(2)
+	s := NewServer(c, 2)
+	s.CreateJob(&Job{
+		Name:   "short-lived",
+		Script: constScript(Success, simclock.Minute),
+		Every:  simclock.Hour,
+	})
+	c.RunUntil(2*simclock.Hour + simclock.Minute)
+	if got := s.TotalBuilds(); got != 2 {
+		t.Fatalf("builds before delete = %d", got)
+	}
+	if err := s.DeleteJob("short-lived"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(10 * simclock.Hour)
+	if got := s.TotalBuilds(); got != 2 {
+		t.Fatalf("cron kept firing after delete: %d builds", got)
+	}
+	if s.JobByName("short-lived") != nil {
+		t.Fatal("job still registered")
+	}
+	if err := s.DeleteJob("short-lived"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if got := len(s.JobNames()); got != 0 {
+		t.Fatalf("job order = %d entries", got)
+	}
+}
+
+func TestNonCronJobNeverSelfTriggers(t *testing.T) {
+	c := simclock.New(3)
+	s := NewServer(c, 2)
+	s.CreateJob(&Job{Name: "manual", Script: constScript(Success, simclock.Minute)})
+	c.RunUntil(simclock.Week)
+	if s.TotalBuilds() != 0 {
+		t.Fatalf("manual job built itself %d times", s.TotalBuilds())
+	}
+}
+
+func TestCronMatrixJob(t *testing.T) {
+	c := simclock.New(4)
+	s := NewServer(c, 8)
+	s.CreateJob(&Job{
+		Name:   "matrix-cron",
+		Script: constScript(Success, simclock.Minute),
+		Axes:   []Axis{{Name: "a", Values: []string{"1", "2"}}},
+		Every:  simclock.Day,
+	})
+	c.RunUntil(simclock.Day + simclock.Hour)
+	// One parent + two cells.
+	if got := len(s.Builds("matrix-cron")); got != 3 {
+		t.Fatalf("builds = %d, want 3", got)
+	}
+	if last := s.LastCompleted("matrix-cron"); last == nil || last.Result != Success {
+		t.Fatalf("matrix cron parent = %+v", last)
+	}
+}

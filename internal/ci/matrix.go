@@ -1,0 +1,173 @@
+package ci
+
+// Matrix job support: expansion of axes into cell builds (Matrix Project
+// plugin) and selective retry of failed cells (Matrix Reloaded plugin).
+
+import "fmt"
+
+// triggerMatrixLocked creates a parent build plus one cell build per axis
+// combination. When onlyCells is non-nil, only cells whose key appears in
+// it are built (Matrix Reloaded); the others are not re-run.
+func (s *Server) triggerMatrixLocked(j *Job, cause string, onlyCells map[string]bool) *Build {
+	parent := s.newBuildLocked(j, cause, nil, 0)
+	cells := expandAxes(j.Axes)
+	for _, cell := range cells {
+		if onlyCells != nil && !onlyCells[cellKey(cell)] {
+			continue
+		}
+		cb := s.newBuildLocked(j, cause, cell, parent.Number)
+		parent.CellBuilds = append(parent.CellBuilds, cb.Number)
+		s.enqueueLocked(cb, j.Script)
+	}
+	if len(parent.CellBuilds) == 0 {
+		// Nothing to run (e.g. retry with no failed cells): complete the
+		// parent immediately as a no-op success.
+		parent.Result = Success
+		parent.StartedAt = s.clock.Now()
+		parent.EndedAt = s.clock.Now()
+		parent.completed = true
+		s.builtCount++
+	}
+	return parent
+}
+
+// maybeCompleteParentLocked rolls a finished cell up into its parent and
+// completes the parent when it was the last one. Returns the parent if it
+// just completed, else nil. Caller holds s.mu.
+func (s *Server) maybeCompleteParentLocked(cell *Build) *Build {
+	j := s.jobs[cell.Job]
+	var parent *Build
+	for _, b := range j.builds {
+		if b.Number == cell.Parent {
+			parent = b
+			break
+		}
+	}
+	if parent == nil {
+		return nil // parent rotated out of retention; nothing to roll up
+	}
+	allDone := true
+	agg := Success
+	var firstStart, lastEnd bool = true, false
+	_ = lastEnd
+	for _, num := range parent.CellBuilds {
+		var cb *Build
+		for _, b := range j.builds {
+			if b.Number == num {
+				cb = b
+				break
+			}
+		}
+		if cb == nil || !cb.completed {
+			allDone = false
+			break
+		}
+		agg = worse(agg, cb.Result)
+		if firstStart || cb.StartedAt < parent.StartedAt {
+			parent.StartedAt = cb.StartedAt
+			firstStart = false
+		}
+		if cb.EndedAt > parent.EndedAt {
+			parent.EndedAt = cb.EndedAt
+		}
+	}
+	if !allDone {
+		return nil
+	}
+	parent.Result = agg
+	parent.completed = true
+	s.builtCount++
+	return parent
+}
+
+// FailedCells returns the cell coordinates of a completed matrix build that
+// did not succeed (both unstable and failed cells — the paper retries
+// unstable configurations too, since they simply could not get resources).
+func (s *Server) FailedCells(jobName string, parentNumber int) ([]map[string]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j := s.jobs[jobName]
+	if j == nil {
+		return nil, fmt.Errorf("ci: unknown job %q", jobName)
+	}
+	var parent *Build
+	for _, b := range j.builds {
+		if b.Number == parentNumber {
+			parent = b
+			break
+		}
+	}
+	if parent == nil {
+		return nil, fmt.Errorf("ci: no build %s#%d", jobName, parentNumber)
+	}
+	if !parent.completed {
+		return nil, fmt.Errorf("ci: build %s#%d still running", jobName, parentNumber)
+	}
+	var out []map[string]string
+	for _, num := range parent.CellBuilds {
+		for _, b := range j.builds {
+			if b.Number == num && b.completed && b.Result != Success {
+				out = append(out, b.Cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RetryFailedCells triggers a new matrix build re-running only the failed
+// (non-success) cells of a previous build — Matrix Reloaded. The returned
+// parent completes immediately with Success when nothing failed.
+func (s *Server) RetryFailedCells(jobName string, parentNumber int, cause string) (*Build, error) {
+	failed, err := s.FailedCells(jobName, parentNumber)
+	if err != nil {
+		return nil, err
+	}
+	only := map[string]bool{}
+	for _, cell := range failed {
+		only[cellKey(cell)] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[jobName]
+	return s.triggerMatrixLocked(j, cause, only), nil
+}
+
+// expandAxes computes the cartesian product of axis values.
+func expandAxes(axes []Axis) []map[string]string {
+	out := []map[string]string{{}}
+	for _, a := range axes {
+		var next []map[string]string
+		for _, base := range out {
+			for _, v := range a.Values {
+				cell := make(map[string]string, len(base)+1)
+				for k, bv := range base {
+					cell[k] = bv
+				}
+				cell[a.Name] = v
+				next = append(next, cell)
+			}
+		}
+		out = next
+	}
+	if len(axes) == 0 {
+		return nil
+	}
+	return out
+}
+
+// CellResult returns the completed result of the cell with the given key in
+// a parent build, or NotBuilt when absent.
+func (s *Server) CellResult(jobName string, parentNumber int, key string) Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j := s.jobs[jobName]
+	if j == nil {
+		return NotBuilt
+	}
+	for _, b := range j.builds {
+		if b.Parent == parentNumber && b.CellKey() == key && b.completed {
+			return b.Result
+		}
+	}
+	return NotBuilt
+}

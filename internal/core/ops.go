@@ -1,0 +1,306 @@
+package core
+
+// The operations model: everything that happens *around* the testing
+// framework on a live testbed — users, entropy, and operators reacting to
+// bug reports. This is what turns the framework into the paper's
+// evaluation: bug counts (slide 22) and the reliability trend (slide 23).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ci"
+	"repro/internal/oar"
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+// ---- build observation ---------------------------------------------------
+
+// onBuildComplete runs for every finished build (cells and parents).
+func (f *Framework) onBuildComplete(b *ci.Build) {
+	// Matrix parents: retry failed cells (Matrix Reloaded), but do not
+	// count them — their cells are counted individually.
+	if len(b.CellBuilds) > 0 || (b.Cell == nil && b.Job == "environments") {
+		f.maybeRetryEnvMatrix(b)
+		return
+	}
+
+	// Weekly statistics.
+	week := int(b.EndedAt / simclock.Week)
+	wc := f.weekly[week]
+	if wc == nil {
+		wc = &WeekCounts{Week: week}
+		f.weekly[week] = wc
+	}
+	switch b.Result {
+	case ci.Success:
+		wc.Success++
+	case ci.Failure, ci.Aborted:
+		wc.Failure++
+	case ci.Unstable:
+		wc.Unstable++
+	}
+
+	// Bug filing from the build's signatures (slide 11: the framework is
+	// the bug reporter of record; dedup keeps nightly re-detections from
+	// opening duplicate tickets).
+	family := b.Job
+	if i := strings.IndexByte(family, '/'); i > 0 {
+		family = family[:i]
+	}
+	target := b.Job
+	if b.Cell != nil {
+		target = b.Cell["cluster"]
+	}
+	for _, sig := range b.BugSignatures {
+		title := titleForSignature(sig)
+		f.Bugs.File(sig, title, family, target)
+		// The framework quarantines hardware that eats deployments, like
+		// kadeploy suspecting nodes on a real testbed.
+		if node, ok := strings.CutPrefix(sig, "random-reboots:"); ok {
+			f.OAR.SetNodeState(node, testbed.Suspected) //nolint:errcheck
+		}
+	}
+}
+
+// titleForSignature renders an operator-friendly bug title.
+func titleForSignature(sig string) string {
+	kind, rest, _ := strings.Cut(sig, ":")
+	return fmt.Sprintf("%s: %s", strings.ReplaceAll(kind, "-", " "), rest)
+}
+
+// ---- fault process --------------------------------------------------------
+
+func (f *Framework) startFaultProcess() {
+	for i := 0; i < f.Cfg.InitialFaults; i++ {
+		f.Faults.InjectRandom()
+	}
+	if f.Cfg.FaultMeanInterval <= 0 {
+		return
+	}
+	var arm func()
+	arm = func() {
+		delay := simclock.Exponential(f.Clock.Rand(), f.Cfg.FaultMeanInterval)
+		f.Clock.After(delay, func() {
+			f.Faults.InjectRandom()
+			arm()
+		})
+	}
+	arm()
+}
+
+// ---- operator model --------------------------------------------------------
+
+func (f *Framework) startOperatorProcess() {
+	if f.Cfg.OperatorInterval <= 0 {
+		return
+	}
+	f.Clock.Every(f.Cfg.OperatorInterval, f.operatorPass)
+}
+
+// operatorPass fixes up to FixesPerPass of the oldest sufficiently aged
+// open bugs: resolve the root cause (remove the fault / heal the node),
+// then close the ticket.
+func (f *Framework) operatorPass() {
+	now := f.Clock.Now()
+	fixed := 0
+	for _, b := range f.Bugs.OpenBugs() {
+		if fixed >= f.Cfg.FixesPerPass {
+			break
+		}
+		if now-b.FiledAt < f.Cfg.OperatorMinAge {
+			continue
+		}
+		f.resolveRootCause(b.Signature)
+		f.Bugs.Fix(b.ID) //nolint:errcheck // open by construction
+		fixed++
+	}
+}
+
+// resolveRootCause undoes whatever the bug signature points at. Signatures
+// produced by the test suites share the fault injector's namespace, so the
+// common case is a direct lookup.
+func (f *Framework) resolveRootCause(sig string) {
+	f.Faults.FixBySignature(sig)
+
+	switch {
+	case strings.HasPrefix(sig, "oarstate-degraded:"):
+		site := strings.TrimPrefix(sig, "oarstate-degraded:")
+		if s := f.TB.Site(site); s != nil {
+			for _, n := range s.Nodes() {
+				if n.State != testbed.Alive {
+					f.OAR.SetNodeState(n.Name, testbed.Alive) //nolint:errcheck
+				}
+			}
+		}
+	default:
+		// Node-scoped signatures: return the node to production after the
+		// repair (operators re-run oarnodesetting).
+		if _, rest, ok := strings.Cut(sig, ":"); ok {
+			for _, node := range strings.Split(rest, "+") {
+				if f.TB.Node(node) != nil {
+					f.OAR.SetNodeState(node, testbed.Alive) //nolint:errcheck
+				}
+			}
+		}
+	}
+}
+
+// ---- user workload ---------------------------------------------------------
+
+func (f *Framework) startUserLoad() {
+	if f.Cfg.UserJobInterval <= 0 {
+		return
+	}
+	var arm func()
+	arm = func() {
+		delay := simclock.Exponential(f.Clock.Rand(), f.Cfg.UserJobInterval)
+		f.Clock.After(delay, func() {
+			f.submitUserJob()
+			arm()
+		})
+	}
+	arm()
+}
+
+func (f *Framework) submitUserJob() {
+	rng := f.Clock.Rand()
+	cl := simclock.Pick(rng, f.TB.Clusters())
+	wall := simclock.Exponential(rng, f.Cfg.UserMeanWalltime)
+	if wall < 10*simclock.Minute {
+		wall = 10 * simclock.Minute
+	}
+	var req string
+	if simclock.Bernoulli(rng, f.Cfg.WholeClusterFrac) {
+		req = fmt.Sprintf("cluster='%s'/nodes=ALL,walltime=%d:00:00", cl.Name,
+			int(wall/simclock.Hour)+1)
+	} else {
+		maxN := f.Cfg.UserMaxNodes
+		if maxN <= 0 {
+			maxN = 10
+		}
+		if maxN > len(cl.Nodes) {
+			maxN = len(cl.Nodes)
+		}
+		n := 1 + rng.Intn(maxN)
+		req = fmt.Sprintf("cluster='%s'/nodes=%d,walltime=%d:00:00", cl.Name, n,
+			int(wall/simclock.Hour)+1)
+	}
+	j, err := f.OAR.Submit(req, oar.SubmitOptions{User: "user"})
+	if err != nil {
+		return
+	}
+	// Users abandon jobs stuck in the queue for a day, so unsatisfiable
+	// whole-cluster requests (e.g. a suspected node) don't clog the queue
+	// forever.
+	f.Clock.After(simclock.Day, func() {
+		if j.State == oar.Waiting {
+			f.OAR.Cancel(j.ID) //nolint:errcheck
+		}
+	})
+}
+
+// ---- environments matrix cron ----------------------------------------------
+
+func (f *Framework) startEnvMatrixCron() {
+	if f.Cfg.EnvMatrixPeriod <= 0 {
+		return
+	}
+	fire := func() {
+		if b, err := f.CI.Trigger("environments", "cron"); err == nil {
+			f.envRetries[b.Number] = 0
+		}
+	}
+	// First full run shortly after start, then periodically.
+	f.Clock.After(simclock.Hour, fire)
+	f.Clock.Every(f.Cfg.EnvMatrixPeriod, fire)
+}
+
+// maybeRetryEnvMatrix implements the Matrix Reloaded flow: when an
+// environments parent completes with non-success cells, retry only those
+// cells a couple of hours later, a bounded number of times.
+func (f *Framework) maybeRetryEnvMatrix(parent *ci.Build) {
+	if parent.Job != "environments" || !parent.Completed() {
+		return
+	}
+	gen, tracked := f.envRetries[parent.Number]
+	if !tracked {
+		return
+	}
+	delete(f.envRetries, parent.Number)
+	if parent.Result == ci.Success || gen >= f.Cfg.EnvMatrixRetries {
+		return
+	}
+	parentNum := parent.Number
+	f.Clock.After(2*simclock.Hour, func() {
+		b, err := f.CI.RetryFailedCells("environments", parentNum, "matrix-reloaded")
+		if err == nil {
+			f.envRetries[b.Number] = gen + 1
+		}
+	})
+}
+
+// ---- reporting ---------------------------------------------------------------
+
+// WeeklyReport returns per-week build statistics in week order.
+func (f *Framework) WeeklyReport() []WeekCounts {
+	weeks := make([]int, 0, len(f.weekly))
+	for w := range f.weekly {
+		weeks = append(weeks, w)
+	}
+	sort.Ints(weeks)
+	out := make([]WeekCounts, 0, len(weeks))
+	for _, w := range weeks {
+		out = append(out, *f.weekly[w])
+	}
+	return out
+}
+
+// CampaignSummary condenses a whole run.
+type CampaignSummary struct {
+	Duration     simclock.Time
+	Builds       int
+	BugsFiled    int
+	BugsFixed    int
+	BugsOpen     int
+	ActiveFaults int
+	FirstWeek    WeekCounts
+	LastWeek     WeekCounts
+}
+
+func (s CampaignSummary) String() string {
+	return fmt.Sprintf(
+		"after %v: %d builds, %d bugs filed (inc. %d already fixed), success %0.f%% → %0.f%%",
+		s.Duration, s.Builds, s.BugsFiled, s.BugsFixed,
+		100*s.FirstWeek.Rate(), 100*s.LastWeek.Rate())
+}
+
+// Summary reports the campaign state so far.
+func (f *Framework) Summary() CampaignSummary {
+	st := f.Bugs.Stats()
+	out := CampaignSummary{
+		Duration:     f.Clock.Now(),
+		Builds:       f.CI.TotalBuilds(),
+		BugsFiled:    st.Filed,
+		BugsFixed:    st.Fixed,
+		BugsOpen:     st.Open,
+		ActiveFaults: f.Faults.ActiveCount(),
+	}
+	weekly := f.WeeklyReport()
+	// Use the first/last weeks with meaningful volume.
+	for _, w := range weekly {
+		if w.Total() >= 20 {
+			out.FirstWeek = w
+			break
+		}
+	}
+	for i := len(weekly) - 1; i >= 0; i-- {
+		if weekly[i].Total() >= 20 {
+			out.LastWeek = weekly[i]
+			break
+		}
+	}
+	return out
+}

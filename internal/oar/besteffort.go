@@ -1,0 +1,109 @@
+package oar
+
+// Best-effort jobs, as on the real Grid'5000: opportunistic jobs that run
+// on idle resources and are killed whenever a normal job needs their nodes.
+// They matter to the testing framework because a testbed full of
+// best-effort work still looks "available" to tests — the scheduler's
+// availability probe and the immediate-submission path both see through
+// them via preemption.
+
+import "repro/internal/testbed"
+
+// Preempted marks a best-effort job killed to make room for a normal job.
+const Preempted JobState = 100
+
+// BestEffort reports whether the job was submitted in best-effort mode.
+func (j *Job) BestEffort() bool { return j.bestEffort }
+
+// allocateWithPreemption is the fallback when a normal allocation fails:
+// it retries treating nodes held by best-effort jobs as free, and returns
+// the set of best-effort job IDs that must die for the allocation to
+// succeed. It does not mutate anything.
+func (s *Server) allocateWithPreemption(req Request) (nodes []string, victims []int, ok bool) {
+	// Temporarily hide best-effort allocations from the busy map.
+	hidden := map[string]int{}
+	for node, jobID := range s.busy {
+		if j := s.jobs[jobID]; j != nil && j.bestEffort {
+			hidden[node] = jobID
+		}
+	}
+	if len(hidden) == 0 {
+		return nil, nil, false
+	}
+	penalized := make(map[string]bool, len(hidden))
+	for node := range hidden {
+		delete(s.busy, node)
+		penalized[node] = true
+	}
+	nodes, ok = s.allocatePreferring(req, penalized)
+	for node, jobID := range hidden {
+		s.busy[node] = jobID
+	}
+	if !ok {
+		return nil, nil, false
+	}
+	seen := map[int]bool{}
+	for _, node := range nodes {
+		if jobID, held := hidden[node]; held && !seen[jobID] {
+			seen[jobID] = true
+			victims = append(victims, jobID)
+		}
+	}
+	return nodes, victims, true
+}
+
+// preempt kills a running best-effort job (no walltime refund, like OAR's
+// checkpoint-less best-effort).
+func (s *Server) preempt(j *Job) {
+	j.State = Preempted
+	j.EndedAt = s.clock.Now()
+	if j.walltimeEvent != nil {
+		j.walltimeEvent.Cancel()
+	}
+	for _, n := range j.Nodes {
+		delete(s.busy, n)
+	}
+	s.preempted++
+}
+
+// PreemptedCount returns how many best-effort jobs were killed.
+func (s *Server) PreemptedCount() int { return s.preempted }
+
+// startWithPreemption tries a normal allocation first, then the preempting
+// fallback (normal jobs only). Returns the nodes to use, or ok=false.
+func (s *Server) startWithPreemption(j *Job) ([]string, bool) {
+	if nodes, ok := s.allocate(j.Request); ok {
+		return nodes, true
+	}
+	if j.bestEffort {
+		return nil, false // best-effort never preempts anyone
+	}
+	nodes, victims, ok := s.allocateWithPreemption(j.Request)
+	if !ok {
+		return nil, false
+	}
+	for _, id := range victims {
+		s.preempt(s.jobs[id])
+	}
+	return nodes, true
+}
+
+// FreeOrPreemptable counts nodes that a normal request could use right now:
+// free Alive nodes plus those held only by best-effort jobs.
+func (s *Server) FreeOrPreemptable(e Expr) int {
+	count := 0
+	for _, n := range s.nodeList {
+		if n.State != testbed.Alive {
+			continue
+		}
+		if jobID, used := s.busy[n.Name]; used {
+			if j := s.jobs[jobID]; j == nil || !j.bestEffort {
+				continue
+			}
+		}
+		if e.Eval(s.nodeProps(n)) {
+			count++
+		}
+	}
+	return count
+}

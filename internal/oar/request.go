@@ -1,0 +1,185 @@
+package oar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+// AllNodes requests every node matching the segment's expression (used by
+// hardware-centric tests that need a whole cluster, slide 16).
+const AllNodes = -1
+
+// Segment is one resource demand: N nodes matching an expression.
+type Segment struct {
+	Expr  Expr
+	Nodes int // AllNodes for "every matching node"
+	raw   string
+}
+
+func (s Segment) String() string {
+	n := "ALL"
+	if s.Nodes != AllNodes {
+		n = strconv.Itoa(s.Nodes)
+	}
+	if s.raw == "" {
+		return "nodes=" + n
+	}
+	return s.raw + "/nodes=" + n
+}
+
+// Request is a full oarsub -l resource request, e.g.
+//
+//	cluster='a' and gpu='YES'/nodes=1+cluster='b' and eth10g='Y'/nodes=2,walltime=2
+type Request struct {
+	Segments []Segment
+	Walltime simclock.Time
+}
+
+func (r Request) String() string {
+	parts := make([]string, len(r.Segments))
+	for i, s := range r.Segments {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "+") + ",walltime=" + formatWalltime(r.Walltime)
+}
+
+func formatWalltime(w simclock.Time) string {
+	secs := int64(w.Duration().Seconds())
+	return fmt.Sprintf("%d:%02d:%02d", secs/3600, secs/60%60, secs%60)
+}
+
+// ParseRequest parses the oarsub -l syntax. Walltime accepts either plain
+// hours ("2") or "H:MM" / "H:MM:SS". A missing walltime defaults to 1 hour,
+// like OAR.
+func ParseRequest(s string) (Request, error) {
+	req := Request{Walltime: simclock.Hour}
+	body := s
+	if i := strings.LastIndex(s, ",walltime="); i >= 0 {
+		body = s[:i]
+		w, err := parseWalltime(s[i+len(",walltime="):])
+		if err != nil {
+			return Request{}, err
+		}
+		req.Walltime = w
+	}
+	if strings.TrimSpace(body) == "" {
+		return Request{}, fmt.Errorf("oar: empty resource request %q", s)
+	}
+	for _, part := range strings.Split(body, "+") {
+		seg, err := parseSegment(part)
+		if err != nil {
+			return Request{}, err
+		}
+		req.Segments = append(req.Segments, seg)
+	}
+	return req, nil
+}
+
+// MustParseRequest is ParseRequest for requests known valid at compile time.
+func MustParseRequest(s string) Request {
+	r, err := ParseRequest(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func parseSegment(s string) (Segment, error) {
+	exprPart, nodesPart := "", s
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		exprPart, nodesPart = s[:i], s[i+1:]
+	}
+	nodesPart = strings.TrimSpace(nodesPart)
+	if !strings.HasPrefix(nodesPart, "nodes=") {
+		return Segment{}, fmt.Errorf("oar: segment %q lacks nodes=N", s)
+	}
+	nStr := strings.TrimPrefix(nodesPart, "nodes=")
+	var n int
+	if strings.EqualFold(nStr, "ALL") {
+		n = AllNodes
+	} else {
+		v, err := strconv.Atoi(nStr)
+		if err != nil || v <= 0 {
+			return Segment{}, fmt.Errorf("oar: bad node count %q in segment %q", nStr, s)
+		}
+		n = v
+	}
+	e, err := ParseExpr(exprPart)
+	if err != nil {
+		return Segment{}, err
+	}
+	return Segment{Expr: e, Nodes: n, raw: strings.TrimSpace(exprPart)}, nil
+}
+
+func parseWalltime(s string) (simclock.Time, error) {
+	s = strings.TrimSpace(s)
+	parts := strings.Split(s, ":")
+	switch len(parts) {
+	case 1:
+		h, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil || h <= 0 {
+			return 0, fmt.Errorf("oar: bad walltime %q", s)
+		}
+		return simclock.Time(h * float64(simclock.Hour)), nil
+	case 2, 3:
+		var total simclock.Time
+		units := []simclock.Time{simclock.Hour, simclock.Minute, simclock.Second}
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil || v < 0 {
+				return 0, fmt.Errorf("oar: bad walltime %q", s)
+			}
+			total += simclock.Time(v) * units[i]
+		}
+		if total <= 0 {
+			return 0, fmt.Errorf("oar: zero walltime %q", s)
+		}
+		return total, nil
+	}
+	return 0, fmt.Errorf("oar: bad walltime %q", s)
+}
+
+// Properties derives the OAR property map of a node from its live
+// inventory. The Reference API fills the OAR database on a real testbed
+// (slide 7); here the live inventory plays that role and the property names
+// follow Grid'5000 conventions (gpu='YES', eth10g='Y', ...).
+func Properties(n *testbed.Node) map[string]string {
+	yes := func(b bool) string {
+		if b {
+			return "YES"
+		}
+		return "NO"
+	}
+	y := func(b bool) string {
+		if b {
+			return "Y"
+		}
+		return "N"
+	}
+	return map[string]string{
+		"cluster":   n.Cluster,
+		"site":      n.Site,
+		"host":      n.Name,
+		"cores":     strconv.Itoa(n.Cores()),
+		"ram_gb":    strconv.Itoa(n.Inv.RAMGB),
+		"gpu":       yes(n.Inv.HasGPU()),
+		"ib":        yes(n.Inv.HasIB()),
+		"eth10g":    y(n.Inv.Has10G()),
+		"disktype":  diskType(n),
+		"cpu_model": n.Inv.CPU.Model,
+	}
+}
+
+func diskType(n *testbed.Node) string {
+	if len(n.Inv.Disks) == 0 {
+		return "none"
+	}
+	if n.Inv.Disks[0].SSD() {
+		return "SSD"
+	}
+	return "HDD"
+}

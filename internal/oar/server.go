@@ -1,0 +1,456 @@
+package oar
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+// JobState is the lifecycle state of an OAR job.
+type JobState int
+
+const (
+	// Waiting means the job is queued, not yet allocated.
+	Waiting JobState = iota
+	// Running means resources are allocated and the walltime is ticking.
+	Running
+	// Terminated means the job ended (normally or via early release).
+	Terminated
+	// Canceled means the job was withdrawn before it started.
+	Canceled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Waiting:
+		return "Waiting"
+	case Running:
+		return "Running"
+	case Terminated:
+		return "Terminated"
+	case Canceled:
+		return "Canceled"
+	case Preempted:
+		return "Preempted"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// Job is one resource reservation.
+type Job struct {
+	ID      int
+	User    string
+	Request Request
+	State   JobState
+
+	SubmittedAt simclock.Time
+	StartedAt   simclock.Time
+	EndedAt     simclock.Time
+
+	// Nodes assigned while Running/Terminated.
+	Nodes []string
+
+	// OnStart fires when the job's resources are allocated; test jobs run
+	// their payload from here.
+	OnStart func(j *Job)
+
+	bestEffort    bool
+	walltimeEvent *simclock.Event
+}
+
+// Server is the OAR resource manager for one testbed. A single Server
+// manages all sites (like Grid'5000's per-site OARs federated behind one
+// API; one instance keeps the simulation simple while preserving the
+// scheduling semantics the paper's framework interacts with).
+type Server struct {
+	clock *simclock.Clock
+	tb    *testbed.Testbed
+
+	nextID int
+	jobs   map[int]*Job
+	queue  []*Job         // waiting jobs, FCFS order
+	busy   map[string]int // node name → running job ID
+
+	// Scheduling fast path: the node list is static, and the property maps
+	// used for matching are cached per node (see nodeProps). The properties
+	// requests select on (cluster, site, gpu, eth10g, ib, cores, disktype)
+	// are immutable for a node's lifetime; mutable ones (ram_gb) are served
+	// fresh by the package-level Properties function, which tests use.
+	nodeList  []*testbed.Node
+	propCache map[string]map[string]string
+
+	// Re-entrancy guard: OnStart callbacks may Submit or Release
+	// synchronously, which re-invokes Schedule.
+	inSchedule bool
+	again      bool
+
+	// stats
+	submitted, started, canceled, preempted int
+}
+
+// NewServer returns an OAR server over the testbed.
+func NewServer(clock *simclock.Clock, tb *testbed.Testbed) *Server {
+	return &Server{
+		clock:     clock,
+		tb:        tb,
+		jobs:      map[int]*Job{},
+		busy:      map[string]int{},
+		nodeList:  tb.Nodes(),
+		propCache: map[string]map[string]string{},
+	}
+}
+
+// nodeProps returns the cached matching properties of a node.
+func (s *Server) nodeProps(n *testbed.Node) map[string]string {
+	if p, ok := s.propCache[n.Name]; ok {
+		return p
+	}
+	p := Properties(n)
+	s.propCache[n.Name] = p
+	return p
+}
+
+// SubmitOptions tweak job submission.
+type SubmitOptions struct {
+	User string
+	// Immediate cancels the job if it cannot start at submission time —
+	// slide 17: "if that testbed job fails to be scheduled immediately, it
+	// is cancelled and the build is marked as unstable".
+	Immediate bool
+	// BestEffort runs the job on idle resources only; it is killed the
+	// moment a normal job needs its nodes.
+	BestEffort bool
+	// OnStart runs when resources are allocated.
+	OnStart func(*Job)
+}
+
+// Submit parses and enqueues a resource request, then attempts to schedule
+// the queue. The returned job's State tells the caller what happened:
+// Running (scheduled now), Waiting (queued), or Canceled (Immediate was set
+// and resources were unavailable).
+func (s *Server) Submit(request string, opts SubmitOptions) (*Job, error) {
+	req, err := ParseRequest(request)
+	if err != nil {
+		return nil, err
+	}
+	s.nextID++
+	j := &Job{
+		ID:          s.nextID,
+		User:        opts.User,
+		Request:     req,
+		State:       Waiting,
+		SubmittedAt: s.clock.Now(),
+		OnStart:     opts.OnStart,
+		bestEffort:  opts.BestEffort,
+	}
+	s.jobs[j.ID] = j
+	s.queue = append(s.queue, j)
+	s.submitted++
+	// A new submission can only start itself (first-fit: it cannot free
+	// resources for anyone else), so try just this job instead of walking
+	// the whole waiting queue — submissions are the hot path.
+	s.tryStartOne(j)
+	if opts.Immediate && j.State == Waiting {
+		s.cancel(j)
+	}
+	return j, nil
+}
+
+// Job returns the job with the given ID, or nil.
+func (s *Server) Job(id int) *Job { return s.jobs[id] }
+
+// Cancel withdraws a waiting job. Canceling a running or finished job is an
+// error; use Release to end a running job early.
+func (s *Server) Cancel(id int) error {
+	j := s.jobs[id]
+	if j == nil {
+		return fmt.Errorf("oar: no job %d", id)
+	}
+	if j.State != Waiting {
+		return fmt.Errorf("oar: job %d is %s, cannot cancel", id, j.State)
+	}
+	s.cancel(j)
+	return nil
+}
+
+func (s *Server) cancel(j *Job) {
+	j.State = Canceled
+	j.EndedAt = s.clock.Now()
+	s.removeFromQueue(j)
+	s.canceled++
+}
+
+// Release ends a running job before its walltime (tests finishing early
+// free resources for the next test).
+func (s *Server) Release(id int) error {
+	j := s.jobs[id]
+	if j == nil {
+		return fmt.Errorf("oar: no job %d", id)
+	}
+	if j.State != Running {
+		return fmt.Errorf("oar: job %d is %s, cannot release", id, j.State)
+	}
+	s.finish(j)
+	return nil
+}
+
+func (s *Server) finish(j *Job) {
+	j.State = Terminated
+	j.EndedAt = s.clock.Now()
+	if j.walltimeEvent != nil {
+		j.walltimeEvent.Cancel()
+	}
+	for _, n := range j.Nodes {
+		delete(s.busy, n)
+	}
+	// Freed resources may unblock queued jobs.
+	s.Schedule()
+}
+
+func (s *Server) removeFromQueue(j *Job) {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Schedule runs scheduling passes over the waiting queue until no further
+// job can start. Jobs are considered in FCFS order but a stuck job does not
+// block later ones (first-fit, i.e. conservative backfilling without
+// reservations — OAR proper uses a Gantt, but what matters to the paper's
+// external scheduler is only that whole-cluster jobs wait a long time under
+// contention, which first-fit preserves).
+//
+// Re-entrant calls (from OnStart callbacks that Submit or Release) are
+// deferred to an extra pass instead of recursing.
+func (s *Server) Schedule() {
+	if s.inSchedule {
+		s.again = true
+		return
+	}
+	s.inSchedule = true
+	defer func() { s.inSchedule = false }()
+	for {
+		s.again = false
+		started := s.schedulePass()
+		for _, j := range started {
+			if j.OnStart != nil {
+				j.OnStart(j)
+			}
+		}
+		if !s.again && len(started) == 0 {
+			return
+		}
+	}
+}
+
+// tryStartOne attempts to start a single waiting job right now.
+func (s *Server) tryStartOne(j *Job) {
+	if s.inSchedule {
+		// A Submit from inside an OnStart callback: let the outer Schedule
+		// loop pick the job up on its extra pass.
+		s.again = true
+		return
+	}
+	nodes, ok := s.startWithPreemption(j)
+	if !ok {
+		return
+	}
+	s.removeFromQueue(j)
+	s.startJob(j, nodes)
+	if j.OnStart != nil {
+		j.OnStart(j)
+	}
+}
+
+// startJob transitions a waiting job to Running on the given nodes. The
+// caller is responsible for removing it from the queue and firing OnStart.
+func (s *Server) startJob(j *Job, nodes []string) {
+	j.State = Running
+	j.StartedAt = s.clock.Now()
+	j.Nodes = nodes
+	for _, n := range nodes {
+		s.busy[n] = j.ID
+	}
+	s.started++
+	jj := j
+	j.walltimeEvent = s.clock.After(j.Request.Walltime, func() {
+		if jj.State == Running {
+			s.finish(jj)
+		}
+	})
+}
+
+// schedulePass walks the queue once, starting every job that fits. OnStart
+// callbacks are NOT invoked here (the caller fires them after the walk) so
+// that queue mutations from callbacks cannot corrupt the iteration.
+func (s *Server) schedulePass() []*Job {
+	var started []*Job
+	i := 0
+	for i < len(s.queue) {
+		j := s.queue[i]
+		if j.State != Waiting {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			continue
+		}
+		nodes, ok := s.startWithPreemption(j)
+		if !ok {
+			i++
+			continue
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		s.startJob(j, nodes)
+		started = append(started, j)
+	}
+	return started
+}
+
+// allocate tries to satisfy every segment of the request with distinct free
+// Alive nodes. Returns the chosen node names sorted, or ok=false.
+func (s *Server) allocate(req Request) ([]string, bool) {
+	return s.allocatePreferring(req, nil)
+}
+
+// allocatePreferring is allocate with an optional penalty set: when picking
+// N of M candidate nodes, non-penalized nodes are chosen first. The
+// preemption path penalizes nodes held by best-effort jobs so that only the
+// minimum number of them get killed.
+func (s *Server) allocatePreferring(req Request, penalized map[string]bool) ([]string, bool) {
+	taken := map[string]bool{}
+	var chosen []string
+	for _, seg := range req.Segments {
+		var matching []*testbed.Node
+		for _, n := range s.nodeList {
+			if taken[n.Name] {
+				continue
+			}
+			if seg.Expr.Eval(s.nodeProps(n)) {
+				matching = append(matching, n)
+			}
+		}
+		if seg.Nodes == AllNodes {
+			// Every matching node must exist, be Alive and be free.
+			if len(matching) == 0 {
+				return nil, false
+			}
+			for _, n := range matching {
+				if n.State != testbed.Alive {
+					return nil, false
+				}
+				if _, used := s.busy[n.Name]; used {
+					return nil, false
+				}
+				taken[n.Name] = true
+				chosen = append(chosen, n.Name)
+			}
+			continue
+		}
+		var free []*testbed.Node
+		for _, n := range matching {
+			if n.State != testbed.Alive {
+				continue
+			}
+			if _, used := s.busy[n.Name]; used {
+				continue
+			}
+			free = append(free, n)
+		}
+		if len(free) < seg.Nodes {
+			return nil, false
+		}
+		if penalized != nil {
+			// Stable partition: genuinely free nodes first.
+			ordered := make([]*testbed.Node, 0, len(free))
+			for _, n := range free {
+				if !penalized[n.Name] {
+					ordered = append(ordered, n)
+				}
+			}
+			for _, n := range free {
+				if penalized[n.Name] {
+					ordered = append(ordered, n)
+				}
+			}
+			free = ordered
+		}
+		for _, n := range free[:seg.Nodes] {
+			taken[n.Name] = true
+			chosen = append(chosen, n.Name)
+		}
+	}
+	sort.Strings(chosen)
+	return chosen, true
+}
+
+// ---- availability queries (used by the external test scheduler) ----
+
+// FreeMatching counts free Alive nodes matching the expression.
+func (s *Server) FreeMatching(e Expr) int {
+	count := 0
+	for _, n := range s.nodeList {
+		if n.State != testbed.Alive {
+			continue
+		}
+		if _, used := s.busy[n.Name]; used {
+			continue
+		}
+		if e.Eval(s.nodeProps(n)) {
+			count++
+		}
+	}
+	return count
+}
+
+// CanStartNow reports whether a normal-priority request could be allocated
+// immediately, counting nodes that would be freed by preempting best-effort
+// jobs.
+func (s *Server) CanStartNow(request string) (bool, error) {
+	req, err := ParseRequest(request)
+	if err != nil {
+		return false, err
+	}
+	if _, ok := s.allocate(req); ok {
+		return true, nil
+	}
+	_, _, ok := s.allocateWithPreemption(req)
+	return ok, nil
+}
+
+// BusyNodes returns how many nodes are currently allocated.
+func (s *Server) BusyNodes() int { return len(s.busy) }
+
+// QueueLength returns the number of waiting jobs.
+func (s *Server) QueueLength() int { return len(s.queue) }
+
+// Stats reports cumulative submission counters.
+func (s *Server) Stats() (submitted, started, canceled int) {
+	return s.submitted, s.started, s.canceled
+}
+
+// SetNodeState changes a node's OAR state (Alive/Absent/Suspected/Dead).
+// Marking a busy node non-Alive does not kill its job (matching OAR, where
+// suspecting happens at job epilogue); it only prevents new allocations.
+func (s *Server) SetNodeState(nodeName string, st testbed.NodeState) error {
+	n := s.tb.Node(nodeName)
+	if n == nil {
+		return fmt.Errorf("oar: unknown node %q", nodeName)
+	}
+	n.State = st
+	if st == testbed.Alive {
+		s.Schedule() // a healed node may unblock the queue
+	}
+	return nil
+}
+
+// StateSummary counts nodes per state, the oarstate test family's input.
+func (s *Server) StateSummary() map[testbed.NodeState]int {
+	out := map[testbed.NodeState]int{}
+	for _, n := range s.nodeList {
+		out[n.State]++
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package oar
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+func newServer() (*simclock.Clock, *testbed.Testbed, *Server) {
+	c := simclock.New(5)
+	tb := testbed.Default()
+	return c, tb, NewServer(c, tb)
+}
+
+func TestSubmitStartsImmediatelyWhenFree(t *testing.T) {
+	_, _, s := newServer()
+	j, err := s.Submit("cluster='taurus'/nodes=2,walltime=1", SubmitOptions{User: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Running {
+		t.Fatalf("state = %v, want Running", j.State)
+	}
+	if len(j.Nodes) != 2 {
+		t.Fatalf("assigned %d nodes", len(j.Nodes))
+	}
+	for _, n := range j.Nodes {
+		if got := s.busy[n]; got != j.ID {
+			t.Fatalf("node %s busy with job %d", n, got)
+		}
+	}
+}
+
+func TestWalltimeExpiryFreesNodes(t *testing.T) {
+	c, _, s := newServer()
+	j, _ := s.Submit("cluster='sol'/nodes=5,walltime=2", SubmitOptions{})
+	if j.State != Running {
+		t.Fatal("job did not start")
+	}
+	c.RunUntil(simclock.Hour)
+	if j.State != Running {
+		t.Fatal("job ended before walltime")
+	}
+	c.RunUntil(3 * simclock.Hour)
+	if j.State != Terminated {
+		t.Fatalf("state = %v after walltime", j.State)
+	}
+	if s.BusyNodes() != 0 {
+		t.Fatalf("busy = %d after expiry", s.BusyNodes())
+	}
+	if j.EndedAt != 2*simclock.Hour {
+		t.Fatalf("ended at %v", j.EndedAt)
+	}
+}
+
+func TestQueueingAndFCFS(t *testing.T) {
+	c, _, s := newServer()
+	// sol has 20 nodes; take them all, then queue two more jobs.
+	j1, _ := s.Submit("cluster='sol'/nodes=ALL,walltime=1", SubmitOptions{})
+	if j1.State != Running {
+		t.Fatal("j1 did not start")
+	}
+	j2, _ := s.Submit("cluster='sol'/nodes=12,walltime=1", SubmitOptions{})
+	j3, _ := s.Submit("cluster='sol'/nodes=12,walltime=1", SubmitOptions{})
+	if j2.State != Waiting || j3.State != Waiting {
+		t.Fatalf("j2=%v j3=%v, want Waiting", j2.State, j3.State)
+	}
+	if s.QueueLength() != 2 {
+		t.Fatalf("queue = %d", s.QueueLength())
+	}
+	c.RunUntil(90 * simclock.Minute)
+	// After j1 ends, j2 starts; j3 (needs 12 of 20, 12 busy) still waits.
+	if j2.State != Running {
+		t.Fatalf("j2 = %v after j1 finished", j2.State)
+	}
+	if j3.State != Waiting {
+		t.Fatalf("j3 = %v, want Waiting", j3.State)
+	}
+	c.RunUntil(4 * simclock.Hour)
+	if j3.State != Terminated {
+		t.Fatalf("j3 = %v at end", j3.State)
+	}
+}
+
+func TestFirstFitSkipsStuckJob(t *testing.T) {
+	_, tb, s := newServer()
+	// Make one sol node Suspected so nodes=ALL on sol can never start.
+	tb.Node("sol-1.sophia").State = testbed.Suspected
+	big, _ := s.Submit("cluster='sol'/nodes=ALL,walltime=1", SubmitOptions{})
+	if big.State != Waiting {
+		t.Fatalf("big = %v, want Waiting", big.State)
+	}
+	// A later small job must still start (first-fit).
+	small, _ := s.Submit("cluster='sol'/nodes=2,walltime=1", SubmitOptions{})
+	if small.State != Running {
+		t.Fatalf("small = %v, want Running", small.State)
+	}
+}
+
+func TestImmediateCancelsWhenBusy(t *testing.T) {
+	_, _, s := newServer()
+	s.Submit("cluster='hercule'/nodes=ALL,walltime=10", SubmitOptions{})
+	j, err := s.Submit("cluster='hercule'/nodes=1,walltime=1", SubmitOptions{Immediate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Canceled {
+		t.Fatalf("immediate job = %v, want Canceled", j.State)
+	}
+	_, _, canceled := s.Stats()
+	if canceled != 1 {
+		t.Fatalf("canceled counter = %d", canceled)
+	}
+}
+
+func TestImmediateStartsWhenFree(t *testing.T) {
+	_, _, s := newServer()
+	j, _ := s.Submit("cluster='hercule'/nodes=1,walltime=1", SubmitOptions{Immediate: true})
+	if j.State != Running {
+		t.Fatalf("immediate job = %v, want Running", j.State)
+	}
+}
+
+func TestReleaseEarly(t *testing.T) {
+	c, _, s := newServer()
+	j, _ := s.Submit("cluster='uvb'/nodes=4,walltime=5", SubmitOptions{})
+	c.RunUntil(10 * simclock.Minute)
+	if err := s.Release(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Terminated || s.BusyNodes() != 0 {
+		t.Fatal("release did not free resources")
+	}
+	// The walltime event must not re-finish the job.
+	c.RunUntil(6 * simclock.Hour)
+	if j.EndedAt != 10*simclock.Minute {
+		t.Fatalf("EndedAt = %v", j.EndedAt)
+	}
+	if err := s.Release(j.ID); err == nil {
+		t.Fatal("double release succeeded")
+	}
+}
+
+func TestCancelWaitingOnly(t *testing.T) {
+	_, _, s := newServer()
+	j1, _ := s.Submit("cluster='sol'/nodes=ALL,walltime=1", SubmitOptions{})
+	j2, _ := s.Submit("cluster='sol'/nodes=1,walltime=1", SubmitOptions{})
+	if err := s.Cancel(j2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if j2.State != Canceled {
+		t.Fatal("cancel failed")
+	}
+	if err := s.Cancel(j1.ID); err == nil {
+		t.Fatal("canceled a running job")
+	}
+	if err := s.Cancel(9999); err == nil {
+		t.Fatal("canceled a ghost job")
+	}
+}
+
+func TestOnStartFires(t *testing.T) {
+	c, _, s := newServer()
+	s.Submit("cluster='sol'/nodes=ALL,walltime=1", SubmitOptions{})
+	started := simclock.Time(-1)
+	s.Submit("cluster='sol'/nodes=3,walltime=1", SubmitOptions{
+		OnStart: func(j *Job) { started = c.Now() },
+	})
+	c.Run()
+	if started != simclock.Hour {
+		t.Fatalf("OnStart at %v, want 1h", started)
+	}
+}
+
+func TestOnStartCanReleaseSynchronously(t *testing.T) {
+	c, _, s := newServer()
+	// A job whose payload finishes instantly and releases itself, plus a
+	// queued successor: exercises Schedule's re-entrancy guard.
+	s.Submit("cluster='sol'/nodes=ALL,walltime=4", SubmitOptions{})
+	var j2, j3 *Job
+	j2, _ = s.Submit("cluster='sol'/nodes=ALL,walltime=4", SubmitOptions{
+		OnStart: func(j *Job) { s.Release(j.ID) },
+	})
+	j3, _ = s.Submit("cluster='sol'/nodes=2,walltime=1", SubmitOptions{})
+	c.Run()
+	if j2.State != Terminated || j3.State != Terminated {
+		t.Fatalf("j2=%v j3=%v", j2.State, j3.State)
+	}
+	// j2 released at its own start time, so j3 started then too.
+	if j3.StartedAt != j2.StartedAt {
+		t.Fatalf("j3 started %v, j2 %v", j3.StartedAt, j2.StartedAt)
+	}
+}
+
+func TestOnStartCanSubmitSynchronously(t *testing.T) {
+	c, _, s := newServer()
+	var child *Job
+	s.Submit("cluster='uvb'/nodes=1,walltime=1", SubmitOptions{
+		OnStart: func(j *Job) {
+			child, _ = s.Submit("cluster='uvb'/nodes=1,walltime=1", SubmitOptions{})
+		},
+	})
+	c.Run()
+	if child == nil || child.State != Terminated {
+		t.Fatalf("child = %+v", child)
+	}
+}
+
+func TestMultiSegmentAllocation(t *testing.T) {
+	_, _, s := newServer()
+	j, err := s.Submit("cluster='adonis' and gpu='YES'/nodes=1+cluster='grisou' and eth10g='Y'/nodes=2,walltime=2", SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Running || len(j.Nodes) != 3 {
+		t.Fatalf("state=%v nodes=%v", j.State, j.Nodes)
+	}
+	adonis, grisou := 0, 0
+	for _, n := range j.Nodes {
+		switch {
+		case n[:6] == "adonis":
+			adonis++
+		case n[:6] == "grisou":
+			grisou++
+		}
+	}
+	if adonis != 1 || grisou != 2 {
+		t.Fatalf("allocation split: %v", j.Nodes)
+	}
+}
+
+func TestAllNodesRequiresWholeClusterAlive(t *testing.T) {
+	_, tb, s := newServer()
+	tb.Node("graphite-2.nancy").State = testbed.Dead
+	ok, err := s.CanStartNow("cluster='graphite'/nodes=ALL,walltime=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ALL satisfiable with a dead node")
+	}
+	tb.Node("graphite-2.nancy").State = testbed.Alive
+	ok, _ = s.CanStartNow("cluster='graphite'/nodes=ALL,walltime=1")
+	if !ok {
+		t.Fatal("ALL unsatisfiable on healthy cluster")
+	}
+}
+
+func TestFreeMatching(t *testing.T) {
+	_, tb, s := newServer()
+	e := MustParseExpr("cluster='sol'")
+	if got := s.FreeMatching(e); got != 20 {
+		t.Fatalf("free sol = %d, want 20", got)
+	}
+	s.Submit("cluster='sol'/nodes=15,walltime=1", SubmitOptions{})
+	if got := s.FreeMatching(e); got != 5 {
+		t.Fatalf("free sol = %d, want 5", got)
+	}
+	tb.Node("sol-20.sophia").State = testbed.Suspected
+	if got := s.FreeMatching(e); got > 5 {
+		t.Fatalf("suspected node counted free: %d", got)
+	}
+}
+
+func TestSetNodeStateUnblocksQueue(t *testing.T) {
+	_, tb, s := newServer()
+	tb.Node("hercule-1.lyon").State = testbed.Suspected
+	j, _ := s.Submit("cluster='hercule'/nodes=ALL,walltime=1", SubmitOptions{})
+	if j.State != Waiting {
+		t.Fatal("job started with suspected node")
+	}
+	if err := s.SetNodeState("hercule-1.lyon", testbed.Alive); err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Running {
+		t.Fatalf("job = %v after node healed", j.State)
+	}
+	if err := s.SetNodeState("ghost-1.limbo", testbed.Alive); err == nil {
+		t.Fatal("SetNodeState accepted unknown node")
+	}
+}
+
+func TestStateSummary(t *testing.T) {
+	_, tb, s := newServer()
+	tb.Node("sol-1.sophia").State = testbed.Suspected
+	tb.Node("sol-2.sophia").State = testbed.Dead
+	sum := s.StateSummary()
+	if sum[testbed.Alive] != 892 || sum[testbed.Suspected] != 1 || sum[testbed.Dead] != 1 {
+		t.Fatalf("summary = %v", sum)
+	}
+}
+
+func TestCanStartNowParseError(t *testing.T) {
+	_, _, s := newServer()
+	if _, err := s.CanStartNow("((("); err == nil {
+		t.Fatal("bad request accepted")
+	}
+}
+
+func TestNoOverlapBetweenConcurrentJobs(t *testing.T) {
+	c, _, s := newServer()
+	for i := 0; i < 30; i++ {
+		s.Submit("cluster='griffon'/nodes=5,walltime=1", SubmitOptions{})
+	}
+	// At any step, assert no node is double-booked.
+	for c.Step() {
+		seen := map[string]int{}
+		for id, j := range s.jobs {
+			if j.State != Running {
+				continue
+			}
+			for _, n := range j.Nodes {
+				if prev, dup := seen[n]; dup {
+					t.Fatalf("node %s in jobs %d and %d", n, prev, id)
+				}
+				seen[n] = id
+			}
+		}
+	}
+	sub, started, _ := s.Stats()
+	if sub != 30 || started != 30 {
+		t.Fatalf("stats: submitted=%d started=%d", sub, started)
+	}
+}
+
+func TestJobStateString(t *testing.T) {
+	for st, want := range map[JobState]string{
+		Waiting: "Waiting", Running: "Running", Terminated: "Terminated", Canceled: "Canceled",
+	} {
+		if st.String() != want {
+			t.Errorf("%d = %q", int(st), st.String())
+		}
+	}
+	if JobState(9).String() != "JobState(9)" {
+		t.Error("unknown state formatting")
+	}
+}

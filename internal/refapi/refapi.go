@@ -1,0 +1,255 @@
+// Package refapi implements the Reference API: the machine-parsable (JSON)
+// description of the testbed's resources, with archived versions.
+//
+// Slide 7 of the paper: resources are described in JSON so that scripts can
+// consume them, descriptions are archived ("state of the testbed 6 months
+// ago?"), and — critically — the description must be *verified* against
+// reality, because maintenance and broken hardware make it drift. The
+// verification itself lives in internal/checks; this package provides the
+// description store and the structural diff.
+package refapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+// NodeDescription is the reference (claimed) description of one node.
+type NodeDescription struct {
+	Name    string            `json:"name"`
+	Cluster string            `json:"cluster"`
+	Site    string            `json:"site"`
+	Inv     testbed.Inventory `json:"inventory"`
+}
+
+// Snapshot is one archived version of the whole testbed description.
+type Snapshot struct {
+	Version int                        `json:"version"`
+	TakenAt simclock.Time              `json:"taken_at"`
+	Nodes   map[string]NodeDescription `json:"nodes"`
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	out := &Snapshot{Version: s.Version, TakenAt: s.TakenAt, Nodes: make(map[string]NodeDescription, len(s.Nodes))}
+	for k, v := range s.Nodes {
+		v.Inv = v.Inv.Clone()
+		out.Nodes[k] = v
+	}
+	return out
+}
+
+// MarshalJSONIndent renders the snapshot as pretty JSON — the format users
+// script against.
+func (s *Snapshot) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Store holds the current description plus the archive of every previous
+// version. It is safe for concurrent read access (the status page's HTTP
+// handlers read it); mutations happen from the single simulation goroutine.
+type Store struct {
+	mu       sync.RWMutex
+	versions []*Snapshot
+}
+
+// NewStore captures version 1 of the description from the testbed's current
+// live state. By construction the initial description is accurate; drift
+// appears when faults later mutate live inventories.
+func NewStore(tb *testbed.Testbed, now simclock.Time) *Store {
+	st := &Store{}
+	st.CaptureFrom(tb, now)
+	return st
+}
+
+// CaptureFrom archives a new description version reflecting the testbed's
+// current live state. Operators do this after fixing hardware ("update the
+// reference API"), re-baselining the description.
+func (st *Store) CaptureFrom(tb *testbed.Testbed, now simclock.Time) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap := &Snapshot{
+		Version: len(st.versions) + 1,
+		TakenAt: now,
+		Nodes:   make(map[string]NodeDescription),
+	}
+	for _, n := range tb.Nodes() {
+		snap.Nodes[n.Name] = NodeDescription{
+			Name:    n.Name,
+			Cluster: n.Cluster,
+			Site:    n.Site,
+			Inv:     n.Inv.Clone(),
+		}
+	}
+	st.versions = append(st.versions, snap)
+	return snap
+}
+
+// Current returns the latest description version.
+func (st *Store) Current() *Snapshot {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.versions[len(st.versions)-1]
+}
+
+// Version returns the archived snapshot with the given version number, or
+// nil if it does not exist.
+func (st *Store) Version(v int) *Snapshot {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if v < 1 || v > len(st.versions) {
+		return nil
+	}
+	return st.versions[v-1]
+}
+
+// VersionCount returns how many versions are archived.
+func (st *Store) VersionCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.versions)
+}
+
+// At returns the snapshot that was current at time t (the latest version
+// with TakenAt ≤ t), or nil if t precedes the first capture. This answers
+// the paper's archival question: "state of the testbed 6 months ago?".
+func (st *Store) At(t simclock.Time) *Snapshot {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var best *Snapshot
+	for _, s := range st.versions {
+		if s.TakenAt <= t {
+			best = s
+		}
+	}
+	return best
+}
+
+// Describe returns the current reference description of one node, or an
+// error when the node is unknown — the refapi test family treats a missing
+// description as a bug in itself.
+func (st *Store) Describe(node string) (NodeDescription, error) {
+	cur := st.Current()
+	d, ok := cur.Nodes[node]
+	if !ok {
+		return NodeDescription{}, fmt.Errorf("refapi: no description for node %q", node)
+	}
+	return d, nil
+}
+
+// Update replaces the description of a single node in a *new* version
+// (descriptions are immutable once archived).
+func (st *Store) Update(now simclock.Time, node string, inv testbed.Inventory) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := st.versions[len(st.versions)-1]
+	if _, ok := cur.Nodes[node]; !ok {
+		return fmt.Errorf("refapi: cannot update unknown node %q", node)
+	}
+	next := cur.Clone()
+	next.Version = len(st.versions) + 1
+	next.TakenAt = now
+	d := next.Nodes[node]
+	d.Inv = inv.Clone()
+	next.Nodes[node] = d
+	st.versions = append(st.versions, next)
+	return nil
+}
+
+// Difference is one divergence between two descriptions of the same node.
+type Difference struct {
+	Node     string `json:"node"`
+	Field    string `json:"field"`
+	Expected string `json:"expected"`
+	Actual   string `json:"actual"`
+}
+
+func (d Difference) String() string {
+	return fmt.Sprintf("%s: %s: expected %q, got %q", d.Node, d.Field, d.Expected, d.Actual)
+}
+
+// DiffInventories compares a reference inventory against an observed one and
+// returns every field-level divergence. This is the comparison g5k-checks
+// performs between the Reference API and what OHAI/ethtool report.
+func DiffInventories(node string, ref, got testbed.Inventory) []Difference {
+	var out []Difference
+	add := func(field, exp, act string) {
+		if exp != act {
+			out = append(out, Difference{Node: node, Field: field, Expected: exp, Actual: act})
+		}
+	}
+	add("cpu.model", ref.CPU.Model, got.CPU.Model)
+	add("cpu.sockets", itoa(ref.CPU.Sockets), itoa(got.CPU.Sockets))
+	add("cpu.cores_per_socket", itoa(ref.CPU.CoresPerSocket), itoa(got.CPU.CoresPerSocket))
+	add("cpu.freq_mhz", itoa(ref.CPU.FreqMHz), itoa(got.CPU.FreqMHz))
+	add("cpu.microcode", ref.CPU.Microcode, got.CPU.Microcode)
+	add("ram_gb", itoa(ref.RAMGB), itoa(got.RAMGB))
+	add("bios.version", ref.BIOS.Version, got.BIOS.Version)
+	add("bios.hyperthreading", btoa(ref.BIOS.HyperThreading), btoa(got.BIOS.HyperThreading))
+	add("bios.turbo_boost", btoa(ref.BIOS.TurboBoost), btoa(got.BIOS.TurboBoost))
+	add("bios.c_states", btoa(ref.BIOS.CStates), btoa(got.BIOS.CStates))
+	add("bios.power_profile", ref.BIOS.PowerProfile, got.BIOS.PowerProfile)
+	add("gpu_model", ref.GPUModel, got.GPUModel)
+	add("infiniband", ref.Infiniband, got.Infiniband)
+	add("os_kernel", ref.OSKernel, got.OSKernel)
+
+	if len(ref.Disks) != len(got.Disks) {
+		add("disks.count", itoa(len(ref.Disks)), itoa(len(got.Disks)))
+	} else {
+		for i := range ref.Disks {
+			p := fmt.Sprintf("disks[%s].", ref.Disks[i].Device)
+			add(p+"vendor", ref.Disks[i].Vendor, got.Disks[i].Vendor)
+			add(p+"model", ref.Disks[i].Model, got.Disks[i].Model)
+			add(p+"firmware", ref.Disks[i].Firmware, got.Disks[i].Firmware)
+			add(p+"capacity_gb", itoa(ref.Disks[i].CapacityGB), itoa(got.Disks[i].CapacityGB))
+			add(p+"write_cache", btoa(ref.Disks[i].WriteCache), btoa(got.Disks[i].WriteCache))
+		}
+	}
+	if len(ref.NICs) != len(got.NICs) {
+		add("nics.count", itoa(len(ref.NICs)), itoa(len(got.NICs)))
+	} else {
+		for i := range ref.NICs {
+			p := fmt.Sprintf("nics[%s].", ref.NICs[i].Name)
+			add(p+"rate_gbps", itoa(ref.NICs[i].RateGbps), itoa(got.NICs[i].RateGbps))
+			add(p+"driver", ref.NICs[i].Driver, got.NICs[i].Driver)
+			add(p+"mac", ref.NICs[i].MAC, got.NICs[i].MAC)
+			add(p+"switch_port", ref.NICs[i].SwitchPort, got.NICs[i].SwitchPort)
+		}
+	}
+	return out
+}
+
+// DiffSnapshots compares two whole-testbed snapshots and returns all
+// node-level differences, plus differences for nodes present in only one of
+// the two. Output is sorted by node then field for deterministic reports.
+func DiffSnapshots(a, b *Snapshot) []Difference {
+	var out []Difference
+	for name, da := range a.Nodes {
+		db, ok := b.Nodes[name]
+		if !ok {
+			out = append(out, Difference{Node: name, Field: "presence", Expected: "present", Actual: "missing"})
+			continue
+		}
+		out = append(out, DiffInventories(name, da.Inv, db.Inv)...)
+	}
+	for name := range b.Nodes {
+		if _, ok := a.Nodes[name]; !ok {
+			out = append(out, Difference{Node: name, Field: "presence", Expected: "missing", Actual: "present"})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out
+}
+
+func itoa(i int) string  { return fmt.Sprintf("%d", i) }
+func btoa(b bool) string { return fmt.Sprintf("%t", b) }

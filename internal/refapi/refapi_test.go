@@ -1,0 +1,257 @@
+package refapi
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+func newStore(t *testing.T) (*testbed.Testbed, *Store) {
+	t.Helper()
+	tb := testbed.Default()
+	return tb, NewStore(tb, 0)
+}
+
+func TestInitialSnapshotAccurate(t *testing.T) {
+	tb, st := newStore(t)
+	cur := st.Current()
+	if cur.Version != 1 {
+		t.Fatalf("version = %d, want 1", cur.Version)
+	}
+	if len(cur.Nodes) != tb.TotalNodes() {
+		t.Fatalf("described %d nodes, want %d", len(cur.Nodes), tb.TotalNodes())
+	}
+	for _, n := range tb.Nodes() {
+		if diffs := DiffInventories(n.Name, cur.Nodes[n.Name].Inv, n.Inv); len(diffs) != 0 {
+			t.Fatalf("fresh description already drifted for %s: %v", n.Name, diffs)
+		}
+	}
+}
+
+func TestSnapshotDoesNotAliasLiveState(t *testing.T) {
+	tb, st := newStore(t)
+	n := tb.Node("griffon-1.nancy")
+	n.Inv.Disks[0].Firmware = "MUTATED"
+	if st.Current().Nodes[n.Name].Inv.Disks[0].Firmware == "MUTATED" {
+		t.Fatal("snapshot aliases live inventory")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	_, st := newStore(t)
+	d, err := st.Describe("taurus-7.lyon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cluster != "taurus" || d.Site != "lyon" {
+		t.Fatalf("bad description: %+v", d)
+	}
+	if _, err := st.Describe("ghost-1.limbo"); err == nil {
+		t.Fatal("Describe of unknown node succeeded")
+	}
+}
+
+func TestDiffDetectsMutations(t *testing.T) {
+	tb, st := newStore(t)
+	n := tb.Node("suno-3.sophia")
+	ref, _ := st.Describe(n.Name)
+
+	n.Inv.BIOS.CStates = true
+	n.Inv.Disks[0].WriteCache = false
+	n.Inv.Disks[0].Firmware = "ES62"
+	n.Inv.RAMGB = 16 // one DIMM died
+
+	diffs := DiffInventories(n.Name, ref.Inv, n.Inv)
+	fields := map[string]bool{}
+	for _, d := range diffs {
+		fields[d.Field] = true
+	}
+	for _, want := range []string{"bios.c_states", "disks[sda].write_cache", "disks[sda].firmware", "ram_gb"} {
+		if !fields[want] {
+			t.Errorf("diff missed field %s (got %v)", want, diffs)
+		}
+	}
+	if len(diffs) != 4 {
+		t.Errorf("got %d diffs, want 4: %v", len(diffs), diffs)
+	}
+}
+
+func TestDiffReportsExpectedAndActual(t *testing.T) {
+	tb, st := newStore(t)
+	n := tb.Node("edel-2.grenoble")
+	ref, _ := st.Describe(n.Name)
+	n.Inv.RAMGB = 12
+	diffs := DiffInventories(n.Name, ref.Inv, n.Inv)
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	d := diffs[0]
+	if d.Expected != "24" || d.Actual != "12" {
+		t.Fatalf("expected/actual = %q/%q", d.Expected, d.Actual)
+	}
+	if !strings.Contains(d.String(), "edel-2.grenoble") {
+		t.Fatalf("String() = %q", d.String())
+	}
+}
+
+func TestDiffDiskCountMismatch(t *testing.T) {
+	tb, st := newStore(t)
+	n := tb.Node("parasilo-1.rennes")
+	ref, _ := st.Describe(n.Name)
+	n.Inv.Disks = n.Inv.Disks[:3] // two disks vanished
+	diffs := DiffInventories(n.Name, ref.Inv, n.Inv)
+	if len(diffs) != 1 || diffs[0].Field != "disks.count" {
+		t.Fatalf("diffs = %v", diffs)
+	}
+}
+
+func TestUpdateCreatesNewVersion(t *testing.T) {
+	tb, st := newStore(t)
+	n := tb.Node("helios-5.sophia")
+	inv := n.Inv.Clone()
+	inv.RAMGB = 16
+	if err := st.Update(3*simclock.Hour, n.Name, inv); err != nil {
+		t.Fatal(err)
+	}
+	if st.VersionCount() != 2 {
+		t.Fatalf("versions = %d, want 2", st.VersionCount())
+	}
+	if got, _ := st.Describe(n.Name); got.Inv.RAMGB != 16 {
+		t.Fatalf("updated RAM = %d, want 16", got.Inv.RAMGB)
+	}
+	// The old version is untouched.
+	if st.Version(1).Nodes[n.Name].Inv.RAMGB != 8 {
+		t.Fatal("archived version mutated by Update")
+	}
+	if err := st.Update(0, "ghost-1.limbo", inv); err == nil {
+		t.Fatal("Update of unknown node succeeded")
+	}
+}
+
+func TestArchiveAt(t *testing.T) {
+	tb := testbed.Default()
+	st := NewStore(tb, 10*simclock.Hour)
+	n := tb.Node("sol-1.sophia")
+	inv := n.Inv.Clone()
+	inv.RAMGB = 8
+	if err := st.Update(20*simclock.Hour, n.Name, inv); err != nil {
+		t.Fatal(err)
+	}
+
+	if s := st.At(5 * simclock.Hour); s != nil {
+		t.Fatal("At before first capture should be nil")
+	}
+	if s := st.At(15 * simclock.Hour); s == nil || s.Version != 1 {
+		t.Fatalf("At(15h) = %v, want version 1", s)
+	}
+	if s := st.At(25 * simclock.Hour); s == nil || s.Version != 2 {
+		t.Fatalf("At(25h) = %v, want version 2", s)
+	}
+	if st.Version(0) != nil || st.Version(3) != nil {
+		t.Fatal("out-of-range Version lookups should be nil")
+	}
+}
+
+func TestDiffSnapshotsPresence(t *testing.T) {
+	_, st := newStore(t)
+	a := st.Current()
+	b := a.Clone()
+	delete(b.Nodes, "uvb-1.sophia")
+	diffs := DiffSnapshots(a, b)
+	if len(diffs) != 1 || diffs[0].Field != "presence" || diffs[0].Actual != "missing" {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	// And symmetric direction.
+	diffs = DiffSnapshots(b, a)
+	if len(diffs) != 1 || diffs[0].Actual != "present" {
+		t.Fatalf("reverse diffs = %v", diffs)
+	}
+}
+
+func TestDiffSnapshotsSorted(t *testing.T) {
+	_, st := newStore(t)
+	a := st.Current()
+	b := a.Clone()
+	for _, name := range []string{"sol-9.sophia", "edel-1.grenoble", "graphene-40.nancy"} {
+		d := b.Nodes[name]
+		d.Inv.RAMGB++
+		d.Inv.BIOS.CStates = true
+		b.Nodes[name] = d
+	}
+	diffs := DiffSnapshots(a, b)
+	for i := 1; i < len(diffs); i++ {
+		if diffs[i-1].Node > diffs[i].Node {
+			t.Fatalf("diff output not sorted: %v before %v", diffs[i-1], diffs[i])
+		}
+	}
+	if len(diffs) != 6 {
+		t.Fatalf("got %d diffs, want 6", len(diffs))
+	}
+}
+
+// Property: DiffInventories(x, x) is empty for arbitrary mutations of a real
+// inventory — a description always matches itself.
+func TestDiffSelfIsEmptyProperty(t *testing.T) {
+	tb := testbed.Default()
+	base := tb.Node("griffon-1.nancy").Inv
+	f := func(ram uint16, fw string, cstates bool) bool {
+		inv := base.Clone()
+		inv.RAMGB = int(ram)
+		inv.Disks[0].Firmware = fw
+		inv.BIOS.CStates = cstates
+		return len(DiffInventories("n", inv, inv.Clone())) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of differences equals the number of mutated scalar
+// fields (no double counting, no misses) for the fields we mutate.
+func TestDiffCountsProperty(t *testing.T) {
+	tb := testbed.Default()
+	base := tb.Node("taurus-1.lyon").Inv
+	f := func(mutRAM, mutKernel, mutTurbo bool) bool {
+		inv := base.Clone()
+		want := 0
+		if mutRAM {
+			inv.RAMGB += 7
+			want++
+		}
+		if mutKernel {
+			inv.OSKernel += "-broken"
+			want++
+		}
+		if mutTurbo {
+			inv.BIOS.TurboBoost = !inv.BIOS.TurboBoost
+			want++
+		}
+		return len(DiffInventories("n", base, inv)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	_, st := newStore(t)
+	data, err := st.Current().MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != 1 || len(back.Nodes) != len(st.Current().Nodes) {
+		t.Fatal("JSON round trip lost data")
+	}
+	d := back.Nodes["griffon-1.nancy"]
+	if d.Inv.CPU.Model != "Intel Xeon L5420" {
+		t.Fatalf("round-tripped CPU model = %q", d.Inv.CPU.Model)
+	}
+}

@@ -1,0 +1,362 @@
+// Package sched implements the paper's central custom development
+// (slides 16–17): an external scheduler that decides when to trigger CI
+// builds of testbed tests.
+//
+// Plain time-based Jenkins scheduling is not sufficient because:
+//
+//   - software-centric tests need one node per cluster, while
+//     hardware-centric tests need ALL nodes of a cluster, and on a heavily
+//     used testbed "waiting for all nodes of a given cluster to be
+//     available can take weeks";
+//   - blocking inside a Jenkins build would hold an executor hostage and
+//     compete with user requests in the OAR queue.
+//
+// So the external tool polls both the CI server's job status and the
+// testbed's resource availability, and triggers a build only when the
+// test's resources are free right now, subject to:
+//
+//   - a retry policy with exponential backoff after a failed attempt;
+//   - additional policies: avoid peak (working) hours for whole-cluster
+//     tests, and avoid running several test jobs on the same site.
+//
+// If a triggered build still cannot get its OAR job started immediately
+// (lost the race against a user), the build cancels the OAR job and reports
+// itself Unstable; the scheduler observes that and backs off.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ci"
+	"repro/internal/oar"
+	"repro/internal/simclock"
+)
+
+// TestKind separates the paper's two scheduling classes.
+type TestKind int
+
+const (
+	// SoftwareCentric tests need one node per cluster.
+	SoftwareCentric TestKind = iota
+	// HardwareCentric tests need all nodes of a given cluster.
+	HardwareCentric
+)
+
+func (k TestKind) String() string {
+	if k == HardwareCentric {
+		return "hardware-centric"
+	}
+	return "software-centric"
+}
+
+// Spec is one schedulable test configuration.
+type Spec struct {
+	Name    string // unique, e.g. "disk/graphene"
+	JobName string // CI job to trigger
+	Cluster string
+	Site    string
+	Kind    TestKind
+	Request string        // OAR resource request the test will submit
+	Period  simclock.Time // how often the test should run
+}
+
+// Action is what the scheduler decided for a due spec at one poll.
+type Action string
+
+const (
+	ActionTriggered      Action = "triggered"
+	ActionDeferPeak      Action = "defer:peak-hours"
+	ActionDeferSiteBusy  Action = "defer:site-busy"
+	ActionDeferResources Action = "defer:resources"
+	ActionSkipRunning    Action = "skip:already-running"
+)
+
+// Decision is one entry of the decision log (benchmarks replay it).
+type Decision struct {
+	At      simclock.Time
+	Spec    string
+	Action  Action
+	Backoff simclock.Time // next retry delay when deferred for resources
+}
+
+// Config tunes the scheduler's policies.
+type Config struct {
+	PollInterval simclock.Time
+	BackoffBase  simclock.Time // first retry delay after a resource miss
+	BackoffMax   simclock.Time // cap of the exponential backoff
+	// Peak hours (local time, Mon–Fri) during which hardware-centric tests
+	// are not scheduled, to stay out of the users' way.
+	PeakStartHour, PeakEndHour int
+	AvoidPeak                  bool
+	// MaxActivePerSite bounds concurrently running test jobs per site
+	// ("avoid several jobs on same site").
+	MaxActivePerSite int
+}
+
+// DefaultConfig mirrors the deployment described in the paper.
+func DefaultConfig() Config {
+	return Config{
+		PollInterval:     10 * simclock.Minute,
+		BackoffBase:      30 * simclock.Minute,
+		BackoffMax:       12 * simclock.Hour,
+		PeakStartHour:    9,
+		PeakEndHour:      18,
+		AvoidPeak:        true,
+		MaxActivePerSite: 1,
+	}
+}
+
+type specState struct {
+	spec    *Spec
+	nextDue simclock.Time
+	backoff simclock.Time // 0 = not backing off
+	running bool
+
+	triggers  int
+	unstables int
+	runs      int
+}
+
+// Scheduler is the external scheduling tool.
+type Scheduler struct {
+	clock *simclock.Clock
+	oar   *oar.Server
+	ci    *ci.Server
+	cfg   Config
+
+	specs  map[string]*specState
+	order  []string
+	bySite map[string]int // active test builds per site
+
+	ticker    *simclock.Ticker
+	decisions []Decision
+}
+
+// New wires the scheduler to the OAR and CI servers. It registers a CI
+// completion listener to observe build outcomes.
+func New(clock *simclock.Clock, oarSrv *oar.Server, ciSrv *ci.Server, cfg Config) *Scheduler {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 10 * simclock.Minute
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 30 * simclock.Minute
+	}
+	if cfg.BackoffMax < cfg.BackoffBase {
+		cfg.BackoffMax = cfg.BackoffBase
+	}
+	if cfg.MaxActivePerSite <= 0 {
+		cfg.MaxActivePerSite = 1
+	}
+	s := &Scheduler{
+		clock:  clock,
+		oar:    oarSrv,
+		ci:     ciSrv,
+		cfg:    cfg,
+		specs:  map[string]*specState{},
+		bySite: map[string]int{},
+	}
+	ciSrv.OnComplete(s.observeBuild)
+	return s
+}
+
+// Register adds a test configuration. Specs are due immediately (staggered
+// by registration order is unnecessary: resource gating spreads them out).
+func (s *Scheduler) Register(spec *Spec) error {
+	if spec.Name == "" || spec.JobName == "" {
+		return fmt.Errorf("sched: spec needs Name and JobName")
+	}
+	if _, dup := s.specs[spec.Name]; dup {
+		return fmt.Errorf("sched: spec %q already registered", spec.Name)
+	}
+	if spec.Period <= 0 {
+		return fmt.Errorf("sched: spec %q needs a positive period", spec.Name)
+	}
+	if _, err := oar.ParseRequest(spec.Request); err != nil {
+		return fmt.Errorf("sched: spec %q: %w", spec.Name, err)
+	}
+	s.specs[spec.Name] = &specState{spec: spec, nextDue: s.clock.Now()}
+	s.order = append(s.order, spec.Name)
+	return nil
+}
+
+// SpecNames returns registered spec names in registration order.
+func (s *Scheduler) SpecNames() []string { return append([]string(nil), s.order...) }
+
+// Start begins the poll loop.
+func (s *Scheduler) Start() {
+	if s.ticker != nil {
+		return
+	}
+	s.ticker = s.clock.Every(s.cfg.PollInterval, s.Poll)
+}
+
+// Stop halts the poll loop.
+func (s *Scheduler) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// Poll runs one decision pass. Exported so tests and benchmarks can drive
+// the scheduler without the ticker.
+func (s *Scheduler) Poll() {
+	now := s.clock.Now()
+	for _, name := range s.order {
+		st := s.specs[name]
+		if st.running {
+			continue // not even logged: nothing is due
+		}
+		if now < st.nextDue {
+			continue
+		}
+		s.decide(st)
+	}
+}
+
+func (s *Scheduler) decide(st *specState) {
+	now := s.clock.Now()
+	spec := st.spec
+
+	// Policy 1: peak hours (hardware-centric tests monopolise a cluster,
+	// keep them out of working hours).
+	if s.cfg.AvoidPeak && spec.Kind == HardwareCentric && s.isPeak(now) {
+		s.log(Decision{At: now, Spec: spec.Name, Action: ActionDeferPeak})
+		st.nextDue = now + s.cfg.PollInterval
+		return
+	}
+
+	// Policy 2: at most N active test jobs per site.
+	if s.bySite[spec.Site] >= s.cfg.MaxActivePerSite {
+		s.log(Decision{At: now, Spec: spec.Name, Action: ActionDeferSiteBusy})
+		st.nextDue = now + s.cfg.PollInterval
+		return
+	}
+
+	// Resource availability: would the test's OAR job start right now?
+	ok, err := s.oar.CanStartNow(spec.Request)
+	if err != nil || !ok {
+		st.backoff = s.nextBackoff(st.backoff)
+		st.nextDue = now + st.backoff
+		s.log(Decision{At: now, Spec: spec.Name, Action: ActionDeferResources, Backoff: st.backoff})
+		return
+	}
+
+	// Trigger the CI build.
+	if _, err := s.ci.Trigger(spec.JobName, "scheduler "+spec.Name); err != nil {
+		// Job vanished from CI: treat like a resource miss so the operator
+		// notices the growing backoff.
+		st.backoff = s.nextBackoff(st.backoff)
+		st.nextDue = now + st.backoff
+		s.log(Decision{At: now, Spec: spec.Name, Action: ActionDeferResources, Backoff: st.backoff})
+		return
+	}
+	st.running = true
+	st.triggers++
+	s.bySite[spec.Site]++
+	s.log(Decision{At: now, Spec: spec.Name, Action: ActionTriggered})
+}
+
+// nextBackoff doubles the delay, starting at BackoffBase, capped at
+// BackoffMax.
+func (s *Scheduler) nextBackoff(cur simclock.Time) simclock.Time {
+	if cur <= 0 {
+		return s.cfg.BackoffBase
+	}
+	next := cur * 2
+	if next > s.cfg.BackoffMax {
+		next = s.cfg.BackoffMax
+	}
+	return next
+}
+
+func (s *Scheduler) isPeak(t simclock.Time) bool {
+	wd := t.Weekday()
+	if wd == time.Saturday || wd == time.Sunday {
+		return false
+	}
+	h := t.HourOfDay()
+	return h >= s.cfg.PeakStartHour && h < s.cfg.PeakEndHour
+}
+
+// observeBuild reacts to completed CI builds of jobs we scheduled.
+func (s *Scheduler) observeBuild(b *ci.Build) {
+	if b.Cell != nil {
+		return // matrix cells roll up into their parent
+	}
+	var st *specState
+	for _, name := range s.order {
+		if s.specs[name].spec.JobName == b.Job && s.specs[name].running {
+			st = s.specs[name]
+			break
+		}
+	}
+	if st == nil {
+		return // not one of ours (manual/cron build)
+	}
+	st.running = false
+	if s.bySite[st.spec.Site] > 0 {
+		s.bySite[st.spec.Site]--
+	}
+	now := s.clock.Now()
+	if b.Result == ci.Unstable {
+		// The build could not run its testbed job: retry with backoff.
+		st.unstables++
+		st.backoff = s.nextBackoff(st.backoff)
+		st.nextDue = now + st.backoff
+		return
+	}
+	// The test ran (passed or failed — either way it produced a verdict):
+	// reset the backoff and wait out the period.
+	st.runs++
+	st.backoff = 0
+	st.nextDue = now + st.spec.Period
+}
+
+// log appends to the decision log.
+func (s *Scheduler) log(d Decision) { s.decisions = append(s.decisions, d) }
+
+// Decisions returns a copy of the decision log.
+func (s *Scheduler) Decisions() []Decision {
+	return append([]Decision(nil), s.decisions...)
+}
+
+// DecisionCounts aggregates the log by action.
+func (s *Scheduler) DecisionCounts() map[Action]int {
+	out := map[Action]int{}
+	for _, d := range s.decisions {
+		out[d.Action]++
+	}
+	return out
+}
+
+// SpecStats reports per-spec counters for analysis.
+type SpecStats struct {
+	Name      string
+	Triggers  int
+	Runs      int
+	Unstables int
+	Backoff   simclock.Time
+	NextDue   simclock.Time
+	Running   bool
+}
+
+// Stats returns per-spec statistics sorted by name.
+func (s *Scheduler) Stats() []SpecStats {
+	out := make([]SpecStats, 0, len(s.specs))
+	for _, st := range s.specs {
+		out = append(out, SpecStats{
+			Name:      st.spec.Name,
+			Triggers:  st.triggers,
+			Runs:      st.runs,
+			Unstables: st.unstables,
+			Backoff:   st.backoff,
+			NextDue:   st.nextDue,
+			Running:   st.running,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,58 @@
+package simclock
+
+import "math/rand"
+
+// Jitter returns a duration uniformly drawn from [base-spread, base+spread],
+// clamped to be non-negative. It is the standard way subsystems model
+// per-node variability (boot times, disk speeds, ...).
+func Jitter(rng *rand.Rand, base, spread Time) Time {
+	if spread <= 0 {
+		if base < 0 {
+			return 0
+		}
+		return base
+	}
+	d := base - spread + Time(rng.Int63n(int64(2*spread)+1))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Exponential returns an exponentially distributed duration with the given
+// mean, clamped to [0, 20*mean] to keep simulations bounded.
+func Exponential(rng *rand.Rand, mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	d := Time(rng.ExpFloat64() * float64(mean))
+	if max := 20 * mean; d > max {
+		d = max
+	}
+	return d
+}
+
+// Bernoulli reports true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}
+
+// Pick returns a uniformly random element of xs. It panics on an empty
+// slice, mirroring the behaviour of indexing.
+func Pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}
+
+// Shuffled returns a shuffled copy of xs, leaving the input untouched.
+func Shuffled[T any](rng *rand.Rand, xs []T) []T {
+	out := make([]T, len(xs))
+	copy(out, xs)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,313 @@
+// Package simclock provides a deterministic virtual clock and a
+// discrete-event scheduler used by every simulated subsystem in this
+// repository.
+//
+// The real Grid'5000 testing framework runs over weeks of wall-clock time
+// (OAR reservations, nightly Jenkins builds, exponential-backoff retries).
+// To reproduce the paper's campaigns deterministically and in milliseconds,
+// all subsystems take their notion of "now" from a Clock and schedule future
+// work as events on its queue. The event loop is single-goroutine, so a
+// whole campaign is a pure function of (seed, configuration).
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in simulated time, expressed as an offset from the
+// simulation epoch. The epoch is arbitrary; experiments only ever use
+// differences and day-of-week arithmetic (see Weekday).
+type Time time.Duration
+
+// Common durations re-exported for readability at call sites.
+const (
+	Second = Time(time.Second)
+	Minute = Time(time.Minute)
+	Hour   = Time(time.Hour)
+	Day    = 24 * Hour
+	Week   = 7 * Day
+)
+
+// Duration returns t as a time.Duration since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Time) Time { return t + d }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Time { return t - u }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Weekday returns the simulated day of week, with the epoch defined to be a
+// Monday at 00:00 (convenient for peak-hour policies).
+func (t Time) Weekday() time.Weekday {
+	d := int(time.Duration(t) / (24 * time.Hour) % 7)
+	if d < 0 {
+		d += 7
+	}
+	// Epoch is Monday.
+	return time.Weekday((d + 1) % 7)
+}
+
+// HourOfDay returns the hour within the simulated day, in [0,24).
+func (t Time) HourOfDay() int {
+	h := int(time.Duration(t) / time.Hour % 24)
+	if h < 0 {
+		h += 24
+	}
+	return h
+}
+
+// String formats the time as "Dd HH:MM:SS" for logs.
+func (t Time) String() string {
+	d := time.Duration(t)
+	days := d / (24 * time.Hour)
+	d -= days * 24 * time.Hour
+	h := d / time.Hour
+	d -= h * time.Hour
+	m := d / time.Minute
+	d -= m * time.Minute
+	s := d / time.Second
+	return fmt.Sprintf("D%d %02d:%02d:%02d", days, h, m, s)
+}
+
+// Event is a scheduled callback. The callback runs with the clock set to the
+// event's time.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-break so equal-time events run in schedule order
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Cancel prevents a pending event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Clock is a virtual clock with an attached event queue and a seeded RNG.
+// It is not safe for concurrent use; the simulation is single-goroutine by
+// design (see DESIGN.md §6).
+type Clock struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	maxLen int
+}
+
+// New returns a clock at the epoch with an RNG seeded by seed.
+func New(seed int64) *Clock {
+	return &Clock{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Rand returns the clock's deterministic RNG. All simulated randomness in
+// the repository flows through this so that a campaign is reproducible from
+// its seed.
+func (c *Clock) Rand() *rand.Rand { return c.rng }
+
+// Pending returns the number of events waiting in the queue (including
+// canceled events that have not yet been discarded).
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Fired returns the total number of events executed so far.
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// MaxQueueLen returns the high-water mark of the event queue, useful for
+// benchmarking the simulator itself.
+func (c *Clock) MaxQueueLen() int { return c.maxLen }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (or at
+// the current instant) runs the event at the current time, after all events
+// already scheduled for that time.
+func (c *Clock) At(t Time, fn func()) *Event {
+	if t < c.now {
+		t = c.now
+	}
+	e := &Event{at: t, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.queue, e)
+	if len(c.queue) > c.maxLen {
+		c.maxLen = len(c.queue)
+	}
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (c *Clock) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return c.At(c.now+d, fn)
+}
+
+// Ticker repeatedly schedules a callback at a fixed period until stopped.
+type Ticker struct {
+	clock   *Clock
+	period  Time
+	fn      func()
+	event   *Event
+	stopped bool
+}
+
+// Every schedules fn to run every period, with the first firing one full
+// period from now. Stop the returned ticker to cease firing.
+func (c *Clock) Every(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("simclock: non-positive ticker period")
+	}
+	t := &Ticker{clock: c, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.event = t.clock.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop halts the ticker. It is safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.event.Cancel()
+}
+
+// Step runs the next pending event, advancing the clock to its time.
+// It reports whether an event was run.
+func (c *Clock) Step() bool {
+	for len(c.queue) > 0 {
+		e := heap.Pop(&c.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		c.now = e.at
+		c.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to exactly
+// t. Events scheduled later remain pending.
+func (c *Clock) RunUntil(t Time) {
+	for {
+		e := c.peek()
+		if e == nil || e.at > t {
+			break
+		}
+		c.Step()
+	}
+	if c.now < t {
+		c.now = t
+	}
+}
+
+// RunFor executes events for the next d of simulated time.
+func (c *Clock) RunFor(d Time) { c.RunUntil(c.now + d) }
+
+func (c *Clock) peek() *Event {
+	for len(c.queue) > 0 {
+		e := c.queue[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&c.queue)
+	}
+	return nil
+}
+
+// Sleeper helps sequential workflows (like a deployment) accumulate time
+// without scheduling: it tracks a moving cursor starting at the clock's
+// current time.
+type Sleeper struct {
+	cursor Time
+}
+
+// NewSleeper returns a Sleeper starting at t.
+func NewSleeper(t Time) *Sleeper { return &Sleeper{cursor: t} }
+
+// Advance moves the cursor forward by d and returns the new cursor.
+func (s *Sleeper) Advance(d Time) Time {
+	if d > 0 {
+		s.cursor += d
+	}
+	return s.cursor
+}
+
+// Cursor returns the current cursor position.
+func (s *Sleeper) Cursor() Time { return s.cursor }
+
+// SyncTo moves the cursor to t if t is later than the cursor.
+func (s *Sleeper) SyncTo(t Time) {
+	if t > s.cursor {
+		s.cursor = t
+	}
+}

@@ -1,0 +1,121 @@
+package status
+
+// Rendering of the status page: an HTML page like the screenshot on
+// slide 19, plus a plain-text table for terminals.
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"strings"
+)
+
+var pageTemplate = template.Must(template.New("status").Parse(`<!DOCTYPE html>
+<html><head><title>Testbed testing status</title>
+<style>
+body { font-family: sans-serif; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #999; padding: 2px 6px; font-size: 12px; }
+.SUCCESS { background: #8f8; }
+.FAILURE { background: #f88; }
+.UNSTABLE { background: #ff8; }
+.ABORTED { background: #ccc; }
+.never { background: #eee; }
+</style></head><body>
+<h1>Testbed testing status</h1>
+<p>Overall OK rate: {{printf "%.1f%%" .OKPercent}}</p>
+<table>
+<tr><th>test \ target</th>{{range .Targets}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr><th>{{.Family}}</th>{{range .Cells}}<td class="{{.Class}}">{{.Text}}</td>{{end}}</tr>
+{{end}}</table>
+</body></html>
+`))
+
+type pageCell struct {
+	Class string
+	Text  string
+}
+
+type pageRow struct {
+	Family string
+	Cells  []pageCell
+}
+
+type pageData struct {
+	OKPercent float64
+	Targets   []string
+	Rows      []pageRow
+}
+
+// RenderHTML writes the grid as the status web page.
+func (g *Grid) RenderHTML(w io.Writer) error {
+	data := pageData{OKPercent: 100 * g.OKRate(), Targets: g.Targets}
+	for _, f := range g.Families {
+		row := pageRow{Family: f}
+		for _, t := range g.Targets {
+			st, ok := g.Cells[f][t]
+			switch {
+			case !ok || st.Result == "":
+				row.Cells = append(row.Cells, pageCell{Class: "never", Text: "–"})
+			default:
+				row.Cells = append(row.Cells, pageCell{Class: st.Result, Text: shortResult(st.Result)})
+			}
+		}
+		data.Rows = append(data.Rows, row)
+	}
+	return pageTemplate.Execute(w, data)
+}
+
+func shortResult(r string) string {
+	switch r {
+	case "SUCCESS":
+		return "OK"
+	case "FAILURE":
+		return "KO"
+	case "UNSTABLE":
+		return "??"
+	default:
+		return r
+	}
+}
+
+// RenderText writes the grid as a fixed-width terminal table.
+func (g *Grid) RenderText(w io.Writer) {
+	width := 4
+	fam := 16
+	fmt.Fprintf(w, "%-*s", fam, "")
+	for _, t := range g.Targets {
+		fmt.Fprintf(w, "%*s", width, truncate(t, width-1))
+	}
+	fmt.Fprintln(w)
+	for _, f := range g.Families {
+		fmt.Fprintf(w, "%-*s", fam, truncate(f, fam-1))
+		for _, t := range g.Targets {
+			st, ok := g.Cells[f][t]
+			mark := "  ·"
+			if ok && st.Result != "" {
+				mark = " " + shortResult(st.Result)
+			}
+			fmt.Fprintf(w, "%*s", width, mark)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "overall OK rate: %.1f%%\n", 100*g.OKRate())
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// RenderTrend writes the historical series as a text sparkline table.
+func RenderTrend(w io.Writer, points []TrendPoint) {
+	for _, p := range points {
+		day := p.BucketStartSec / 86400
+		bar := strings.Repeat("#", int(p.Rate*40))
+		fmt.Fprintf(w, "day %5.0f  %4d runs  %5.1f%% ok  |%-40s|\n",
+			day, p.Total, 100*p.Rate, bar)
+	}
+}

@@ -1,0 +1,131 @@
+package suites
+
+// Specific-hardware families (slide 21: "Specific hardware: Infiniband,
+// hard disk drives"): mpigraph and disk.
+
+import (
+	"fmt"
+
+	"repro/internal/oar"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+// mpigraphTests: one per InfiniBand cluster, hardware-centric. Starts an
+// MPI all-to-all bandwidth test over IB on every node; the OFED stack bug
+// the paper quotes makes application start-up fail randomly.
+func mpigraphTests(tb *testbed.Testbed) []*Test {
+	var out []*Test
+	for _, cl := range tb.Clusters() {
+		if !cl.Nodes[0].Inv.HasIB() {
+			continue
+		}
+		cl := cl
+		out = append(out, &Test{
+			Family:  "mpigraph",
+			Name:    "mpigraph/" + cl.Name,
+			Cluster: cl.Name,
+			Site:    cl.Site,
+			Kind:    sched.HardwareCentric,
+			Request: fmt.Sprintf("cluster='%s'/nodes=ALL,walltime=2", cl.Name),
+			Period:  simclock.Week,
+			Run: func(ctx *Context, job *oar.Job) Verdict {
+				v := Verdict{Duration: 20 * simclock.Minute}
+				started := 0
+				for _, name := range job.Nodes {
+					if ctx.Faults.OFEDStartFails(name) {
+						v.fail("ofed-flaky:"+name,
+							"mpigraph failed to start over InfiniBand on %s (OFED)", name)
+						continue
+					}
+					started++
+				}
+				if started == len(job.Nodes) {
+					v.logf("mpigraph ran on all %d nodes of %s", started, cl.Name)
+				}
+				return v
+			},
+		})
+	}
+	return out
+}
+
+// expectedReadMBps is the fleet-calibrated expectation for a healthy disk.
+func expectedReadMBps(d testbed.Disk) float64 {
+	switch {
+	case d.SSD():
+		return 430
+	case d.RPM >= 15000:
+		return 170
+	case d.RPM >= 10000:
+		return 140
+	default:
+		return 110
+	}
+}
+
+// diskTests: one per cluster with spinning disks, hardware-centric.
+// Benchmarks every node's disk and compares against the model expected
+// from the reference description — the way the framework caught both the
+// R/W cache misconfigurations and the "different performance due to
+// different disk firmware versions" bug (slide 22).
+func diskTests(tb *testbed.Testbed) []*Test {
+	var out []*Test
+	for _, cl := range tb.Clusters() {
+		if !cl.Nodes[0].Inv.HasHDD() {
+			continue
+		}
+		cl := cl
+		out = append(out, &Test{
+			Family:  "disk",
+			Name:    "disk/" + cl.Name,
+			Cluster: cl.Name,
+			Site:    cl.Site,
+			Kind:    sched.HardwareCentric,
+			Request: fmt.Sprintf("cluster='%s'/nodes=ALL,walltime=2", cl.Name),
+			Period:  simclock.Week,
+			Run: func(ctx *Context, job *oar.Job) Verdict {
+				v := Verdict{Duration: 30 * simclock.Minute}
+				for _, name := range job.Nodes {
+					node := ctx.TB.Node(name)
+					ref, err := ctx.Ref.Describe(name)
+					if err != nil || len(ref.Inv.Disks) == 0 {
+						v.fail("refapi-missing:"+name, "no disk description")
+						continue
+					}
+					expect := expectedReadMBps(ref.Inv.Disks[0])
+					read := expect * ctx.Faults.DiskReadFactor(name)
+					write := expect * 0.9 * ctx.Faults.DiskWriteFactor(name)
+
+					switch {
+					case read < 0.4*expect:
+						// Collapsed reads without a description change: the
+						// medium itself is failing.
+						v.fail("disk-dying:"+name,
+							"read %.0f MB/s, expected ≈%.0f", read, expect)
+					case node.Inv.Disks[0].Firmware != ref.Inv.Disks[0].Firmware:
+						v.fail("disk-firmware-drift:"+name,
+							"firmware %s (ref %s): read %.0f MB/s vs expected %.0f",
+							node.Inv.Disks[0].Firmware, ref.Inv.Disks[0].Firmware, read, expect)
+					case read < 0.8*expect:
+						v.fail("disk-firmware-drift:"+name,
+							"read %.0f MB/s, expected ≈%.0f", read, expect)
+					}
+					// Only attribute slow writes to the cache setting when the
+					// medium itself is healthy, otherwise the dying disk is
+					// the explanation for both.
+					if read >= 0.4*expect && write < 0.5*0.9*expect {
+						v.fail("disk-cache-off:"+name,
+							"write %.0f MB/s, expected ≈%.0f (write cache?)", write, 0.9*expect)
+					}
+				}
+				if !v.Failed {
+					v.logf("disk performance nominal on %d nodes of %s", len(job.Nodes), cl.Name)
+				}
+				return v
+			},
+		})
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package suites
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/refapi"
+)
+
+// SignatureForDiff maps a description mismatch onto the bug signature of
+// the underlying problem, in the same namespace the fault injector uses —
+// that is what lets the operator model (internal/core) locate and fix the
+// physical cause when the corresponding bug is closed.
+func SignatureForDiff(d refapi.Difference) string {
+	switch {
+	case strings.HasPrefix(d.Field, "disks[") && strings.HasSuffix(d.Field, ".firmware"):
+		return "disk-firmware-drift:" + d.Node
+	case strings.HasPrefix(d.Field, "disks[") && strings.HasSuffix(d.Field, ".write_cache"):
+		return "disk-cache-off:" + d.Node
+	case d.Field == "bios.c_states":
+		return "cstates-on:" + d.Node
+	case d.Field == "bios.hyperthreading":
+		return "hyperthread-flip:" + d.Node
+	case d.Field == "bios.turbo_boost":
+		return "turbo-flip:" + d.Node
+	case d.Field == "ram_gb":
+		return "ram-loss:" + d.Node
+	case d.Field == "os_kernel":
+		return "wrong-kernel:" + d.Node
+	case strings.HasPrefix(d.Field, "nics[") && strings.HasSuffix(d.Field, ".switch_port"):
+		return cablingSignature(d.Node, d.Actual)
+	default:
+		return fmt.Sprintf("desc-drift:%s/%s", d.Node, d.Field)
+	}
+}
+
+// cablingSignature reconstructs the swapped pair from the port the node is
+// actually plugged into. Experiment ports are formatted
+// "sw-<site>-<cluster>:<index>", so the unexpected port names the peer.
+func cablingSignature(node, actualPort string) string {
+	peer, ok := nodeForPort(actualPort)
+	if !ok || peer == node {
+		return "cabling-swap:" + node
+	}
+	a, b := node, peer
+	if nodeLess(b, a) {
+		a, b = b, a
+	}
+	return fmt.Sprintf("cabling-swap:%s+%s", a, b)
+}
+
+// nodeForPort inverts the generator's port naming ("sw-nancy-graphene:12" →
+// "graphene-12.nancy").
+func nodeForPort(port string) (string, bool) {
+	if !strings.HasPrefix(port, "sw-") || strings.HasPrefix(port, "sw-adm-") {
+		return "", false
+	}
+	rest := strings.TrimPrefix(port, "sw-")
+	colon := strings.LastIndex(rest, ":")
+	if colon < 0 {
+		return "", false
+	}
+	idx := rest[colon+1:]
+	parts := strings.SplitN(rest[:colon], "-", 2)
+	if len(parts) != 2 {
+		return "", false
+	}
+	site, cluster := parts[0], parts[1]
+	return fmt.Sprintf("%s-%s.%s", cluster, idx, site), true
+}
+
+// nodeLess orders node names by (site, cluster, numeric index), matching
+// the injector's convention that the lower-indexed node comes first in a
+// cabling-swap signature.
+func nodeLess(a, b string) bool {
+	ca, ia, sa := splitNodeName(a)
+	cb, ib, sb := splitNodeName(b)
+	if sa != sb {
+		return sa < sb
+	}
+	if ca != cb {
+		return ca < cb
+	}
+	return ia < ib
+}
+
+func splitNodeName(name string) (cluster string, index int, site string) {
+	dot := strings.LastIndex(name, ".")
+	if dot < 0 {
+		return name, 0, ""
+	}
+	site = name[dot+1:]
+	host := name[:dot]
+	dash := strings.LastIndex(host, "-")
+	if dash < 0 {
+		return host, 0, site
+	}
+	index, _ = strconv.Atoi(host[dash+1:])
+	return host[:dash], index, site
+}
