@@ -1,6 +1,6 @@
-// Ablation benchmarks for the design choices called out in DESIGN.md §5:
-// each one compares the paper's mechanism against the obvious alternative
-// and reports both sides as metrics.
+// Ablation benchmarks for the reproduction's central design choices: each
+// one compares the paper's mechanism against the obvious alternative and
+// reports both sides as metrics.
 package repro_test
 
 import (

@@ -1,7 +1,7 @@
 // Benchmark harness regenerating every quantitative claim of the paper
-// (DESIGN.md §4 maps each bench to its slide). Absolute wall-clock numbers
-// are Go performance; the *reported metrics* (sim_* and count metrics) are
-// the reproduced results and are recorded in EXPERIMENTS.md.
+// (each bench's comment names the slide it reproduces). Absolute
+// wall-clock numbers are Go performance; the *reported metrics* (sim_* and
+// count metrics) are the reproduced results.
 //
 // Run with:
 //
@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"testing"
 
@@ -343,4 +344,57 @@ func BenchmarkE10_StatusAggregation(b *testing.B) {
 	}
 	b.ReportMetric(float64(gridCells), "grid_cells")
 	b.ReportMetric(100*okRate, "ok_rate_pct")
+}
+
+// ---- E11: executor pool scaling (this reproduction's extension) -------------
+//
+// The paper's CI server runs builds on a bounded executor pool. This bench
+// measures campaign throughput — completed builds per simulated hour over a
+// fixed backlog of independent test configurations — as the pool grows
+// from 1 to 8 executors. Same-job serialization means the parallelism comes
+// entirely from the pool fanning distinct configurations out across worker
+// goroutines.
+
+func BenchmarkE11_ExecutorScaling(b *testing.B) {
+	const jobCount = 96
+	campaign := func(executors int) float64 {
+		clock := simclock.New(11)
+		s := ci.NewServerWith(clock, ci.Options{NumExecutors: executors})
+		for i := 0; i < jobCount; i++ {
+			name := fmt.Sprintf("cfg-%03d", i)
+			// Deterministic 20–40 minute builds, varied per configuration.
+			dur := (20 + simclock.Time(i%21)) * simclock.Minute
+			if err := s.CreateJob(&ci.Job{Name: name, Script: func(bc *ci.BuildContext) ci.Outcome {
+				return ci.Outcome{Result: ci.Success, Duration: dur}
+			}}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Trigger(name, "campaign"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		clock.Run()
+		if s.TotalBuilds() != jobCount {
+			b.Fatalf("completed %d of %d builds at %d executors", s.TotalBuilds(), jobCount, executors)
+		}
+		makespan := clock.Now().Duration().Hours()
+		return float64(jobCount) / makespan
+	}
+
+	pools := []int{1, 2, 4, 8}
+	tput := make([]float64, len(pools))
+	for i := 0; i < b.N; i++ {
+		for k, e := range pools {
+			tput[k] = campaign(e)
+		}
+	}
+	if tput[2] < 1.5*tput[0] {
+		b.Fatalf("4-executor throughput %.2f builds/simh is not >1.5x the 1-executor %.2f",
+			tput[2], tput[0])
+	}
+	for k, e := range pools {
+		b.ReportMetric(tput[k], fmt.Sprintf("builds_per_simhour_x%d", e))
+	}
+	b.ReportMetric(tput[2]/tput[0], "speedup_x4")
+	b.ReportMetric(tput[3]/tput[0], "speedup_x8")
 }

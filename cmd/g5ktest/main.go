@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"sort"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/status"
 )
@@ -53,8 +55,14 @@ func main() {
 	fmt.Print(indent(f.Bugs.Report()))
 
 	fmt.Println("scheduler decisions:")
-	for action, n := range f.Sched.DecisionCounts() {
-		fmt.Printf("  %-24s %d\n", action, n)
+	counts := f.Sched.DecisionCounts()
+	actions := make([]string, 0, len(counts))
+	for action := range counts {
+		actions = append(actions, string(action))
+	}
+	sort.Strings(actions)
+	for _, action := range actions {
+		fmt.Printf("  %-24s %d\n", action, counts[sched.Action(action)])
 	}
 
 	// Serve the CI REST API on a loopback listener and render the status

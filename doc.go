@@ -16,5 +16,8 @@
 //     faults, bugs — the simulated substrate
 //
 // bench_test.go at the repository root regenerates every quantitative
-// claim of the paper (see DESIGN.md §4 and EXPERIMENTS.md).
+// claim of the paper (E1–E10, plus E11 for the executor pool added by this
+// reproduction), smoke_test.go runs the same experiments at reduced scale
+// as plain tests, and ablation_test.go compares the paper's mechanisms
+// against their obvious alternatives. README.md maps the module layout.
 package repro

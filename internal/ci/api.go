@@ -39,6 +39,14 @@ type BuildJSON struct {
 	BugSignatures []string          `json:"bug_signatures,omitempty"`
 }
 
+// buildSnapshot renders a build's wire form under the server lock, so the
+// REST API can serve builds the executor pool is still mutating.
+func (s *Server) buildSnapshot(b *Build, withLog bool) BuildJSON {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return buildJSON(b, withLog)
+}
+
 func buildJSON(b *Build, withLog bool) BuildJSON {
 	out := BuildJSON{
 		Job:           b.Job,
@@ -138,7 +146,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.WriteHeader(http.StatusCreated)
-		writeJSON(w, buildJSON(b, false))
+		writeJSON(w, s.buildSnapshot(b, false))
 
 	case strings.HasSuffix(rest, "/api/json"):
 		if r.Method != http.MethodGet {
@@ -157,7 +165,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 						http.NotFound(w, r)
 						return
 					}
-					writeJSON(w, buildJSON(b, true))
+					writeJSON(w, s.buildSnapshot(b, true))
 					return
 				}
 			}
@@ -178,7 +186,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			out.LastResult = last.Result.String()
 		}
 		for _, b := range s.Builds(name) {
-			out.Builds = append(out.Builds, buildJSON(b, false))
+			out.Builds = append(out.Builds, s.buildSnapshot(b, false))
 		}
 		writeJSON(w, out)
 

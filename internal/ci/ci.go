@@ -201,16 +201,38 @@ func cellKey(cell map[string]string) string {
 }
 
 // Server is the automation server.
+//
+// Builds execute on an *executor pool*: up to NumExecutors worker
+// goroutines (simulation goroutines, see simclock.Go) pull queued builds
+// off the work queue and occupy an executor for the build's simulated
+// duration. Builds of the same job — same matrix cell for matrix jobs —
+// never run concurrently (Jenkins' default "one build at a time per
+// configuration"); builds of different jobs, or different cells of one
+// matrix build, genuinely overlap in simulated time.
+//
+// All server state is mutex-protected, so the REST API and outside
+// goroutines can query (and trigger) concurrently with a running
+// simulation.
 type Server struct {
 	mu sync.RWMutex
 
 	clock     *simclock.Clock
 	executors int
-	running   int
+	running   int // builds currently occupying an executor
+	workers   int // live worker goroutines (pool shrinks to zero when idle)
 
 	jobs     map[string]*Job
 	jobOrder []string
 	queue    []*pending
+	// activeKeys marks serialization keys (job name, or job+cell for
+	// matrix cells) with a build currently running.
+	activeKeys map[string]bool
+	// pumpScheduled coalesces the start-workers event: many enqueues at one
+	// instant produce a single pump.
+	pumpScheduled bool
+	// draining: the server no longer accepts triggers; queued and running
+	// builds finish, then the pool winds down (graceful drain).
+	draining bool
 
 	// tokens implements the "access control for users to trigger jobs
 	// manually" benefit (slide 20): token → user name.
@@ -227,16 +249,29 @@ type pending struct {
 	script Script
 }
 
+// Options configures a Server.
+type Options struct {
+	// NumExecutors is the size of the executor pool: the maximum number of
+	// builds running concurrently. Values below 1 mean 1.
+	NumExecutors int
+}
+
 // NewServer creates a server with the given executor count.
 func NewServer(clock *simclock.Clock, executors int) *Server {
-	if executors < 1 {
-		executors = 1
+	return NewServerWith(clock, Options{NumExecutors: executors})
+}
+
+// NewServerWith creates a server from Options.
+func NewServerWith(clock *simclock.Clock, o Options) *Server {
+	if o.NumExecutors < 1 {
+		o.NumExecutors = 1
 	}
 	return &Server{
-		clock:     clock,
-		executors: executors,
-		jobs:      map[string]*Job{},
-		tokens:    map[string]string{},
+		clock:      clock,
+		executors:  o.NumExecutors,
+		jobs:       map[string]*Job{},
+		activeKeys: map[string]bool{},
+		tokens:     map[string]string{},
 	}
 }
 
@@ -256,7 +291,11 @@ func (s *Server) authenticate(token string) (string, bool) {
 }
 
 // OnComplete registers a listener called whenever any build completes.
+// Listeners run on the executor goroutine that finished the build, with no
+// server lock held; the simulation's run token serializes them.
 func (s *Server) OnComplete(fn func(*Build)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.onComplete = append(s.onComplete, fn)
 }
 
@@ -352,6 +391,9 @@ func (s *Server) TotalBuilds() int {
 func (s *Server) Trigger(jobName, cause string) (*Build, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return nil, fmt.Errorf("ci: server is draining")
+	}
 	j := s.jobs[jobName]
 	if j == nil {
 		return nil, fmt.Errorf("ci: unknown job %q", jobName)
@@ -401,44 +443,119 @@ func (s *Server) newBuildLocked(j *Job, cause string, cell map[string]string, pa
 	return b
 }
 
-func (s *Server) enqueueLocked(b *Build, script Script) {
-	s.queue = append(s.queue, &pending{build: b, script: script})
-	s.clock.After(0, s.pump) // start ASAP, from the event loop
+// serialKey is the per-job serialization key of a build: plain builds
+// serialize on the job name, matrix cells on job+cell so different cells
+// of one matrix run in parallel while re-runs of the same configuration
+// never overlap.
+func serialKey(b *Build) string {
+	if b.Cell == nil {
+		return b.Job
+	}
+	return b.Job + "\x00" + b.CellKey()
 }
 
-// pump starts queued builds while executors are free.
+func (s *Server) enqueueLocked(b *Build, script Script) {
+	s.queue = append(s.queue, &pending{build: b, script: script})
+	s.schedulePumpLocked()
+}
+
+// schedulePumpLocked arranges for the worker pool to grow at the current
+// instant, from the event loop. Coalesced: any number of enqueues at one
+// instant schedule a single pump event.
+func (s *Server) schedulePumpLocked() {
+	if s.pumpScheduled {
+		return
+	}
+	s.pumpScheduled = true
+	s.clock.After(0, s.pump)
+}
+
+// pump spawns executor workers for dispatchable queued builds, up to the
+// pool size. Runs on the event loop.
 func (s *Server) pump() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.running < s.executors && len(s.queue) > 0 {
-		p := s.queue[0]
-		s.queue = s.queue[1:]
-		s.running++
-		s.startLocked(p)
+	s.pumpScheduled = false
+	s.spawnWorkersLocked()
+}
+
+// spawnWorkersLocked grows the pool to cover dispatchable work: one worker
+// per queued build whose serialization key is free, capped at NumExecutors.
+// Idle workers exit on their own, so the pool always shrinks back to zero.
+func (s *Server) spawnWorkersLocked() {
+	dispatchable := 0
+	claimed := map[string]bool{}
+	for _, p := range s.queue {
+		key := serialKey(p.build)
+		if s.activeKeys[key] || claimed[key] {
+			continue
+		}
+		claimed[key] = true
+		dispatchable++
+	}
+	for s.workers < s.executors && dispatchable > 0 {
+		s.workers++
+		dispatchable--
+		s.clock.Go(s.worker)
 	}
 }
 
-func (s *Server) startLocked(p *pending) {
-	b := p.build
-	b.StartedAt = s.clock.Now()
-	bc := &BuildContext{Clock: s.clock, Job: b.Job, Cell: b.Cell}
-	out := p.script(bc)
-	b.Log = append(bc.log, out.Log...)
-	dur := out.Duration
-	if dur < 0 {
-		dur = 0
+// dequeueLocked pops the first queued build whose serialization key is not
+// currently running, or nil.
+func (s *Server) dequeueLocked() *pending {
+	for i, p := range s.queue {
+		if s.activeKeys[serialKey(p.build)] {
+			continue
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		return p
 	}
-	s.clock.After(dur, func() {
-		s.completeBuild(b, out)
-	})
+	return nil
 }
 
-func (s *Server) completeBuild(b *Build, out Outcome) {
+// worker is one executor: it pulls builds off the queue and runs each for
+// its simulated duration. When no dispatchable work remains the worker
+// exits — completions and enqueues re-grow the pool as needed.
+func (s *Server) worker() {
 	s.mu.Lock()
+	for {
+		p := s.dequeueLocked()
+		if p == nil {
+			s.workers--
+			s.mu.Unlock()
+			return
+		}
+		b := p.build
+		key := serialKey(b)
+		s.activeKeys[key] = true
+		s.running++
+		b.StartedAt = s.clock.Now()
+		s.mu.Unlock()
+
+		// The build script runs at the start instant; the executor then
+		// stays occupied for the duration the script reports.
+		bc := &BuildContext{Clock: s.clock, Job: b.Job, Cell: b.Cell}
+		out := p.script(bc)
+		log := append(bc.log, out.Log...)
+		dur := out.Duration
+		if dur < 0 {
+			dur = 0
+		}
+		s.clock.Sleep(dur)
+
+		s.completeBuild(b, out, log, key)
+		s.mu.Lock()
+	}
+}
+
+func (s *Server) completeBuild(b *Build, out Outcome, log []string, key string) {
+	s.mu.Lock()
+	b.Log = log
 	b.Result = out.Result
 	b.BugSignatures = out.BugSignatures
 	b.EndedAt = s.clock.Now()
 	b.completed = true
+	delete(s.activeKeys, key)
 	s.running--
 	s.builtCount++
 	var parentDone *Build
@@ -454,7 +571,40 @@ func (s *Server) completeBuild(b *Build, out Outcome) {
 			fn(parentDone)
 		}
 	}
-	s.pump()
+}
+
+// Drain puts the server into graceful shutdown: cron triggers stop, new
+// triggers are rejected, and queued plus running builds are allowed to
+// finish. Drive the clock until Drained reports true to complete the
+// drain.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	for _, name := range s.jobOrder {
+		if j := s.jobs[name]; j.cron != nil {
+			j.cron.Stop()
+			j.cron = nil
+		}
+	}
+}
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// Drained reports whether a drain has completed: no queued builds, no
+// running builds, and every executor wound down.
+func (s *Server) Drained() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining && len(s.queue) == 0 && s.running == 0 && s.workers == 0
 }
 
 // Build returns one build of a job by number, or nil.

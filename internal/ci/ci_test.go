@@ -1,6 +1,7 @@
 package ci
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/simclock"
@@ -44,9 +45,16 @@ func TestSimpleBuildLifecycle(t *testing.T) {
 func TestExecutorPoolLimitsParallelism(t *testing.T) {
 	c := simclock.New(2)
 	s := NewServer(c, 2)
-	s.CreateJob(&Job{Name: "slow", Script: constScript(Success, simclock.Hour)})
+	// Five one-hour builds of five distinct jobs: only the pool size limits
+	// parallelism (same-job builds would additionally serialize).
 	for i := 0; i < 5; i++ {
-		s.Trigger("slow", "test")
+		name := fmt.Sprintf("slow-%d", i)
+		if err := s.CreateJob(&Job{Name: name, Script: constScript(Success, simclock.Hour)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Trigger(name, "test"); err != nil {
+			t.Fatal(err)
+		}
 	}
 	c.RunUntil(simclock.Minute)
 	if s.BusyExecutors() != 2 {

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/simclock"
@@ -131,12 +132,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// Deployer runs deployments against the testbed.
+// Deployer runs deployments against the testbed. Deployments are invoked
+// from CI build scripts on executor goroutines; the simulation run token
+// serializes the actual deployment work (RNG draws, node boot counters),
+// and the mutex below guards the deployer's own counters so Count stays
+// accurate when queried from outside goroutines.
 type Deployer struct {
 	clock  *simclock.Clock
 	faults *faults.Injector
 	cfg    Config
 
+	mu          sync.Mutex
 	deployments int
 }
 
@@ -151,7 +157,11 @@ func NewDeployerWithConfig(clock *simclock.Clock, inj *faults.Injector, cfg Conf
 }
 
 // Count returns how many deployments have been run.
-func (d *Deployer) Count() int { return d.deployments }
+func (d *Deployer) Count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.deployments
+}
 
 // Deploy installs env on the given nodes and returns the per-node outcome.
 // The returned Result.Duration is simulated wall time; the caller (a test
@@ -167,7 +177,9 @@ func (d *Deployer) Deploy(nodes []*testbed.Node, env Environment) (*Result, erro
 			return nil, fmt.Errorf("kadeploy: nodes span sites %s and %s", site, n.Site)
 		}
 	}
+	d.mu.Lock()
 	d.deployments++
+	d.mu.Unlock()
 	if d.faults != nil && d.faults.ServiceFails(site, "kadeploy") {
 		return nil, fmt.Errorf("kadeploy: service error at %s (server unreachable)", site)
 	}

@@ -20,6 +20,7 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/simclock"
@@ -49,11 +50,20 @@ type loadChange struct {
 	netMbps float64
 }
 
-// Collector is the monitoring service.
+// Collector is the monitoring service. Experiment scripts on CI executor
+// goroutines record load changes and query series; the simulation's run
+// token serializes them against the event loop, and the collector's own
+// measurement store additionally sits behind a read-write mutex (wiring
+// is immutable after construction but shares the lock for simplicity).
+// Note that the power/net attribution path also reads live testbed NIC
+// state owned by the run token, so queries must come from simulation
+// context — not from arbitrary outside goroutines while the clock runs.
 type Collector struct {
 	clock  *simclock.Clock
 	tb     *testbed.Testbed
 	faults *faults.Injector
+
+	mu sync.RWMutex
 
 	// wiring is the monitoring database: switch port → node name, recorded
 	// at install time. Cabling faults change live NIC ports, NOT this map —
@@ -92,11 +102,15 @@ func (c *Collector) SetLoad(node string, cpu, netMbps float64) error {
 	if cpu > 1 {
 		cpu = 1
 	}
-	c.history[node] = append(c.history[node], loadChange{at: c.clock.Now(), cpu: cpu, netMbps: netMbps})
+	at := c.clock.Now()
+	c.mu.Lock()
+	c.history[node] = append(c.history[node], loadChange{at: at, cpu: cpu, netMbps: netMbps})
+	c.mu.Unlock()
 	return nil
 }
 
-// loadAt returns the physical load of a node at time t.
+// loadAt returns the physical load of a node at time t. The caller holds
+// the collector mutex (read side suffices).
 func (c *Collector) loadAt(node string, t simclock.Time) loadChange {
 	hist := c.history[node]
 	// Binary search for the last change ≤ t.
@@ -110,7 +124,7 @@ func (c *Collector) loadAt(node string, t simclock.Time) loadChange {
 // attributedNode resolves which node's physical activity lands in the
 // series named after `target`: monitoring believes wiring[port]=target, so
 // it reads the port, and the node *actually* plugged into that port is
-// whoever's live NIC carries it.
+// whoever's live NIC carries it. The caller holds the collector mutex.
 func (c *Collector) attributedNode(target string) string {
 	n := c.tb.Node(target)
 	if n == nil {
@@ -140,7 +154,11 @@ func (c *Collector) attributedNode(target string) string {
 // feeds the series published under target's name. On a healthy testbed this
 // is target itself; under a cabling swap it is the peer node. The kwapi test
 // family compares Attribution(n) with n to detect miswiring.
-func (c *Collector) Attribution(target string) string { return c.attributedNode(target) }
+func (c *Collector) Attribution(target string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.attributedNode(target)
+}
 
 // idlePowerW estimates a node's idle draw from its hardware (bigger, older
 // boxes burn more).
@@ -179,9 +197,12 @@ func (c *Collector) Query(metric, node string, from, to simclock.Time) ([]Sample
 	if to < from {
 		return nil, fmt.Errorf("monitor: inverted time range")
 	}
-	if to > c.clock.Now() {
-		to = c.clock.Now()
+	if now := c.clock.Now(); to > now {
+		to = now
 	}
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 
 	// Infrastructure metrics (power, net) go through the wiring database;
 	// system metrics (cpu) come from an agent on the node itself and are

@@ -67,7 +67,11 @@ func (s *Server) preempt(j *Job) {
 }
 
 // PreemptedCount returns how many best-effort jobs were killed.
-func (s *Server) PreemptedCount() int { return s.preempted }
+func (s *Server) PreemptedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.preempted
+}
 
 // startWithPreemption tries a normal allocation first, then the preempting
 // fallback (normal jobs only). Returns the nodes to use, or ok=false.
@@ -91,6 +95,8 @@ func (s *Server) startWithPreemption(j *Job) ([]string, bool) {
 // FreeOrPreemptable counts nodes that a normal request could use right now:
 // free Alive nodes plus those held only by best-effort jobs.
 func (s *Server) FreeOrPreemptable(e Expr) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	count := 0
 	for _, n := range s.nodeList {
 		if n.State != testbed.Alive {

@@ -3,6 +3,7 @@ package oar
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/simclock"
 	"repro/internal/testbed"
@@ -64,7 +65,15 @@ type Job struct {
 // manages all sites (like Grid'5000's per-site OARs federated behind one
 // API; one instance keeps the simulation simple while preserving the
 // scheduling semantics the paper's framework interacts with).
+//
+// The server is safe for concurrent use: CI build scripts run on executor
+// goroutines (see internal/ci) and submit/release jobs while the event
+// loop runs walltime expiries, so every public method takes the server
+// mutex. OnStart callbacks always fire with the mutex released — they may
+// re-enter the server (Submit/Release from a callback is the normal test
+// payload pattern).
 type Server struct {
+	mu    sync.Mutex
 	clock *simclock.Clock
 	tb    *testbed.Testbed
 
@@ -135,6 +144,7 @@ func (s *Server) Submit(request string, opts SubmitOptions) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
 	s.nextID++
 	j := &Job{
 		ID:          s.nextID,
@@ -151,19 +161,29 @@ func (s *Server) Submit(request string, opts SubmitOptions) (*Job, error) {
 	// A new submission can only start itself (first-fit: it cannot free
 	// resources for anyone else), so try just this job instead of walking
 	// the whole waiting queue — submissions are the hot path.
-	s.tryStartOne(j)
+	started := s.tryStartOneLocked(j)
 	if opts.Immediate && j.State == Waiting {
-		s.cancel(j)
+		s.cancelLocked(j)
+	}
+	s.mu.Unlock()
+	if started && j.OnStart != nil {
+		j.OnStart(j)
 	}
 	return j, nil
 }
 
 // Job returns the job with the given ID, or nil.
-func (s *Server) Job(id int) *Job { return s.jobs[id] }
+func (s *Server) Job(id int) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
 
 // Cancel withdraws a waiting job. Canceling a running or finished job is an
 // error; use Release to end a running job early.
 func (s *Server) Cancel(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	j := s.jobs[id]
 	if j == nil {
 		return fmt.Errorf("oar: no job %d", id)
@@ -171,11 +191,11 @@ func (s *Server) Cancel(id int) error {
 	if j.State != Waiting {
 		return fmt.Errorf("oar: job %d is %s, cannot cancel", id, j.State)
 	}
-	s.cancel(j)
+	s.cancelLocked(j)
 	return nil
 }
 
-func (s *Server) cancel(j *Job) {
+func (s *Server) cancelLocked(j *Job) {
 	j.State = Canceled
 	j.EndedAt = s.clock.Now()
 	s.removeFromQueue(j)
@@ -185,6 +205,8 @@ func (s *Server) cancel(j *Job) {
 // Release ends a running job before its walltime (tests finishing early
 // free resources for the next test).
 func (s *Server) Release(id int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	j := s.jobs[id]
 	if j == nil {
 		return fmt.Errorf("oar: no job %d", id)
@@ -192,11 +214,11 @@ func (s *Server) Release(id int) error {
 	if j.State != Running {
 		return fmt.Errorf("oar: job %d is %s, cannot release", id, j.State)
 	}
-	s.finish(j)
+	s.finishLocked(j)
 	return nil
 }
 
-func (s *Server) finish(j *Job) {
+func (s *Server) finishLocked(j *Job) {
 	j.State = Terminated
 	j.EndedAt = s.clock.Now()
 	if j.walltimeEvent != nil {
@@ -206,7 +228,7 @@ func (s *Server) finish(j *Job) {
 		delete(s.busy, n)
 	}
 	// Freed resources may unblock queued jobs.
-	s.Schedule()
+	s.scheduleLocked()
 }
 
 func (s *Server) removeFromQueue(j *Job) {
@@ -228,6 +250,14 @@ func (s *Server) removeFromQueue(j *Job) {
 // Re-entrant calls (from OnStart callbacks that Submit or Release) are
 // deferred to an extra pass instead of recursing.
 func (s *Server) Schedule() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.scheduleLocked()
+}
+
+// scheduleLocked is Schedule with the mutex held. OnStart callbacks fire
+// with the mutex temporarily released, so they may re-enter the server.
+func (s *Server) scheduleLocked() {
 	if s.inSchedule {
 		s.again = true
 		return
@@ -239,7 +269,9 @@ func (s *Server) Schedule() {
 		started := s.schedulePass()
 		for _, j := range started {
 			if j.OnStart != nil {
+				s.mu.Unlock()
 				j.OnStart(j)
+				s.mu.Lock()
 			}
 		}
 		if !s.again && len(started) == 0 {
@@ -248,27 +280,28 @@ func (s *Server) Schedule() {
 	}
 }
 
-// tryStartOne attempts to start a single waiting job right now.
-func (s *Server) tryStartOne(j *Job) {
+// tryStartOneLocked attempts to start a single waiting job right now. It
+// reports whether the job started; the caller fires OnStart after
+// releasing the mutex.
+func (s *Server) tryStartOneLocked(j *Job) bool {
 	if s.inSchedule {
 		// A Submit from inside an OnStart callback: let the outer Schedule
 		// loop pick the job up on its extra pass.
 		s.again = true
-		return
+		return false
 	}
 	nodes, ok := s.startWithPreemption(j)
 	if !ok {
-		return
+		return false
 	}
 	s.removeFromQueue(j)
 	s.startJob(j, nodes)
-	if j.OnStart != nil {
-		j.OnStart(j)
-	}
+	return true
 }
 
 // startJob transitions a waiting job to Running on the given nodes. The
-// caller is responsible for removing it from the queue and firing OnStart.
+// caller holds the mutex, is responsible for removing the job from the
+// queue, and fires OnStart itself (with the mutex released).
 func (s *Server) startJob(j *Job, nodes []string) {
 	j.State = Running
 	j.StartedAt = s.clock.Now()
@@ -279,8 +312,10 @@ func (s *Server) startJob(j *Job, nodes []string) {
 	s.started++
 	jj := j
 	j.walltimeEvent = s.clock.After(j.Request.Walltime, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		if jj.State == Running {
-			s.finish(jj)
+			s.finishLocked(jj)
 		}
 	})
 }
@@ -288,6 +323,7 @@ func (s *Server) startJob(j *Job, nodes []string) {
 // schedulePass walks the queue once, starting every job that fits. OnStart
 // callbacks are NOT invoked here (the caller fires them after the walk) so
 // that queue mutations from callbacks cannot corrupt the iteration.
+// The caller holds the mutex.
 func (s *Server) schedulePass() []*Job {
 	var started []*Job
 	i := 0
@@ -390,6 +426,8 @@ func (s *Server) allocatePreferring(req Request, penalized map[string]bool) ([]s
 
 // FreeMatching counts free Alive nodes matching the expression.
 func (s *Server) FreeMatching(e Expr) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	count := 0
 	for _, n := range s.nodeList {
 		if n.State != testbed.Alive {
@@ -413,6 +451,8 @@ func (s *Server) CanStartNow(request string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.allocate(req); ok {
 		return true, nil
 	}
@@ -421,33 +461,49 @@ func (s *Server) CanStartNow(request string) (bool, error) {
 }
 
 // BusyNodes returns how many nodes are currently allocated.
-func (s *Server) BusyNodes() int { return len(s.busy) }
+func (s *Server) BusyNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.busy)
+}
 
 // QueueLength returns the number of waiting jobs.
-func (s *Server) QueueLength() int { return len(s.queue) }
+func (s *Server) QueueLength() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
 
 // Stats reports cumulative submission counters.
 func (s *Server) Stats() (submitted, started, canceled int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.submitted, s.started, s.canceled
 }
 
 // SetNodeState changes a node's OAR state (Alive/Absent/Suspected/Dead).
 // Marking a busy node non-Alive does not kill its job (matching OAR, where
 // suspecting happens at job epilogue); it only prevents new allocations.
+//
+// The write happens under the server mutex (in addition to the testbed's
+// own mutex) so that it synchronizes with every state read the server's
+// allocation and query paths perform under the same lock.
 func (s *Server) SetNodeState(nodeName string, st testbed.NodeState) error {
-	n := s.tb.Node(nodeName)
-	if n == nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.tb.SetNodeState(nodeName, st) {
 		return fmt.Errorf("oar: unknown node %q", nodeName)
 	}
-	n.State = st
 	if st == testbed.Alive {
-		s.Schedule() // a healed node may unblock the queue
+		s.scheduleLocked() // a healed node may unblock the queue
 	}
 	return nil
 }
 
 // StateSummary counts nodes per state, the oarstate test family's input.
 func (s *Server) StateSummary() map[testbed.NodeState]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := map[testbed.NodeState]int{}
 	for _, n := range s.nodeList {
 		out[n.State]++

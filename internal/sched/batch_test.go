@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+// TestPollBatchRunsBuildsInParallel: one poll tick collects every due spec
+// and the triggered builds run concurrently on the CI executor pool —
+// observed as overlapping build windows on the sim clock.
+func TestPollBatchRunsBuildsInParallel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AvoidPeak = false
+	f := newFixture(cfg)
+
+	// Three specs on three different sites (the per-site cap must not
+	// interfere), all due at registration.
+	tests := []struct{ name, cluster, site string }{
+		{"disk/sol", "sol", "sophia"},
+		{"disk/taurus", "taurus", "lyon"},
+		{"disk/edel", "edel", "grenoble"},
+	}
+	for _, tc := range tests {
+		req := "cluster='" + tc.cluster + "'/nodes=2,walltime=1"
+		f.addTestJob(tc.name, req, 30*simclock.Minute)
+		if err := f.sched.Register(&Spec{Name: tc.name, JobName: tc.name,
+			Cluster: tc.cluster, Site: tc.site, Kind: SoftwareCentric,
+			Request: req, Period: simclock.Day}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f.sched.Poll()
+	f.clock.RunFor(simclock.Hour)
+
+	counts := f.sched.DecisionCounts()
+	if counts[ActionTriggered] != 3 {
+		t.Fatalf("triggered = %d, want 3 (decisions: %v)", counts[ActionTriggered], counts)
+	}
+	type window struct{ start, end simclock.Time }
+	var ws []window
+	for _, tc := range tests {
+		bs := f.ci.Builds(tc.name)
+		if len(bs) != 1 || !bs[0].Completed() {
+			t.Fatalf("%s: builds = %+v", tc.name, bs)
+		}
+		ws = append(ws, window{bs[0].StartedAt, bs[0].EndedAt})
+	}
+	for i := 1; i < len(ws); i++ {
+		if !(ws[i].start < ws[0].end && ws[0].start < ws[i].end) {
+			t.Fatalf("batch builds did not overlap: %v", ws)
+		}
+	}
+}

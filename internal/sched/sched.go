@@ -27,6 +27,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/ci"
@@ -120,12 +121,18 @@ type specState struct {
 }
 
 // Scheduler is the external scheduling tool.
+//
+// The scheduler's poll loop runs on the event loop, while build-completion
+// callbacks (observeBuild) arrive from CI executor goroutines; the mutex
+// serializes both against each other and against stats queries from
+// outside goroutines.
 type Scheduler struct {
 	clock *simclock.Clock
 	oar   *oar.Server
 	ci    *ci.Server
 	cfg   Config
 
+	mu     sync.Mutex
 	specs  map[string]*specState
 	order  []string
 	bySite map[string]int // active test builds per site
@@ -167,14 +174,16 @@ func (s *Scheduler) Register(spec *Spec) error {
 	if spec.Name == "" || spec.JobName == "" {
 		return fmt.Errorf("sched: spec needs Name and JobName")
 	}
-	if _, dup := s.specs[spec.Name]; dup {
-		return fmt.Errorf("sched: spec %q already registered", spec.Name)
-	}
 	if spec.Period <= 0 {
 		return fmt.Errorf("sched: spec %q needs a positive period", spec.Name)
 	}
 	if _, err := oar.ParseRequest(spec.Request); err != nil {
 		return fmt.Errorf("sched: spec %q: %w", spec.Name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.specs[spec.Name]; dup {
+		return fmt.Errorf("sched: spec %q already registered", spec.Name)
 	}
 	s.specs[spec.Name] = &specState{spec: spec, nextDue: s.clock.Now()}
 	s.order = append(s.order, spec.Name)
@@ -182,10 +191,16 @@ func (s *Scheduler) Register(spec *Spec) error {
 }
 
 // SpecNames returns registered spec names in registration order.
-func (s *Scheduler) SpecNames() []string { return append([]string(nil), s.order...) }
+func (s *Scheduler) SpecNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
 
 // Start begins the poll loop.
 func (s *Scheduler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.ticker != nil {
 		return
 	}
@@ -194,16 +209,33 @@ func (s *Scheduler) Start() {
 
 // Stop halts the poll loop.
 func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.ticker != nil {
 		s.ticker.Stop()
 		s.ticker = nil
 	}
 }
 
-// Poll runs one decision pass. Exported so tests and benchmarks can drive
-// the scheduler without the ticker.
+// Poll runs one decision pass: it first collects the batch of specs due at
+// this tick, then decides each one. Every build it triggers lands on the
+// CI server's executor pool, so all the builds of one tick run
+// concurrently (before the pool, triggered builds executed one after the
+// other on the single simulated thread). Exported so tests and benchmarks
+// can drive the scheduler without the ticker.
 func (s *Scheduler) Poll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.dueBatchLocked() {
+		s.decideLocked(st)
+	}
+}
+
+// dueBatchLocked snapshots the specs due at this tick, in registration
+// order.
+func (s *Scheduler) dueBatchLocked() []*specState {
 	now := s.clock.Now()
+	var due []*specState
 	for _, name := range s.order {
 		st := s.specs[name]
 		if st.running {
@@ -212,25 +244,26 @@ func (s *Scheduler) Poll() {
 		if now < st.nextDue {
 			continue
 		}
-		s.decide(st)
+		due = append(due, st)
 	}
+	return due
 }
 
-func (s *Scheduler) decide(st *specState) {
+func (s *Scheduler) decideLocked(st *specState) {
 	now := s.clock.Now()
 	spec := st.spec
 
 	// Policy 1: peak hours (hardware-centric tests monopolise a cluster,
 	// keep them out of working hours).
 	if s.cfg.AvoidPeak && spec.Kind == HardwareCentric && s.isPeak(now) {
-		s.log(Decision{At: now, Spec: spec.Name, Action: ActionDeferPeak})
+		s.logLocked(Decision{At: now, Spec: spec.Name, Action: ActionDeferPeak})
 		st.nextDue = now + s.cfg.PollInterval
 		return
 	}
 
 	// Policy 2: at most N active test jobs per site.
 	if s.bySite[spec.Site] >= s.cfg.MaxActivePerSite {
-		s.log(Decision{At: now, Spec: spec.Name, Action: ActionDeferSiteBusy})
+		s.logLocked(Decision{At: now, Spec: spec.Name, Action: ActionDeferSiteBusy})
 		st.nextDue = now + s.cfg.PollInterval
 		return
 	}
@@ -240,23 +273,24 @@ func (s *Scheduler) decide(st *specState) {
 	if err != nil || !ok {
 		st.backoff = s.nextBackoff(st.backoff)
 		st.nextDue = now + st.backoff
-		s.log(Decision{At: now, Spec: spec.Name, Action: ActionDeferResources, Backoff: st.backoff})
+		s.logLocked(Decision{At: now, Spec: spec.Name, Action: ActionDeferResources, Backoff: st.backoff})
 		return
 	}
 
-	// Trigger the CI build.
+	// Trigger the CI build; it starts on the executor pool at this instant,
+	// concurrently with the other builds of this tick's batch.
 	if _, err := s.ci.Trigger(spec.JobName, "scheduler "+spec.Name); err != nil {
 		// Job vanished from CI: treat like a resource miss so the operator
 		// notices the growing backoff.
 		st.backoff = s.nextBackoff(st.backoff)
 		st.nextDue = now + st.backoff
-		s.log(Decision{At: now, Spec: spec.Name, Action: ActionDeferResources, Backoff: st.backoff})
+		s.logLocked(Decision{At: now, Spec: spec.Name, Action: ActionDeferResources, Backoff: st.backoff})
 		return
 	}
 	st.running = true
 	st.triggers++
 	s.bySite[spec.Site]++
-	s.log(Decision{At: now, Spec: spec.Name, Action: ActionTriggered})
+	s.logLocked(Decision{At: now, Spec: spec.Name, Action: ActionTriggered})
 }
 
 // nextBackoff doubles the delay, starting at BackoffBase, capped at
@@ -281,11 +315,14 @@ func (s *Scheduler) isPeak(t simclock.Time) bool {
 	return h >= s.cfg.PeakStartHour && h < s.cfg.PeakEndHour
 }
 
-// observeBuild reacts to completed CI builds of jobs we scheduled.
+// observeBuild reacts to completed CI builds of jobs we scheduled. It runs
+// on the executor goroutine that finished the build.
 func (s *Scheduler) observeBuild(b *ci.Build) {
 	if b.Cell != nil {
 		return // matrix cells roll up into their parent
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var st *specState
 	for _, name := range s.order {
 		if s.specs[name].spec.JobName == b.Job && s.specs[name].running {
@@ -315,16 +352,20 @@ func (s *Scheduler) observeBuild(b *ci.Build) {
 	st.nextDue = now + st.spec.Period
 }
 
-// log appends to the decision log.
-func (s *Scheduler) log(d Decision) { s.decisions = append(s.decisions, d) }
+// logLocked appends to the decision log.
+func (s *Scheduler) logLocked(d Decision) { s.decisions = append(s.decisions, d) }
 
 // Decisions returns a copy of the decision log.
 func (s *Scheduler) Decisions() []Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return append([]Decision(nil), s.decisions...)
 }
 
 // DecisionCounts aggregates the log by action.
 func (s *Scheduler) DecisionCounts() map[Action]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := map[Action]int{}
 	for _, d := range s.decisions {
 		out[d.Action]++
@@ -345,6 +386,8 @@ type SpecStats struct {
 
 // Stats returns per-spec statistics sorted by name.
 func (s *Scheduler) Stats() []SpecStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]SpecStats, 0, len(s.specs))
 	for _, st := range s.specs {
 		out = append(out, SpecStats{

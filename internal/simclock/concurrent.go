@@ -1,0 +1,118 @@
+package simclock
+
+// Concurrent-waiter support: real goroutines inside the deterministic
+// simulation.
+//
+// The CI server's executor pool (internal/ci) runs builds on goroutines
+// that must block for simulated time without blocking the event loop, and
+// without introducing scheduling races that would make campaigns
+// irreproducible. The clock solves this with a single *run token*:
+//
+//   - Go registers a goroutine with the clock; it starts suspended.
+//   - Exactly one party executes at any instant: either the driver (the
+//     goroutine inside Step/Run/RunUntil/Advance) or one simulation
+//     goroutine holding the token.
+//   - WaitUntil/Sleep give the token back and schedule a wake-up event;
+//     wake-ups therefore happen in deterministic event order, and ready
+//     goroutines resume in FIFO order, one at a time.
+//   - The driver only pops the next event once every ready goroutine has
+//     run until it parked (quiesce). Simulated time never advances under a
+//     running simulation goroutine's feet.
+//
+// Every token handoff goes through the clock's mutex, which doubles as the
+// happens-before edge chaining all simulation work into one serial order —
+// this is what keeps `go test -race` quiet without sprinkling locks over
+// every simulated subsystem (they additionally guard their externally
+// visible state; see internal/oar, internal/ci).
+//
+// WaitUntil and Sleep must only be called from goroutines started with Go;
+// calling them from the driver would deadlock the token accounting.
+
+// Go starts fn as a simulation goroutine tracked by the clock. The
+// goroutine does not run immediately: it is queued for the run token and
+// first executes during the next Step/Run/RunUntil/Advance, after the
+// event that spawned it returns. It may call WaitUntil/Sleep to block for
+// simulated time and At/After/Go to schedule further work.
+func (c *Clock) Go(fn func()) {
+	start := make(chan struct{}, 1)
+	c.mu.Lock()
+	c.goroutines++
+	c.runnable = append(c.runnable, start)
+	c.idle.Broadcast()
+	c.mu.Unlock()
+	go func() {
+		<-start
+		fn()
+		c.mu.Lock()
+		c.active--
+		c.goroutines--
+		c.idle.Broadcast()
+		c.mu.Unlock()
+	}()
+}
+
+// Goroutines returns the number of live simulation goroutines (running,
+// ready, or parked in WaitUntil).
+func (c *Clock) Goroutines() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.goroutines
+}
+
+// WaitUntil parks the calling simulation goroutine until the clock reaches
+// t. It returns immediately when t is not in the future. Goroutines parked
+// at the same instant resume one at a time, in the order they went to
+// sleep.
+func (c *Clock) WaitUntil(t Time) {
+	wake := make(chan struct{}, 1)
+	c.mu.Lock()
+	if t <= c.now {
+		c.mu.Unlock()
+		return
+	}
+	c.atLocked(t, func() { c.makeRunnable(wake) })
+	c.active--
+	c.idle.Broadcast()
+	c.mu.Unlock()
+	<-wake
+}
+
+// Sleep parks the calling simulation goroutine for d of simulated time.
+// The clock cannot advance while the caller holds the run token, so this
+// is exactly WaitUntil(Now()+d).
+func (c *Clock) Sleep(d Time) {
+	if d <= 0 {
+		return
+	}
+	c.WaitUntil(c.Now() + d)
+}
+
+// Advance runs the event loop for d of simulated time, coordinating any
+// simulation goroutines that become runnable along the way. It is RunFor
+// under the name the concurrency API documentation uses: Advance is the
+// driver side of the WaitUntil contract.
+func (c *Clock) Advance(d Time) { c.RunFor(d) }
+
+// makeRunnable queues a parked goroutine's wake channel for the run token.
+// Called from wake-up events (driver context, mutex not held).
+func (c *Clock) makeRunnable(wake chan struct{}) {
+	c.mu.Lock()
+	c.runnable = append(c.runnable, wake)
+	c.idle.Broadcast()
+	c.mu.Unlock()
+}
+
+// quiesceLocked blocks the driver until no simulation goroutine is running
+// or ready, dispatching ready goroutines one at a time (FIFO). Called with
+// the mutex held.
+func (c *Clock) quiesceLocked() {
+	for c.active > 0 || len(c.runnable) > 0 {
+		if c.active == 0 {
+			next := c.runnable[0]
+			c.runnable = c.runnable[1:]
+			c.active = 1
+			next <- struct{}{} // buffered: never blocks
+		}
+		c.idle.Wait()
+	}
+}

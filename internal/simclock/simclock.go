@@ -6,14 +6,27 @@
 // (OAR reservations, nightly Jenkins builds, exponential-backoff retries).
 // To reproduce the paper's campaigns deterministically and in milliseconds,
 // all subsystems take their notion of "now" from a Clock and schedule future
-// work as events on its queue. The event loop is single-goroutine, so a
-// whole campaign is a pure function of (seed, configuration).
+// work as events on its queue. A whole campaign is a pure function of
+// (seed, configuration).
+//
+// Two execution styles coexist:
+//
+//   - plain events (At/After/Every) run on the driver goroutine, the one
+//     calling Step/Run/RunUntil/Advance;
+//   - simulation goroutines (Go) are real goroutines — the CI server's
+//     executor pool runs builds on them — that block in WaitUntil/Sleep.
+//     The clock hands out a single run token, so exactly one of
+//     {driver, simulation goroutines} executes at any instant and wake-ups
+//     happen in event order: campaigns stay deterministic (see
+//     concurrent.go).
 package simclock
 
 import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -88,20 +101,20 @@ type Event struct {
 	at       Time
 	seq      uint64 // tie-break so equal-time events run in schedule order
 	fn       func()
-	canceled bool
-	index    int // heap index, -1 when popped
+	canceled atomic.Bool // atomic: Cancel may come from any goroutine
+	index    int         // heap index, -1 when popped
 }
 
 // Cancel prevents a pending event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op. Safe to call from any goroutine.
 func (e *Event) Cancel() {
 	if e != nil {
-		e.canceled = true
+		e.canceled.Store(true)
 	}
 }
 
 // Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e != nil && e.canceled }
+func (e *Event) Canceled() bool { return e != nil && e.canceled.Load() }
 
 // At returns the time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
@@ -136,45 +149,85 @@ func (q *eventQueue) Pop() any {
 }
 
 // Clock is a virtual clock with an attached event queue and a seeded RNG.
-// It is not safe for concurrent use; the simulation is single-goroutine by
-// design (see DESIGN.md §6).
+//
+// The clock's own bookkeeping is mutex-protected, so scheduling calls
+// (At/After, Now) may come from any goroutine. Execution, however, is
+// strictly serialized: event callbacks run on the driver goroutine, and
+// simulation goroutines (Go/WaitUntil, see concurrent.go) run one at a time
+// under the clock's run token. Rand is the one exception — it must only be
+// used while holding the run token (from event callbacks or simulation
+// goroutines), which every simulated subsystem does naturally.
 type Clock struct {
+	mu     sync.Mutex
+	idle   *sync.Cond // signaled when a simulation goroutine parks or exits
 	now    Time
 	queue  eventQueue
 	seq    uint64
 	rng    *rand.Rand
 	fired  uint64
 	maxLen int
+
+	// Run-token scheduler state (concurrent.go): the number of simulation
+	// goroutines currently holding the token (0 or 1), the FIFO of
+	// goroutines ready to take it, and the count of live Go goroutines.
+	active     int
+	runnable   []chan struct{}
+	goroutines int
 }
 
 // New returns a clock at the epoch with an RNG seeded by seed.
 func New(seed int64) *Clock {
-	return &Clock{rng: rand.New(rand.NewSource(seed))}
+	c := &Clock{rng: rand.New(rand.NewSource(seed))}
+	c.idle = sync.NewCond(&c.mu)
+	return c
 }
 
 // Now returns the current simulated time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
 
 // Rand returns the clock's deterministic RNG. All simulated randomness in
 // the repository flows through this so that a campaign is reproducible from
-// its seed.
+// its seed. It must only be used under the clock's run token (from event
+// callbacks or simulation goroutines), never from outside goroutines.
 func (c *Clock) Rand() *rand.Rand { return c.rng }
 
 // Pending returns the number of events waiting in the queue (including
 // canceled events that have not yet been discarded).
-func (c *Clock) Pending() int { return len(c.queue) }
+func (c *Clock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
 
 // Fired returns the total number of events executed so far.
-func (c *Clock) Fired() uint64 { return c.fired }
+func (c *Clock) Fired() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}
 
 // MaxQueueLen returns the high-water mark of the event queue, useful for
 // benchmarking the simulator itself.
-func (c *Clock) MaxQueueLen() int { return c.maxLen }
+func (c *Clock) MaxQueueLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxLen
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past (or at
 // the current instant) runs the event at the current time, after all events
 // already scheduled for that time.
 func (c *Clock) At(t Time, fn func()) *Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.atLocked(t, fn)
+}
+
+func (c *Clock) atLocked(t Time, fn func()) *Event {
 	if t < c.now {
 		t = c.now
 	}
@@ -189,19 +242,24 @@ func (c *Clock) At(t Time, fn func()) *Event {
 
 // After schedules fn to run d after the current time.
 func (c *Clock) After(d Time, fn func()) *Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if d < 0 {
 		d = 0
 	}
-	return c.At(c.now+d, fn)
+	return c.atLocked(c.now+d, fn)
 }
 
 // Ticker repeatedly schedules a callback at a fixed period until stopped.
+// Stop is safe to call from any goroutine (subsystem drain paths stop
+// their tickers from outside the event loop).
 type Ticker struct {
 	clock   *Clock
 	period  Time
 	fn      func()
+	mu      sync.Mutex // guards event
 	event   *Event
-	stopped bool
+	stopped atomic.Bool
 }
 
 // Every schedules fn to run every period, with the first firing one full
@@ -216,37 +274,61 @@ func (c *Clock) Every(period Time, fn func()) *Ticker {
 }
 
 func (t *Ticker) schedule() {
-	t.event = t.clock.After(t.period, func() {
-		if t.stopped {
+	e := t.clock.After(t.period, func() {
+		if t.stopped.Load() {
 			return
 		}
 		t.fn()
-		if !t.stopped {
+		if !t.stopped.Load() {
 			t.schedule()
 		}
 	})
+	t.mu.Lock()
+	t.event = e
+	t.mu.Unlock()
 }
 
-// Stop halts the ticker. It is safe to call multiple times.
+// Stop halts the ticker. It is safe to call multiple times, from any
+// goroutine.
 func (t *Ticker) Stop() {
-	t.stopped = true
-	t.event.Cancel()
+	t.stopped.Store(true)
+	t.mu.Lock()
+	e := t.event
+	t.mu.Unlock()
+	e.Cancel()
 }
 
-// Step runs the next pending event, advancing the clock to its time.
+// Step lets every runnable simulation goroutine proceed until it parks,
+// then runs the next pending event, advancing the clock to its time.
 // It reports whether an event was run.
-func (c *Clock) Step() bool {
-	for len(c.queue) > 0 {
-		e := heap.Pop(&c.queue).(*Event)
-		if e.canceled {
-			continue
+func (c *Clock) Step() bool { return c.step(0, false) }
+
+// step is Step with an optional time bound: when bounded, events past the
+// limit stay queued and the bound check happens under the mutex, in the
+// same critical section as the pop — a concurrent Cancel of the head
+// event can therefore never let a later-than-limit event slip through.
+func (c *Clock) step(limit Time, bounded bool) bool {
+	c.mu.Lock()
+	for {
+		c.quiesceLocked()
+		e := c.peekLocked()
+		if e == nil || (bounded && e.at > limit) {
+			c.mu.Unlock()
+			return false
+		}
+		heap.Pop(&c.queue)
+		if e.canceled.Load() {
+			continue // canceled concurrently between peek and pop
 		}
 		c.now = e.at
 		c.fired++
+		c.mu.Unlock()
 		e.fn()
+		c.mu.Lock()
+		c.quiesceLocked()
+		c.mu.Unlock()
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue is empty.
@@ -256,27 +338,26 @@ func (c *Clock) Run() {
 }
 
 // RunUntil executes events with time ≤ t, then advances the clock to exactly
-// t. Events scheduled later remain pending.
+// t. Events scheduled later remain pending; simulation goroutines blocked in
+// WaitUntil past t stay parked and resume on a later run.
 func (c *Clock) RunUntil(t Time) {
-	for {
-		e := c.peek()
-		if e == nil || e.at > t {
-			break
-		}
-		c.Step()
+	for c.step(t, true) {
 	}
+	c.mu.Lock()
+	c.quiesceLocked()
 	if c.now < t {
 		c.now = t
 	}
+	c.mu.Unlock()
 }
 
 // RunFor executes events for the next d of simulated time.
-func (c *Clock) RunFor(d Time) { c.RunUntil(c.now + d) }
+func (c *Clock) RunFor(d Time) { c.RunUntil(c.Now() + d) }
 
-func (c *Clock) peek() *Event {
+func (c *Clock) peekLocked() *Event {
 	for len(c.queue) > 0 {
 		e := c.queue[0]
-		if !e.canceled {
+		if !e.canceled.Load() {
 			return e
 		}
 		heap.Pop(&c.queue)

@@ -16,6 +16,7 @@ package testbed
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeState is the availability state of a node, mirroring OAR's node
@@ -213,12 +214,46 @@ func (s *Site) Nodes() []*Node {
 }
 
 // Testbed is the whole infrastructure.
+//
+// Concurrency model: the topology (sites, clusters, node identities,
+// lookup maps) is immutable after generation and safe to read from any
+// goroutine. Mutable node state (State, Inv, BootCount) is owned by the
+// simulation's run token — event callbacks and simulation goroutines
+// mutate it one at a time (see simclock's concurrency notes). The mutex
+// below additionally serializes the node-state flips that arrive from
+// subsystem APIs (OAR's oarnodesetting equivalent), so administrative
+// state changes are safe against each other even from outside goroutines.
 type Testbed struct {
 	Sites []*Site
 
+	mu             sync.Mutex
 	nodesByName    map[string]*Node
 	clustersByName map[string]*Cluster
 	sitesByName    map[string]*Site
+}
+
+// SetNodeState flips a node's availability state under the testbed mutex.
+// It reports whether the node exists.
+func (tb *Testbed) SetNodeState(name string, st NodeState) bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	n := tb.nodesByName[name]
+	if n == nil {
+		return false
+	}
+	n.State = st
+	return true
+}
+
+// NodeState reads a node's availability state under the testbed mutex.
+func (tb *Testbed) NodeState(name string) (NodeState, bool) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	n := tb.nodesByName[name]
+	if n == nil {
+		return Alive, false
+	}
+	return n.State, true
 }
 
 // index (re)builds the lookup maps. Called by the generator.

@@ -1,0 +1,204 @@
+// Short-mode smoke coverage of the experiment harness: every E1–E10
+// experiment of bench_test.go at reduced scale, as plain tests, so that
+// `go test ./...` exercises the whole reproduction instead of reporting
+// "no tests to run" for the root package.
+package repro_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/checks"
+	"repro/internal/ci"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/kadeploy"
+	"repro/internal/monitor"
+	"repro/internal/oar"
+	"repro/internal/refapi"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/status"
+	"repro/internal/suites"
+	"repro/internal/testbed"
+)
+
+func TestExperimentsSmoke(t *testing.T) {
+	t.Run("E1_TestbedScale", func(t *testing.T) {
+		st := testbed.Default().Stats()
+		if st.Sites != 8 || st.Clusters != 32 || st.Nodes != 894 || st.Cores != 8490 {
+			t.Fatalf("scale mismatch: %s", st)
+		}
+	})
+
+	t.Run("E2_NodeVerification", func(t *testing.T) {
+		clock := simclock.New(1)
+		tb := testbed.Default()
+		ref := refapi.NewStore(tb, clock.Now())
+		inj := faults.NewInjector(clock, tb)
+		checker := checks.NewChecker(clock, tb, ref)
+		// A handful of description-drift faults on known nodes.
+		kinds := []faults.Kind{
+			faults.DiskCacheOff, faults.CStatesOn, faults.HyperThreadFlip,
+			faults.TurboFlip, faults.RAMLoss,
+		}
+		nodes := tb.Cluster("graphene").Nodes[:len(kinds)]
+		for i, k := range kinds {
+			if _, err := inj.InjectNode(k, nodes[i].Name); err != nil {
+				t.Fatalf("inject %v on %s: %v", k, nodes[i].Name, err)
+			}
+		}
+		for _, n := range nodes {
+			rep, err := checker.CheckNode(n.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.OK || len(rep.Mismatches) == 0 {
+				t.Fatalf("drift on %s not detected", n.Name)
+			}
+		}
+	})
+
+	t.Run("E3_Deploy", func(t *testing.T) {
+		clock := simclock.New(1)
+		tb := testbed.Default()
+		d := kadeploy.NewDeployer(clock, faults.NewInjector(clock, tb))
+		nodes := tb.Cluster("griffon").Nodes[:50]
+		res, err := d.Deploy(nodes, kadeploy.StdEnv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK < 45 {
+			t.Fatalf("only %d/50 nodes deployed", res.OK)
+		}
+		if min := res.Duration.Duration().Minutes(); min > 10 {
+			t.Fatalf("deployment took %.1f sim-minutes", min)
+		}
+	})
+
+	t.Run("E4_MonitoringRate", func(t *testing.T) {
+		clock := simclock.New(1)
+		tb := testbed.Default()
+		col := monitor.NewCollector(clock, tb, faults.NewInjector(clock, tb))
+		clock.RunUntil(2 * simclock.Minute)
+		n := tb.Cluster("taurus").Nodes[0]
+		ss, err := col.Query(monitor.MetricPowerW, n.Name, 0, simclock.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ss) != 61 { // 1 Hz inclusive grid over 60 s
+			t.Fatalf("samples = %d, want 61", len(ss))
+		}
+		if err := monitor.CheckRate(ss); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("E5_MatrixEnvironments", func(t *testing.T) {
+		cfg := core.DefaultConfig()
+		cfg.InitialFaults = 0
+		cfg.FaultMeanInterval = 0
+		cfg.UserJobInterval = 0
+		cfg.EnvMatrixPeriod = 0
+		f := core.New(cfg)
+		f.Start()
+		parent, err := f.CI.Trigger("environments", "smoke")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.RunFor(2 * simclock.Day)
+		if !parent.Completed() {
+			t.Fatal("matrix did not complete in 2 sim-days")
+		}
+		if len(parent.CellBuilds) != 448 {
+			t.Fatalf("cells = %d, want 448", len(parent.CellBuilds))
+		}
+	})
+
+	t.Run("E6_SchedulerPolicies", func(t *testing.T) {
+		clock := simclock.New(5)
+		tb := testbed.Default()
+		oarSrv := oar.NewServer(clock, tb)
+		ciSrv := ci.NewServerWith(clock, ci.Options{NumExecutors: 4})
+		s := sched.New(clock, oarSrv, ciSrv, sched.DefaultConfig())
+		req := "cluster='sol'/nodes=ALL,walltime=1"
+		ciSrv.CreateJob(&ci.Job{Name: "disk/sol", Script: func(bc *ci.BuildContext) ci.Outcome {
+			j, _ := oarSrv.Submit(req, oar.SubmitOptions{User: "jenkins", Immediate: true})
+			if j.State != oar.Running {
+				return ci.Outcome{Result: ci.Unstable, Duration: simclock.Minute}
+			}
+			return ci.Outcome{Result: ci.Success, Duration: 30 * simclock.Minute}
+		}})
+		s.Register(&sched.Spec{Name: "disk/sol", JobName: "disk/sol", Cluster: "sol",
+			Site: "sophia", Kind: sched.HardwareCentric, Request: req, Period: simclock.Day})
+		// Users pin most of sol, so resource deferrals with growing backoff
+		// are guaranteed.
+		oarSrv.Submit("cluster='sol'/nodes=16,walltime=48", oar.SubmitOptions{User: "alice"})
+		s.Start()
+		clock.RunFor(simclock.Day)
+		s.Stop()
+		counts := s.DecisionCounts()
+		if counts[sched.ActionDeferResources] == 0 {
+			t.Fatalf("no resource deferrals: %v", counts)
+		}
+	})
+
+	t.Run("E7_TestCoverage", func(t *testing.T) {
+		tb := testbed.Default()
+		if total := suites.ConfigurationCount(tb); total != 751 {
+			t.Fatalf("configurations = %d, want 751", total)
+		}
+		if fams := len(suites.CountByFamily(tb)); fams != 16 {
+			t.Fatalf("families = %d, want 16", fams)
+		}
+	})
+
+	t.Run("E8_BugCampaign", func(t *testing.T) {
+		f := core.New(core.BugHuntConfig(42))
+		f.Start()
+		f.RunFor(10 * simclock.Day)
+		st := f.Bugs.Stats()
+		if st.Filed == 0 {
+			t.Fatal("campaign filed no bugs")
+		}
+		if st.Fixed+st.Open != st.Filed {
+			t.Fatalf("bug accounting off: %+v", st)
+		}
+	})
+
+	t.Run("E9_ReliabilityTrend", func(t *testing.T) {
+		f := core.New(core.PaperCampaignConfig(42))
+		f.Start()
+		f.RunFor(3 * simclock.Week)
+		weekly := f.WeeklyReport()
+		if len(weekly) < 3 {
+			t.Fatalf("weekly report has %d weeks", len(weekly))
+		}
+		for _, w := range weekly {
+			if w.Total() > 0 && (w.Rate() <= 0 || w.Rate() > 1) {
+				t.Fatalf("week %d rate %.3f out of range", w.Week, w.Rate())
+			}
+		}
+	})
+
+	t.Run("E10_StatusAggregation", func(t *testing.T) {
+		cfg := core.DefaultConfig()
+		cfg.InitialFaults = 5
+		f := core.New(cfg)
+		f.Start()
+		f.RunFor(2 * simclock.Day)
+		ts := httptest.NewServer(f.CI.Handler())
+		defer ts.Close()
+		grid, err := status.NewClient(ts.URL).BuildGrid()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := 0
+		for _, fam := range grid.Families {
+			cells += len(grid.Cells[fam])
+		}
+		if cells == 0 {
+			t.Fatal("empty status grid")
+		}
+	})
+}
