@@ -20,7 +20,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the full experiment suite once and records every number
+# (ns/op, allocs/op, reproduced sim metrics) in BENCH_results.json via
+# cmd/benchjson, so perf regressions show up as reviewable diffs.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE .
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) run ./cmd/benchjson -o BENCH_results.json < bench.out; st=$$?; rm -f bench.out; exit $$st
 
 check: build vet fmt-check race

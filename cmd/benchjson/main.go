@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` output (read from stdin)
+// into a machine-readable JSON report: benchmark name → iterations,
+// ns/op, B/op, allocs/op, plus every custom metric the benchmark reported
+// with b.ReportMetric (the reproduced paper numbers). `make bench` uses it
+// to write BENCH_results.json, so performance regressions show up as diffs
+// in a tracked artefact instead of scrollback.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -benchtime=1x -run=NONE . | benchjson -o BENCH_results.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is the parsed record of one benchmark.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// cpuSuffix strips the trailing GOMAXPROCS marker ("BenchmarkFoo-8").
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results := map[string]*Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Pass the human-readable output through on stderr, so the JSON
+		// stays parseable when it goes to stdout (no -o).
+		fmt.Fprintln(os.Stderr, line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a "Benchmark..." line that is not a result row
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		r := &Result{Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder alternates value, unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			case "MB/s":
+				r.Metrics["mb_per_s"] = v
+			default:
+				r.Metrics[unit] = v
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		results[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -16,8 +16,12 @@
 //     faults, bugs — the simulated substrate
 //
 // bench_test.go at the repository root regenerates every quantitative
-// claim of the paper (E1–E10, plus E11 for the executor pool added by this
-// reproduction), smoke_test.go runs the same experiments at reduced scale
-// as plain tests, and ablation_test.go compares the paper's mechanisms
-// against their obvious alternatives. README.md maps the module layout.
+// claim of the paper (E1–E10, plus E11–E13 added by this reproduction:
+// executor-pool scaling, parallel verification sweeps, and Reference API
+// version churn — the latter two exercised against deterministic k×-scale
+// testbeds from testbed.Scaled), smoke_test.go runs the same experiments
+// at reduced scale as plain tests, and ablation_test.go compares the
+// paper's mechanisms against their obvious alternatives. README.md maps
+// the module layout; `make bench` records every benchmark number in
+// BENCH_results.json.
 package repro

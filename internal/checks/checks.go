@@ -7,12 +7,22 @@
 // Like the real tool, it runs at node boot (wired into deployment flows by
 // internal/core) or manually (the refapi test family runs it across whole
 // clusters).
+//
+// The verification hot path is allocation-free: CheckNodeInto borrows the
+// node's live inventory (no clone — the simulation's run token serializes
+// it against fault mutations) and diffs it field-by-field into a reused
+// report buffer; strings are only built for fields that diverge. Cluster
+// and whole-testbed sweeps shard the nodes across simulation goroutines
+// (CheckClusterParallel / CheckTestbedParallel), the same run-token
+// concurrency the CI executor pool uses.
 package checks
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/refapi"
 	"repro/internal/simclock"
@@ -30,13 +40,21 @@ type Report struct {
 // Summary renders a one-line, operator-friendly verdict.
 func (r *Report) Summary() string {
 	if r.OK {
-		return fmt.Sprintf("%s: OK", r.Node)
+		return r.Node + ": OK"
 	}
-	fields := make([]string, len(r.Mismatches))
+	var b strings.Builder
+	b.Grow(len(r.Node) + 24 + 16*len(r.Mismatches))
+	b.WriteString(r.Node)
+	b.WriteString(": ")
+	b.WriteString(strconv.Itoa(len(r.Mismatches)))
+	b.WriteString(" mismatch(es): ")
 	for i, m := range r.Mismatches {
-		fields[i] = m.Field
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(m.Field)
 	}
-	return fmt.Sprintf("%s: %d mismatch(es): %s", r.Node, len(r.Mismatches), strings.Join(fields, ", "))
+	return b.String()
 }
 
 // Checker verifies nodes against a reference store.
@@ -45,7 +63,14 @@ type Checker struct {
 	tb    *testbed.Testbed
 	ref   *refapi.Store
 
-	runs int
+	// CheckCost is the simulated time one node check occupies during
+	// parallel sweeps (the real g5k-checks takes tens of seconds per boot).
+	// Zero — the default — keeps sweeps instantaneous in simulated time,
+	// preserving the timing of campaigns that predate parallel sweeps. Set
+	// it before starting sweeps, not concurrently with one.
+	CheckCost simclock.Time
+
+	runs atomic.Int64
 }
 
 // NewChecker returns a checker bound to the testbed and reference store.
@@ -53,8 +78,9 @@ func NewChecker(clock *simclock.Clock, tb *testbed.Testbed, ref *refapi.Store) *
 	return &Checker{clock: clock, tb: tb, ref: ref}
 }
 
-// Runs returns how many node checks have been performed.
-func (c *Checker) Runs() int { return c.runs }
+// Runs returns how many node checks have been performed. Safe to call
+// concurrently with checks running on executor goroutines.
+func (c *Checker) Runs() int { return int(c.runs.Load()) }
 
 // Acquire reads the node's live inventory, as OHAI/ethtool would. It is a
 // deep copy: callers can compare or store it without aliasing live state.
@@ -68,22 +94,34 @@ func (c *Checker) Acquire(node string) (testbed.Inventory, error) {
 
 // CheckNode verifies one node against the current reference description.
 func (c *Checker) CheckNode(node string) (*Report, error) {
-	c.runs++
-	inv, err := c.Acquire(node)
-	if err != nil {
+	rep := &Report{}
+	if err := c.CheckNodeInto(node, rep); err != nil {
 		return nil, err
+	}
+	return rep, nil
+}
+
+// CheckNodeInto verifies one node, writing the outcome into rep. The
+// report's Mismatches slice is reused (truncated and appended to), so a
+// caller sweeping many nodes with one report performs zero allocations per
+// clean node. The live inventory is borrowed for the comparison, not
+// cloned: the diff only reads it, and the simulation's run token (plus the
+// testbed's ownership rules) serializes reads against fault mutations.
+func (c *Checker) CheckNodeInto(node string, rep *Report) error {
+	c.runs.Add(1)
+	n := c.tb.Node(node)
+	if n == nil {
+		return fmt.Errorf("checks: unknown node %q", node)
 	}
 	ref, err := c.ref.Describe(node)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	diffs := refapi.DiffInventories(node, ref.Inv, inv)
-	return &Report{
-		Node:       node,
-		At:         c.clock.Now(),
-		OK:         len(diffs) == 0,
-		Mismatches: diffs,
-	}, nil
+	rep.Node = node
+	rep.At = c.clock.Now()
+	rep.Mismatches = refapi.AppendDiff(rep.Mismatches[:0], node, ref.Inv, n.Inv)
+	rep.OK = len(rep.Mismatches) == 0
+	return nil
 }
 
 // CheckCluster verifies every node of a cluster, returning reports sorted
@@ -107,6 +145,77 @@ func (c *Checker) CheckCluster(cluster string) ([]*Report, []string, error) {
 	}
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Node < reports[j].Node })
 	sort.Strings(failing)
+	return reports, failing, nil
+}
+
+// CheckClusterParallel verifies every node of a cluster by sharding the
+// checks across `workers` simulation goroutines, each check occupying
+// CheckCost of simulated time on its worker — the deterministic analogue
+// of fanning g5k-checks out over the management network. Results match
+// CheckCluster: reports sorted by node name plus the failing list.
+//
+// Like the CI executor pool it mirrors, the sweep runs on run-token
+// goroutines: call it from a simulation goroutine (a CI build script, or a
+// function handed to Clock.Go), never from the driver.
+func (c *Checker) CheckClusterParallel(cluster string, workers int) ([]*Report, []string, error) {
+	cl := c.tb.Cluster(cluster)
+	if cl == nil {
+		return nil, nil, fmt.Errorf("checks: unknown cluster %q", cluster)
+	}
+	return c.sweep(cl.Nodes, workers)
+}
+
+// CheckTestbedParallel verifies every node of the testbed with a sharded
+// sweep — the whole-campaign version of CheckClusterParallel, with the
+// same calling convention.
+func (c *Checker) CheckTestbedParallel(workers int) ([]*Report, []string, error) {
+	return c.sweep(c.tb.Nodes(), workers)
+}
+
+// sweep fans the node list out over `workers` simulation goroutines in a
+// strided shard (worker w checks nodes w, w+workers, ...), joins on a
+// latch, and aggregates. Workers write disjoint slots of the result slice,
+// so the shards never contend.
+func (c *Checker) sweep(nodes []*testbed.Node, workers int) ([]*Report, []string, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	reports := make([]*Report, len(nodes))
+	errs := make([]error, workers)
+	latch := c.clock.NewLatch(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		c.clock.Go(func() {
+			defer latch.Done()
+			for i := w; i < len(nodes); i += workers {
+				rep := &Report{}
+				if err := c.CheckNodeInto(nodes[i].Name, rep); err != nil {
+					errs[w] = err
+					return
+				}
+				reports[i] = rep
+				if c.CheckCost > 0 {
+					c.clock.Sleep(c.CheckCost)
+				}
+			}
+		})
+	}
+	latch.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Node < reports[j].Node })
+	var failing []string
+	for _, r := range reports {
+		if !r.OK {
+			failing = append(failing, r.Node)
+		}
+	}
 	return reports, failing, nil
 }
 

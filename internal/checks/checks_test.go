@@ -2,6 +2,7 @@ package checks
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/faults"
@@ -114,6 +115,143 @@ func TestCheckCluster(t *testing.T) {
 	}
 	if ch.Runs() != len(reports)+0 {
 		t.Fatalf("runs = %d", ch.Runs())
+	}
+}
+
+// CheckNodeInto must reuse the caller's report: sweeping clean nodes with
+// one report performs zero allocations.
+func TestCheckNodeIntoZeroAlloc(t *testing.T) {
+	_, _, _, ch := setup()
+	rep := &Report{}
+	if err := ch.CheckNodeInto("taurus-1.lyon", rep); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := ch.CheckNodeInto("taurus-1.lyon", rep); err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			t.Fatalf("healthy node failed: %v", rep.Mismatches)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("clean-node check allocates %v times per run, want 0", allocs)
+	}
+}
+
+// CheckNodeInto truncates stale mismatches from a reused report.
+func TestCheckNodeIntoReusedReportResets(t *testing.T) {
+	_, _, inj, ch := setup()
+	inj.InjectNode(faults.RAMLoss, "sol-2.sophia")
+	rep := &Report{}
+	if err := ch.CheckNodeInto("sol-2.sophia", rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || len(rep.Mismatches) != 1 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if err := ch.CheckNodeInto("sol-3.sophia", rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || len(rep.Mismatches) != 0 || rep.Node != "sol-3.sophia" {
+		t.Fatalf("reused report kept stale state: %+v", rep)
+	}
+}
+
+// The runs counter must be safe under real concurrency: checkers are
+// reachable from CI executor goroutines. Run with -race.
+func TestRunsCounterConcurrent(t *testing.T) {
+	_, tb, _, ch := setup()
+	nodes := tb.Cluster("griffon").Nodes
+	const goroutines = 8
+	const perG = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := ch.CheckNode(nodes[(g*perG+i)%len(nodes)].Name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ch.Runs(); got != goroutines*perG {
+		t.Fatalf("runs = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// CheckClusterParallel must produce exactly CheckCluster's answer, for any
+// worker count, from a simulation goroutine.
+func TestCheckClusterParallelMatchesSequential(t *testing.T) {
+	clock, _, inj, ch := setup()
+	inj.InjectNode(faults.TurboFlip, "helios-3.sophia")
+	inj.InjectNode(faults.WrongKernel, "helios-17.sophia")
+	seqReports, seqFailing, err := ch.CheckCluster("helios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 4, 100} {
+		var reports []*Report
+		var failing []string
+		var perr error
+		clock.Go(func() { reports, failing, perr = ch.CheckClusterParallel("helios", workers) })
+		clock.Run()
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if len(reports) != len(seqReports) {
+			t.Fatalf("workers=%d: %d reports, want %d", workers, len(reports), len(seqReports))
+		}
+		for i := range reports {
+			if reports[i].Node != seqReports[i].Node || reports[i].OK != seqReports[i].OK {
+				t.Fatalf("workers=%d: report %d = %+v, want %+v", workers, i, reports[i], seqReports[i])
+			}
+		}
+		if len(failing) != len(seqFailing) || failing[0] != seqFailing[0] || failing[1] != seqFailing[1] {
+			t.Fatalf("workers=%d: failing = %v, want %v", workers, failing, seqFailing)
+		}
+	}
+	if _, _, err := ch.CheckCluster("nimbus"); err == nil {
+		t.Fatal("unknown cluster accepted")
+	}
+	var perr error
+	clock.Go(func() { _, _, perr = ch.CheckClusterParallel("nimbus", 2) })
+	clock.Run()
+	if perr == nil {
+		t.Fatal("parallel sweep accepted unknown cluster")
+	}
+}
+
+// With a per-check simulated cost, a k-worker sweep's makespan shrinks by
+// ~k: the workers genuinely overlap in simulated time.
+func TestParallelSweepOverlapsSimulatedTime(t *testing.T) {
+	makespan := func(workers int) simclock.Time {
+		clock, _, _, ch := setup()
+		ch.CheckCost = 30 * simclock.Second
+		var reports []*Report
+		var err error
+		clock.Go(func() { reports, _, err = ch.CheckTestbedParallel(workers) })
+		clock.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reports) != 894 {
+			t.Fatalf("swept %d nodes, want 894", len(reports))
+		}
+		return clock.Now()
+	}
+	m1, m4 := makespan(1), makespan(4)
+	if m1 != 894*30*simclock.Second {
+		t.Fatalf("1-worker makespan = %v", m1)
+	}
+	// 894 nodes over 4 strided workers: largest shard is 224 checks.
+	if m4 != 224*30*simclock.Second {
+		t.Fatalf("4-worker makespan = %v, want %v", m4, 224*30*simclock.Second)
 	}
 }
 

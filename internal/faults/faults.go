@@ -105,6 +105,12 @@ func (k Kind) DescriptionDrift() bool {
 	return false
 }
 
+// nodeKind keys the per-node fault index.
+type nodeKind struct {
+	node string
+	kind Kind
+}
+
 // Injector owns all active faults and answers behaviour queries from the
 // other subsystems (deployment, monitoring, test scripts).
 type Injector struct {
@@ -114,6 +120,14 @@ type Injector struct {
 	nextID  int
 	active  map[int]*Fault
 	history []*Fault
+
+	// byNode indexes active node-scoped faults by (node, kind), so the
+	// behaviour queries every subsystem issues per node — reboot
+	// probability at each deployment, boot delay, disk factors at every
+	// monitoring sample — are O(1) lookups instead of scans over all
+	// active faults. Values are counts (CablingSwap registers under both
+	// of its nodes).
+	byNode map[nodeKind]int
 
 	// serviceErr caches site/service → error probability for fast lookup.
 	serviceErr map[string]float64
@@ -125,6 +139,7 @@ func NewInjector(clock *simclock.Clock, tb *testbed.Testbed) *Injector {
 		clock:      clock,
 		tb:         tb,
 		active:     map[int]*Fault{},
+		byNode:     map[nodeKind]int{},
 		serviceErr: map[string]float64{},
 	}
 }
@@ -168,13 +183,9 @@ func (in *Injector) NodeFaults(node string) []Kind {
 }
 
 // HasFault reports whether the node currently suffers from the given kind.
+// This is the hot behaviour query: an indexed O(1) lookup.
 func (in *Injector) HasFault(node string, k Kind) bool {
-	for _, f := range in.active {
-		if f.Kind == k && (f.Node == node || f.PeerNode == node) {
-			return true
-		}
-	}
-	return false
+	return in.byNode[nodeKind{node, k}] > 0
 }
 
 // Fix undoes a fault by ID. Fixing twice is an error, matching bug-tracker
@@ -190,6 +201,7 @@ func (in *Injector) Fix(id int) error {
 	f.Fixed = true
 	f.FixedAt = in.clock.Now()
 	delete(in.active, id)
+	in.unindex(f)
 	return nil
 }
 
@@ -209,5 +221,24 @@ func (in *Injector) register(f *Fault) *Fault {
 	f.InjectedAt = in.clock.Now()
 	in.active[f.ID] = f
 	in.history = append(in.history, f)
+	if f.Node != "" {
+		in.byNode[nodeKind{f.Node, f.Kind}]++
+	}
+	if f.PeerNode != "" {
+		in.byNode[nodeKind{f.PeerNode, f.Kind}]++
+	}
 	return f
+}
+
+// unindex removes a fixed fault from the per-node index.
+func (in *Injector) unindex(f *Fault) {
+	for _, node := range []string{f.Node, f.PeerNode} {
+		if node == "" {
+			continue
+		}
+		k := nodeKind{node, f.Kind}
+		if in.byNode[k]--; in.byNode[k] <= 0 {
+			delete(in.byNode, k)
+		}
+	}
 }

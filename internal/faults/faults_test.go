@@ -339,3 +339,61 @@ func TestDescriptionDriftClassification(t *testing.T) {
 		}
 	}
 }
+
+// hasFaultScan recomputes HasFault the pre-index way: a linear scan over
+// the active set. The O(1) index must always agree with it.
+func hasFaultScan(in *Injector, node string, k Kind) bool {
+	for _, f := range in.Active() {
+		if f.Kind == k && (f.Node == node || f.PeerNode == node) {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: the per-node fault index stays consistent with the active set
+// through arbitrary inject/fix churn, including cabling swaps that index
+// under two nodes.
+func TestHasFaultIndexConsistentProperty(t *testing.T) {
+	clock, tb, in := setup()
+	nodes := tb.Cluster("griffon").Nodes
+	rng := clock.Rand()
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			k := AllKinds[rng.Intn(len(AllKinds))]
+			n := nodes[rng.Intn(len(nodes))]
+			switch k {
+			case ServiceFlaky:
+				in.InjectService("nancy", "api", 0.5) //nolint:errcheck // dup ok
+			case CablingSwap:
+				in.InjectCablingSwap(n.Name, nodes[(rng.Intn(len(nodes)-1)+1)].Name) //nolint:errcheck // dup/self ok
+			default:
+				in.InjectNode(k, n.Name) //nolint:errcheck // dup ok
+			}
+		case 1:
+			if act := in.Active(); len(act) > 0 {
+				in.Fix(act[rng.Intn(len(act))].ID) //nolint:errcheck
+			}
+		case 2:
+			n := nodes[rng.Intn(len(nodes))]
+			k := AllKinds[rng.Intn(len(AllKinds))]
+			if got, want := in.HasFault(n.Name, k), hasFaultScan(in, n.Name, k); got != want {
+				t.Fatalf("step %d: HasFault(%s, %s) = %v, scan says %v", step, n.Name, k, got, want)
+			}
+		}
+	}
+	// Drain everything and verify the index is empty-equivalent.
+	for _, f := range in.Active() {
+		if err := in.Fix(f.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes {
+		for _, k := range AllKinds {
+			if in.HasFault(n.Name, k) {
+				t.Fatalf("index leaks %s on %s after full fix", k, n.Name)
+			}
+		}
+	}
+}

@@ -98,6 +98,26 @@ func TestDiffReportsExpectedAndActual(t *testing.T) {
 	}
 }
 
+// A drifted disk device or NIC name is an identity mismatch in its own
+// right, even when every other field agrees.
+func TestDiffDetectsDeviceIdentityDrift(t *testing.T) {
+	tb, st := newStore(t)
+	n := tb.Node("griffon-3.nancy")
+	ref, _ := st.Describe(n.Name)
+	n.Inv.Disks[0].Device = "nvme0n1"
+	n.Inv.NICs[0].Name = "enp1s0"
+	diffs := DiffInventories(n.Name, ref.Inv, n.Inv)
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %v, want 2", diffs)
+	}
+	if diffs[0].Field != "disks[sda].device" || diffs[0].Actual != "nvme0n1" {
+		t.Fatalf("disk identity diff = %+v", diffs[0])
+	}
+	if diffs[1].Field != "nics[eth0].name" || diffs[1].Actual != "enp1s0" {
+		t.Fatalf("nic identity diff = %+v", diffs[1])
+	}
+}
+
 func TestDiffDiskCountMismatch(t *testing.T) {
 	tb, st := newStore(t)
 	n := tb.Node("parasilo-1.rennes")
@@ -234,6 +254,213 @@ func TestDiffCountsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The copy-on-write store must preserve archival semantics: once a version
+// is handed out (or even merely recorded), later Updates and CaptureFroms
+// must not change what it says — byte-for-byte, since users script against
+// the JSON. This covers the paper's "state of the testbed 6 months ago"
+// query across subsequent churn.
+func TestArchivedVersionsImmutableUnderChurn(t *testing.T) {
+	tb := testbed.Default()
+	st := NewStore(tb, simclock.Hour)
+	n := tb.Node("taurus-3.lyon")
+
+	inv := n.Inv.Clone()
+	inv.RAMGB = 64
+	if err := st.Update(2*simclock.Hour, n.Name, inv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Render v1 and v2 (and the archival At query) before the churn.
+	v1Before, err := st.Version(1).MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Before, _ := st.Version(2).MarshalJSONIndent()
+	atBefore, _ := st.At(90 * simclock.Minute).MarshalJSONIndent()
+
+	// Churn: many single-node updates, a live-state mutation, and a full
+	// re-capture ("6 months" later).
+	for i, name := range []string{"sol-1.sophia", "edel-2.grenoble", "taurus-3.lyon", "griffon-10.nancy"} {
+		inv := tb.Node(name).Inv.Clone()
+		inv.OSKernel = "4.9.0-churn"
+		if err := st.Update(simclock.Time(3+i)*simclock.Hour, name, inv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.Node("taurus-3.lyon").Inv.BIOS.TurboBoost = false
+	st.CaptureFrom(tb, 6*30*simclock.Day)
+
+	v1After, _ := st.Version(1).MarshalJSONIndent()
+	v2After, _ := st.Version(2).MarshalJSONIndent()
+	atAfter, _ := st.At(90 * simclock.Minute).MarshalJSONIndent()
+	if string(v1Before) != string(v1After) {
+		t.Fatal("version 1 changed after later Update/CaptureFrom")
+	}
+	if string(v2Before) != string(v2After) {
+		t.Fatal("version 2 changed after later Update/CaptureFrom")
+	}
+	if string(atBefore) != string(atAfter) {
+		t.Fatal("archival At() answer changed after later churn")
+	}
+
+	// The archival question still answers from the far future.
+	old := st.At(3 * 30 * simclock.Day)
+	if old == nil || old.Nodes["taurus-3.lyon"].Inv.BIOS.TurboBoost != true {
+		t.Fatal("state-6-months-ago query does not reflect the pre-repair description")
+	}
+	if cur := st.Current(); cur.Nodes["taurus-3.lyon"].Inv.BIOS.TurboBoost != false {
+		t.Fatalf("current description missed the re-capture: %+v", cur.Nodes["taurus-3.lyon"].Inv.BIOS)
+	}
+}
+
+// A delta version materialized *lazily* (first read long after later
+// versions were appended) must equal the same version materialized eagerly.
+func TestLazyMaterializationMatchesEager(t *testing.T) {
+	mkStore := func() (*Store, *testbed.Testbed) {
+		tb := testbed.Default()
+		st := NewStore(tb, 0)
+		for i, name := range []string{"uvb-1.sophia", "hercule-2.lyon", "uvb-1.sophia"} {
+			inv := tb.Node(name).Inv.Clone()
+			inv.CPU.Microcode = "0xcafe"
+			inv.RAMGB += i + 1
+			if err := st.Update(simclock.Time(i+1)*simclock.Hour, name, inv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st, tb
+	}
+
+	eagerSt, _ := mkStore()
+	var eager [][]byte
+	for v := 1; v <= eagerSt.VersionCount(); v++ { // materialize as we go
+		data, err := eagerSt.Version(v).MarshalJSONIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eager = append(eager, data)
+	}
+
+	lazySt, _ := mkStore()
+	for v := lazySt.VersionCount(); v >= 1; v-- { // materialize backwards, after all churn
+		data, err := lazySt.Version(v).MarshalJSONIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(eager[v-1]) {
+			t.Fatalf("lazy materialization of v%d diverges from eager", v)
+		}
+	}
+	if lazySt.Materialize(2) != lazySt.Version(2) {
+		t.Fatal("Materialize is not the Version escape hatch")
+	}
+	if lazySt.Materialize(99) != nil {
+		t.Fatal("Materialize out of range should be nil")
+	}
+}
+
+// Version timestamps must never go backwards (At binary-searches them): a
+// caller handing Update/CaptureFrom an earlier time gets clamped to the
+// chain tail instead of corrupting later archival queries.
+func TestVersionTimesClampedMonotone(t *testing.T) {
+	tb := testbed.Default()
+	st := NewStore(tb, 10*simclock.Hour)
+	inv := tb.Node("sol-1.sophia").Inv.Clone()
+	inv.RAMGB = 2
+	if err := st.Update(20*simclock.Hour, "sol-1.sophia", inv); err != nil {
+		t.Fatal(err)
+	}
+	// Buggy caller: time goes backwards.
+	inv.RAMGB = 3
+	if err := st.Update(15*simclock.Hour, "sol-1.sophia", inv); err != nil {
+		t.Fatal(err)
+	}
+	st.CaptureFrom(tb, 5*simclock.Hour)
+
+	if s := st.Version(3); s.TakenAt != 20*simclock.Hour {
+		t.Fatalf("v3 archived at %v, want clamp to 20h", s.TakenAt)
+	}
+	if s := st.At(19 * simclock.Hour); s == nil || s.Version != 1 {
+		t.Fatalf("At(19h) = %v, want version 1", s)
+	}
+	// The latest version wins at and after the clamped instant.
+	if s := st.At(20 * simclock.Hour); s == nil || s.Version != 4 {
+		t.Fatalf("At(20h) = %v, want version 4", s)
+	}
+	if s := st.At(simclock.Week); s == nil || s.Version != 4 {
+		t.Fatalf("At(week) = %v, want version 4", s)
+	}
+}
+
+// DiffSnapshots iterates Go maps internally; its sorted output must be
+// identical across repeated calls regardless of iteration order.
+func TestDiffSnapshotsDeterministic(t *testing.T) {
+	_, st := newStore(t)
+	a := st.Current()
+	b := a.Clone()
+	for _, name := range []string{"sol-9.sophia", "edel-1.grenoble", "graphene-40.nancy", "uvb-7.sophia"} {
+		d := b.Nodes[name]
+		d.Inv.RAMGB++
+		d.Inv.BIOS.CStates = !d.Inv.BIOS.CStates
+		d.Inv.Disks[0].Firmware += "-x"
+		b.Nodes[name] = d
+	}
+	delete(b.Nodes, "taurus-1.lyon")
+
+	first := DiffSnapshots(a, b)
+	if len(first) == 0 {
+		t.Fatal("no differences found")
+	}
+	for run := 0; run < 10; run++ {
+		again := DiffSnapshots(a, b)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d diffs, first run had %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("run %d: diff %d = %+v, first run had %+v", run, i, again[i], first[i])
+			}
+		}
+	}
+	// Sorted by (node, field).
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Node > first[i].Node ||
+			(first[i-1].Node == first[i].Node && first[i-1].Field > first[i].Field) {
+			t.Fatalf("output not sorted: %v before %v", first[i-1], first[i])
+		}
+	}
+}
+
+// A Differ reuses its buffer across calls: after warming up, diffing
+// a clean node allocates nothing.
+func TestDifferReusesBuffer(t *testing.T) {
+	tb, st := newStore(t)
+	n := tb.Node("griffon-1.nancy")
+	ref, _ := st.Describe(n.Name)
+
+	var d Differ
+	drifted := n.Inv.Clone()
+	drifted.RAMGB = 1
+	if diffs := d.Diff(n.Name, ref.Inv, drifted); len(diffs) != 1 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if diffs := d.Diff(n.Name, ref.Inv, n.Inv); len(diffs) != 0 {
+			t.Fatalf("clean node drifted: %v", diffs)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("clean-node diff allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestDifferenceStringFormat(t *testing.T) {
+	d := Difference{Node: "sol-1.sophia", Field: "ram_gb", Expected: "4", Actual: "2"}
+	want := `sol-1.sophia: ram_gb: expected "4", got "2"`
+	if d.String() != want {
+		t.Fatalf("String() = %q, want %q", d.String(), want)
 	}
 }
 

@@ -102,6 +102,66 @@ func (c *Clock) makeRunnable(wake chan struct{}) {
 	c.mu.Unlock()
 }
 
+// Latch is a countdown join for simulation goroutines: the deterministic
+// equivalent of sync.WaitGroup inside the simulation. A fan-out caller
+// creates a Latch with the worker count, each worker calls Done when it
+// finishes, and the caller parks in Wait until the count reaches zero —
+// releasing the run token while parked, so the workers (and the rest of
+// the simulation) can make progress. Wake-ups go through the clock's
+// runnable queue, so resumption order stays deterministic (FIFO).
+//
+// checks.Checker shards cluster sweeps across goroutines this way, the
+// same shape as internal/ci's executor pool but with a static fan-out.
+type Latch struct {
+	c       *Clock
+	n       int
+	waiters []chan struct{}
+}
+
+// NewLatch creates a latch that opens after n Done calls. n must be ≥ 0;
+// a zero latch is already open.
+func (c *Clock) NewLatch(n int) *Latch {
+	if n < 0 {
+		panic("simclock: NewLatch with negative count")
+	}
+	return &Latch{c: c, n: n}
+}
+
+// Done decrements the latch. When the count reaches zero every goroutine
+// parked in Wait becomes runnable, in the order it went to sleep. Done may
+// be called from simulation goroutines or from event callbacks.
+func (l *Latch) Done() {
+	l.c.mu.Lock()
+	defer l.c.mu.Unlock()
+	if l.n <= 0 {
+		panic("simclock: Latch.Done past zero")
+	}
+	l.n--
+	if l.n == 0 {
+		l.c.runnable = append(l.c.runnable, l.waiters...)
+		l.waiters = nil
+		l.c.idle.Broadcast()
+	}
+}
+
+// Wait parks the calling simulation goroutine until the latch count drops
+// to zero. It returns immediately when the latch is already open. Like
+// WaitUntil, it must only be called from goroutines started with Go —
+// calling it from the driver would corrupt the run-token accounting.
+func (l *Latch) Wait() {
+	wake := make(chan struct{}, 1)
+	l.c.mu.Lock()
+	if l.n == 0 {
+		l.c.mu.Unlock()
+		return
+	}
+	l.waiters = append(l.waiters, wake)
+	l.c.active--
+	l.c.idle.Broadcast()
+	l.c.mu.Unlock()
+	<-wake
+}
+
 // quiesceLocked blocks the driver until no simulation goroutine is running
 // or ready, dispatching ready goroutines one at a time (FIFO). Called with
 // the mutex held.

@@ -190,3 +190,88 @@ func TestInterleavedEventsAndGoroutines(t *testing.T) {
 		t.Fatalf("goroutine saw counter=%d, want 10", seen)
 	}
 }
+
+// TestLatchJoinsFanOut: a coordinator spawns workers, parks in Wait, and
+// resumes only after every worker called Done — with the workers' effects
+// visible.
+func TestLatchJoinsFanOut(t *testing.T) {
+	c := New(9)
+	const workers = 5
+	sum := 0
+	done := false
+	c.Go(func() {
+		l := c.NewLatch(workers)
+		for w := 1; w <= workers; w++ {
+			w := w
+			c.Go(func() {
+				c.Sleep(Time(w) * Minute) // workers park and overlap
+				sum += w
+				l.Done()
+			})
+		}
+		l.Wait()
+		if sum != 15 {
+			t.Errorf("coordinator resumed before workers finished: sum=%d", sum)
+		}
+		done = true
+	})
+	c.Run()
+	if !done {
+		t.Fatal("coordinator never resumed")
+	}
+	if got := c.Now(); got != 5*Minute {
+		t.Fatalf("clock at %v, want 5m (slowest worker)", got)
+	}
+}
+
+// An open latch (count zero) never parks.
+func TestLatchZeroIsOpen(t *testing.T) {
+	c := New(10)
+	reached := false
+	c.Go(func() {
+		c.NewLatch(0).Wait()
+		reached = true
+	})
+	c.Run()
+	if !reached {
+		t.Fatal("Wait on open latch parked forever")
+	}
+}
+
+// Done from event-callback context (not a simulation goroutine) must wake
+// waiters too — the driver side of the contract.
+func TestLatchDoneFromEvent(t *testing.T) {
+	c := New(11)
+	l := c.NewLatch(2)
+	var resumedAt Time
+	c.Go(func() {
+		l.Wait()
+		resumedAt = c.Now()
+	})
+	c.After(Hour, l.Done)
+	c.After(2*Hour, l.Done)
+	c.Run()
+	if resumedAt != 2*Hour {
+		t.Fatalf("waiter resumed at %v, want 2h", resumedAt)
+	}
+}
+
+// Multiple waiters resume in the order they went to sleep.
+func TestLatchWaitersFIFO(t *testing.T) {
+	c := New(12)
+	l := c.NewLatch(1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		c.Go(func() {
+			c.Sleep(Time(i+1) * Second) // deterministic sleep order = wait order
+			l.Wait()
+			order = append(order, i)
+		})
+	}
+	c.After(Minute, l.Done)
+	c.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("resume order = %v, want [0 1 2]", order)
+	}
+}

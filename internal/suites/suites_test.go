@@ -46,12 +46,14 @@ func findTest(t *testing.T, tests []*Test, name string) *Test {
 	return nil
 }
 
-// runTest drives one test through its full CI-script protocol.
+// runTest drives one test through its full CI-script protocol. The script
+// runs on a simulation goroutine, exactly as the CI executor pool runs it
+// in production — required by scripts that fan out parallel sweeps.
 func runTest(ctx *Context, tt *Test) ci.Outcome {
 	var out ci.Outcome
 	script := tt.Script(ctx)
-	out = script(&ci.BuildContext{Clock: ctx.Clock})
-	ctx.Clock.Run() // let OAR releases fire
+	ctx.Clock.Go(func() { out = script(&ci.BuildContext{Clock: ctx.Clock}) })
+	ctx.Clock.Run() // run the script, then let OAR releases fire
 	return out
 }
 

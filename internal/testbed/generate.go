@@ -41,6 +41,31 @@ func Generate(spec []ClusterSpec) *Testbed {
 // Default generates the paper-scale testbed from DefaultSpec.
 func Default() *Testbed { return Generate(DefaultSpec) }
 
+// ScaledSpec returns the default specification replicated k times: every
+// cluster of DefaultSpec appears k times per site, replicas after the
+// first renamed with a deterministic "-rN" suffix ("edel-r2", "edel-r3",
+// ...). Node names follow ("edel-r2-5.grenoble"), so two calls with the
+// same k produce byte-identical testbeds. k below 1 is treated as 1.
+func ScaledSpec(k int) []ClusterSpec {
+	if k <= 1 {
+		return DefaultSpec
+	}
+	out := make([]ClusterSpec, 0, len(DefaultSpec)*k)
+	out = append(out, DefaultSpec...)
+	for rep := 2; rep <= k; rep++ {
+		for _, cs := range DefaultSpec {
+			cs.Name = fmt.Sprintf("%s-r%d", cs.Name, rep)
+			out = append(out, cs)
+		}
+	}
+	return out
+}
+
+// Scaled generates a k× testbed (k× clusters, nodes and cores on the same
+// 8 sites) for scalability experiments beyond the paper's 894 nodes —
+// deterministic, like every generated testbed. Scaled(1) is Default.
+func Scaled(k int) *Testbed { return Generate(ScaledSpec(k)) }
+
 func newNode(cs ClusterSpec, idx int) *Node {
 	name := fmt.Sprintf("%s-%d.%s", cs.Name, idx, cs.Site)
 	inv := Inventory{

@@ -272,3 +272,56 @@ func TestSiteNodes(t *testing.T) {
 		t.Fatalf("luxembourg nodes = %d, want 38", got)
 	}
 }
+
+func TestScaledOneIsDefault(t *testing.T) {
+	if got, want := Scaled(1).Stats(), Default().Stats(); got != want {
+		t.Fatalf("Scaled(1) = %v, want %v", got, want)
+	}
+	if got := Scaled(0).Stats(); got != Default().Stats() {
+		t.Fatalf("Scaled(0) = %v, want default", got)
+	}
+}
+
+func TestScaledMultipliesEverythingButSites(t *testing.T) {
+	base := Default().Stats()
+	for _, k := range []int{2, 4} {
+		st := Scaled(k).Stats()
+		if st.Sites != base.Sites {
+			t.Fatalf("Scaled(%d) sites = %d, want %d", k, st.Sites, base.Sites)
+		}
+		if st.Clusters != k*base.Clusters || st.Nodes != k*base.Nodes || st.Cores != k*base.Cores {
+			t.Fatalf("Scaled(%d) = %v, want %d x %v", k, st, k, base)
+		}
+	}
+}
+
+func TestScaledDeterministicAndDistinct(t *testing.T) {
+	a, b := Scaled(3), Scaled(3)
+	na, nb := a.Nodes(), b.Nodes()
+	if len(na) != len(nb) {
+		t.Fatalf("node counts differ: %d vs %d", len(na), len(nb))
+	}
+	seen := map[string]bool{}
+	for i := range na {
+		if na[i].Name != nb[i].Name {
+			t.Fatalf("node %d: %q vs %q", i, na[i].Name, nb[i].Name)
+		}
+		if na[i].Inv.NICs[0].MAC != nb[i].Inv.NICs[0].MAC {
+			t.Fatalf("node %s: MACs differ across generations", na[i].Name)
+		}
+		if seen[na[i].Name] {
+			t.Fatalf("duplicate node name %q", na[i].Name)
+		}
+		seen[na[i].Name] = true
+	}
+	// Replicas are real, distinct clusters.
+	if a.Cluster("edel") == nil || a.Cluster("edel-r2") == nil || a.Cluster("edel-r3") == nil {
+		t.Fatal("scaled replicas missing")
+	}
+	if a.Cluster("edel-r4") != nil {
+		t.Fatal("unexpected replica beyond scale factor")
+	}
+	if a.Node("edel-r2-1.grenoble") == nil {
+		t.Fatal("replica node name not derived deterministically")
+	}
+}
