@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench check
+# Benchmarks whose ns_per_op / allocs_per_op are gated by bench-check.
+TRACKED_BENCHES = BenchmarkE2_,BenchmarkE9_,BenchmarkE12_,BenchmarkE13_,BenchmarkE14_
+
+.PHONY: all build vet fmt-check test race bench bench-check check
 
 all: check
 
@@ -26,5 +29,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	$(GO) run ./cmd/benchjson -o BENCH_results.json < bench.out; st=$$?; rm -f bench.out; exit $$st
+
+# bench-check re-runs the suite and fails when a tracked benchmark's
+# ns_per_op or allocs_per_op regressed >20% against the committed
+# BENCH_results.json. It also writes the fresh numbers to bench-check.json
+# (not the committed baseline) so CI can archive them.
+bench-check:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) run ./cmd/benchjson -o bench-check.json -compare BENCH_results.json -max-regress 20% -track $(TRACKED_BENCHES) < bench.out; st=$$?; rm -f bench.out; exit $$st
 
 check: build vet fmt-check race

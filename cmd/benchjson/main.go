@@ -5,9 +5,16 @@
 // to write BENCH_results.json, so performance regressions show up as diffs
 // in a tracked artefact instead of scrollback.
 //
+// With -compare it additionally gates against a baseline file: any tracked
+// benchmark whose ns_per_op or allocs_per_op regressed by more than
+// -max-regress exits non-zero — `make bench-check` runs this in CI so a
+// perf regression fails the build.
+//
 // Usage:
 //
 //	go test -bench=. -benchmem -benchtime=1x -run=NONE . | benchjson -o BENCH_results.json
+//	go test -bench=. -benchmem -benchtime=1x -run=NONE . | \
+//	    benchjson -compare BENCH_results.json -max-regress 20% -track BenchmarkE2_,BenchmarkE9_
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,6 +43,9 @@ var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to gate regressions against")
+	maxRegress := flag.String("max-regress", "20%", "maximum allowed ns_per_op / allocs_per_op regression vs the baseline")
+	track := flag.String("track", "", "comma-separated benchmark name prefixes to gate (default: every benchmark present in both)")
 	flag.Parse()
 
 	results := map[string]*Result{}
@@ -97,12 +108,115 @@ func main() {
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	switch {
+	case *out != "":
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	case *compare == "":
 		os.Stdout.Write(data)
-		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+
+	if *compare != "" {
+		if err := compareBaseline(results, *compare, *maxRegress, *track); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// compareBaseline gates the fresh results against a baseline file: any
+// tracked benchmark whose ns_per_op or allocs_per_op grew by more than the
+// allowed fraction fails. Improvements (and new benchmarks absent from the
+// baseline) pass. allocs_per_op is deterministic; ns_per_op is wall-clock,
+// so the gate assumes baseline and run happen on comparable hardware (CI
+// regenerates both on the same runner class).
+func compareBaseline(results map[string]*Result, path, maxRegress, track string) error {
+	frac, err := parsePercent(maxRegress)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	baseline := map[string]*Result{}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	var prefixes []string
+	if track != "" {
+		for _, p := range strings.Split(track, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				prefixes = append(prefixes, p)
+			}
+		}
+	}
+	tracked := func(name string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	checked := 0
+	for _, name := range names {
+		if !tracked(name) {
+			continue
+		}
+		cur, ok := results[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: tracked benchmark missing from this run", name))
+			continue
+		}
+		checked++
+		old := baseline[name]
+		for _, m := range []struct {
+			what     string
+			old, cur float64
+		}{
+			{"ns_per_op", old.NsPerOp, cur.NsPerOp},
+			{"allocs_per_op", old.AllocsPerOp, cur.AllocsPerOp},
+		} {
+			if m.old <= 0 {
+				continue
+			}
+			if m.cur > m.old*(1+frac) {
+				failures = append(failures, fmt.Sprintf("%s: %s regressed %.1f%% (%.0f → %.0f, limit %.0f%%)",
+					name, m.what, 100*(m.cur/m.old-1), m.old, m.cur, 100*frac))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d tracked benchmarks within %.0f%% of %s\n", checked, 100*frac, path)
+	return nil
+}
+
+// parsePercent accepts "20%", "20" or "0.2".
+func parsePercent(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad -max-regress %q", s)
+	}
+	if pct || v > 1 {
+		v /= 100
+	}
+	return v, nil
 }

@@ -3,9 +3,15 @@
 // success rates, bug statistics, scheduler decisions and the final status
 // grid.
 //
+// With -seeds N it instead runs an N-seed campaign fleet (core.RunFleet):
+// N independently seeded campaigns simulated across -parallel real
+// goroutines, reporting the trend and bug statistics as mean ± spread —
+// the Monte-Carlo view of the paper's longitudinal result.
+//
 // Usage:
 //
 //	g5ktest [-weeks N] [-seed S] [-faults N] [-quiet]
+//	g5ktest -seeds N [-parallel P] [-weeks N] [-seed BASE] [-faults N]
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/core"
@@ -23,14 +30,21 @@ import (
 
 func main() {
 	weeks := flag.Int("weeks", 8, "simulated weeks to run")
-	seed := flag.Int64("seed", 42, "simulation seed")
+	seed := flag.Int64("seed", 42, "simulation seed (fleet mode: first seed of the range)")
 	initialFaults := flag.Int("faults", 25, "fault backlog at campaign start")
 	quiet := flag.Bool("quiet", false, "only print the final summary")
+	seeds := flag.Int("seeds", 1, "run a fleet of N independently seeded campaigns")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaigns simulated concurrently in fleet mode")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.InitialFaults = *initialFaults
+
+	if *seeds > 1 {
+		runFleet(*seed, *seeds, *parallel, *weeks, *initialFaults)
+		return
+	}
 
 	f := core.New(cfg)
 	f.Start()
@@ -82,4 +96,47 @@ func main() {
 
 func indent(s string) string {
 	return "  " + s
+}
+
+// runFleet is the -seeds mode: a multi-seed campaign sweep with aggregate
+// reporting.
+func runFleet(base int64, n, parallel, weeks, initialFaults int) {
+	fmt.Printf("fleet: %d campaigns (seeds %d..%d), %d weeks each, %d in parallel\n\n",
+		n, base, base+int64(n)-1, weeks, parallel)
+	res := core.RunFleet(core.FleetConfig{
+		Seeds:    core.SeedRange(base, n),
+		Parallel: parallel,
+		Duration: simclock.Time(weeks) * simclock.Week,
+		Configure: func(seed int64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.InitialFaults = initialFaults
+			return cfg
+		},
+	})
+
+	fmt.Println("per-seed campaigns:")
+	for i := range res.Campaigns {
+		c := &res.Campaigns[i]
+		fmt.Printf("  seed %3d: %s\n", c.Seed, c.Summary)
+	}
+
+	fmt.Println("\nweekly success rate across seeds (mean ± std):")
+	for _, w := range res.Weekly {
+		fmt.Printf("  week %2d: %5.1f%% ± %4.1f  (min %5.1f%%, max %5.1f%%, %d seeds)\n",
+			w.Week+1, 100*w.Rate.Mean, 100*w.Rate.Std, 100*w.Rate.Min, 100*w.Rate.Max, w.Rate.N)
+	}
+
+	fmt.Println("\naggregates:")
+	fmt.Printf("  first week ok  %s\n", pct(res.FirstWeek))
+	fmt.Printf("  final weeks ok %s\n", pct(res.FinalWeeks))
+	fmt.Printf("  bugs filed     %s\n", res.BugsFiled)
+	fmt.Printf("  bugs fixed     %s\n", res.BugsFixed)
+	fmt.Printf("  bugs open      %s\n", res.BugsOpen)
+}
+
+// pct renders a rate aggregate as percentages.
+func pct(a core.Aggregate) string {
+	return fmt.Sprintf("%.1f%% ± %.1f (min %.1f%%, max %.1f%%, n=%d)",
+		100*a.Mean, 100*a.Std, 100*a.Min, 100*a.Max, a.N)
 }

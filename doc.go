@@ -7,7 +7,14 @@
 // self-contained research artefact, consumed through its binaries,
 // examples and benchmarks):
 //
-//   - internal/core — the assembled framework and operations simulation
+//   - internal/core — the assembled framework and operations simulation,
+//     plus core.Fleet: parallel multi-seed campaign sweeps. A single
+//     campaign is deterministic on one simulated clock; RunFleet
+//     simulates N independently seeded campaigns concurrently on real OS
+//     threads (race-free by construction — campaigns share nothing) and
+//     aggregates the reliability trend and bug counters with mean ±
+//     spread, the Monte-Carlo sensitivity view of the paper's
+//     longitudinal result (g5ktest -seeds N is the CLI form)
 //   - internal/suites — the 751 test configurations in 16 families
 //   - internal/sched — the external test scheduler (the paper's core
 //     custom development)
@@ -16,12 +23,13 @@
 //     faults, bugs — the simulated substrate
 //
 // bench_test.go at the repository root regenerates every quantitative
-// claim of the paper (E1–E10, plus E11–E13 added by this reproduction:
-// executor-pool scaling, parallel verification sweeps, and Reference API
-// version churn — the latter two exercised against deterministic k×-scale
-// testbeds from testbed.Scaled), smoke_test.go runs the same experiments
-// at reduced scale as plain tests, and ablation_test.go compares the
-// paper's mechanisms against their obvious alternatives. README.md maps
-// the module layout; `make bench` records every benchmark number in
-// BENCH_results.json.
+// claim of the paper (E1–E10, plus E11–E14 added by this reproduction:
+// executor-pool scaling, parallel verification sweeps, Reference API
+// version churn, and campaign-fleet scaling — E12/E13 exercised against
+// deterministic k×-scale testbeds from testbed.Scaled), smoke_test.go
+// runs the same experiments at reduced scale as plain tests, and
+// ablation_test.go compares the paper's mechanisms against their obvious
+// alternatives. README.md maps the module layout; `make bench` records
+// every benchmark number in BENCH_results.json and `make bench-check`
+// fails the build when a tracked benchmark regresses against it.
 package repro

@@ -24,6 +24,7 @@ func main() {
 	cfg.UserJobInterval = 0
 	cfg.EnvMatrixPeriod = 0
 	cfg.OperatorMinAge = simclock.Day
+	cfg.RetainBuildLogs = true // this walkthrough prints the failing build's log
 	f := core.New(cfg)
 
 	exp := &suites.Experiment{

@@ -58,11 +58,34 @@ type Tracker struct {
 	clock *simclock.Clock
 	bugs  []*Bug
 	bySig map[string]*Bug
+
+	// open indexes unresolved bugs in filing (ID) order, maintained
+	// incrementally so OpenBugs/Stats never rescan the full history; fixed
+	// counts resolved bugs for O(1) Stats.
+	open  []*Bug
+	fixed int
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker(clock *simclock.Clock) *Tracker {
 	return &Tracker{clock: clock, bySig: map[string]*Bug{}}
+}
+
+// openInsert puts a bug back into the open index, keeping ID order
+// (reopens are rare; everything else appends at the tail).
+func (t *Tracker) openInsert(b *Bug) {
+	i := sort.Search(len(t.open), func(i int) bool { return t.open[i].ID >= b.ID })
+	t.open = append(t.open, nil)
+	copy(t.open[i+1:], t.open[i:])
+	t.open[i] = b
+}
+
+// openRemove drops a bug from the open index.
+func (t *Tracker) openRemove(b *Bug) {
+	i := sort.Search(len(t.open), func(i int) bool { return t.open[i].ID >= b.ID })
+	if i < len(t.open) && t.open[i] == b {
+		t.open = append(t.open[:i], t.open[i+1:]...)
+	}
 }
 
 // File records a problem. If an open bug already carries the signature, it
@@ -75,6 +98,8 @@ func (t *Tracker) File(signature, title, family, target string) (*Bug, bool) {
 		if b.State == Fixed {
 			b.State = Open
 			b.Reopens++
+			t.fixed--
+			t.openInsert(b)
 			return b, true
 		}
 		return b, false
@@ -91,6 +116,7 @@ func (t *Tracker) File(signature, title, family, target string) (*Bug, bool) {
 	}
 	t.bugs = append(t.bugs, b)
 	t.bySig[signature] = b
+	t.open = append(t.open, b) // new IDs are monotonic: tail append keeps order
 	return b, true
 }
 
@@ -105,6 +131,8 @@ func (t *Tracker) Fix(id int) error {
 	}
 	b.State = Fixed
 	b.FixedAt = t.clock.Now()
+	t.fixed++
+	t.openRemove(b)
 	return nil
 }
 
@@ -122,16 +150,25 @@ func (t *Tracker) BySignature(sig string) *Bug { return t.bySig[sig] }
 // All returns every bug in filing order.
 func (t *Tracker) All() []*Bug { return append([]*Bug(nil), t.bugs...) }
 
-// OpenBugs returns unresolved bugs, oldest first.
+// OpenBugs returns unresolved bugs, oldest first. The copy comes straight
+// off the maintained open index — no history scan.
 func (t *Tracker) OpenBugs() []*Bug {
-	var out []*Bug
-	for _, b := range t.bugs {
-		if b.State == Open {
-			out = append(out, b)
+	return append([]*Bug(nil), t.open...)
+}
+
+// EachOpen visits unresolved bugs oldest-first without copying, stopping
+// when fn returns false. fn must not File, Fix or reopen bugs during the
+// walk — collect first, then mutate.
+func (t *Tracker) EachOpen(fn func(*Bug) bool) {
+	for _, b := range t.open {
+		if !fn(b) {
+			return
 		}
 	}
-	return out
 }
+
+// OpenCount returns the number of unresolved bugs, O(1).
+func (t *Tracker) OpenCount() int { return len(t.open) }
 
 // Stats summarises the tracker like the paper's slide 22 headline.
 type Stats struct {
@@ -144,17 +181,10 @@ func (s Stats) String() string {
 	return fmt.Sprintf("%d bugs filed (inc. %d already fixed)", s.Filed, s.Fixed)
 }
 
-// Stats returns filed/fixed/open counts.
+// Stats returns filed/fixed/open counts. O(1): the counters are maintained
+// incrementally by File/Fix instead of rescanning the bug list.
 func (t *Tracker) Stats() Stats {
-	st := Stats{Filed: len(t.bugs)}
-	for _, b := range t.bugs {
-		if b.State == Fixed {
-			st.Fixed++
-		} else {
-			st.Open++
-		}
-	}
-	return st
+	return Stats{Filed: len(t.bugs), Fixed: t.fixed, Open: len(t.open)}
 }
 
 // ByFamily groups filed-bug counts per test family, sorted by family name —

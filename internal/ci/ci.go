@@ -18,6 +18,7 @@ package ci
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/simclock"
@@ -55,7 +56,7 @@ func (r Result) String() string {
 	case Aborted:
 		return "ABORTED"
 	}
-	return fmt.Sprintf("Result(%d)", int(r))
+	return "Result(" + strconv.Itoa(int(r)) + ")"
 }
 
 // worse returns the more severe of two results (for matrix parent rollup).
@@ -92,17 +93,82 @@ type Outcome struct {
 }
 
 // BuildContext is the clean execution environment handed to a script.
+// Contexts are pooled: a script must not retain its BuildContext (or the
+// slices reachable from it) after returning.
 type BuildContext struct {
 	Clock *simclock.Clock
 	Job   string
 	Cell  map[string]string // axis values for matrix cells, nil otherwise
 
-	log []string
+	// Level-gated bounded log ring. When the server discards build logs,
+	// logOn is false and Logf returns before formatting — the call is then
+	// effectively free (the variadic slice stays on the caller's stack).
+	// When logs are kept, at most maxLines lines are retained (a ring of
+	// the most recent); the line storage is reused across builds via the
+	// context pool.
+	logOn    bool
+	maxLines int
+	log      []string
+	logHead  int // next overwrite position once the ring wrapped
+	wrapped  bool
 }
 
-// Logf appends to the build log.
+var bcPool = sync.Pool{New: func() any { return new(BuildContext) }}
+
+// Logf appends to the build log. Near-free when the server does not retain
+// build logs.
 func (bc *BuildContext) Logf(format string, args ...any) {
-	bc.log = append(bc.log, fmt.Sprintf(format, args...))
+	if !bc.logOn {
+		return
+	}
+	bc.addLine(fmt.Sprintf(format, args...))
+}
+
+// LogsRetained reports whether the server keeps this build's log — scripts
+// use it to skip building expensive log lines of their own.
+func (bc *BuildContext) LogsRetained() bool { return bc.logOn }
+
+func (bc *BuildContext) addLine(line string) {
+	if bc.maxLines > 0 && len(bc.log) >= bc.maxLines {
+		bc.log[bc.logHead] = line
+		bc.logHead++
+		if bc.logHead == len(bc.log) {
+			bc.logHead = 0
+		}
+		bc.wrapped = true
+		return
+	}
+	bc.log = append(bc.log, line)
+}
+
+// takeLog returns the retained lines in chronological order, appending
+// extra (a script outcome's log) and re-applying the bound; it returns a
+// fresh slice because the context's own storage goes back to the pool.
+func (bc *BuildContext) takeLog(extra []string) []string {
+	total := len(bc.log) + len(extra)
+	if total == 0 {
+		return nil
+	}
+	out := make([]string, 0, total)
+	if bc.wrapped {
+		out = append(out, bc.log[bc.logHead:]...)
+		out = append(out, bc.log[:bc.logHead]...)
+	} else {
+		out = append(out, bc.log...)
+	}
+	out = append(out, extra...)
+	if bc.maxLines > 0 && len(out) > bc.maxLines {
+		out = out[len(out)-bc.maxLines:] // keep the most recent lines
+	}
+	return out
+}
+
+// reset clears the context for pooling, keeping the log line storage.
+func (bc *BuildContext) reset() {
+	clear(bc.log)
+	bc.log = bc.log[:0]
+	bc.Clock, bc.Job, bc.Cell = nil, "", nil
+	bc.logOn, bc.logHead, bc.wrapped = false, 0, false
 }
 
 // Axis returns the cell's value for an axis ("" when absent).
@@ -133,12 +199,86 @@ type Job struct {
 	Every simclock.Time
 
 	nextNumber int
-	builds     []*Build
-	cron       *simclock.Ticker
+
+	// Retained builds live in a ring: ring[head] is the oldest, nbuilds
+	// counts live entries. Retention is O(1) amortized — the oldest
+	// completed build pops off the front — instead of the filter-copy of
+	// the whole history the previous implementation paid on every trigger.
+	ring    []*Build
+	head    int
+	nbuilds int
+	// byNumber indexes retained builds for O(1) lookup (REST API, matrix
+	// rollup).
+	byNumber map[int]*Build
+
+	// cells interns the matrix cell expansion: the axis maps, their sorted
+	// cell-key strings and serialization keys are computed once per job and
+	// shared by every build, instead of re-sorting a map per cell trigger.
+	cells []matrixCell
+
+	cron *simclock.Ticker
 }
+
+// matrixCell is one interned (axis values, key) combination of a matrix job.
+type matrixCell struct {
+	values map[string]string
+	key    string // sorted "axis=value,..." form
+	serial string // job + cell serialization key
+}
+
+// cellsLocked lazily expands and interns the matrix cells. Caller holds
+// the server mutex.
+func (j *Job) cellsLocked() []matrixCell {
+	if j.cells == nil {
+		maps := expandAxes(j.Axes)
+		j.cells = make([]matrixCell, len(maps))
+		for i, m := range maps {
+			k := cellKey(m)
+			j.cells[i] = matrixCell{values: m, key: k, serial: j.Name + "\x00" + k}
+		}
+	}
+	return j.cells
+}
+
+// pushBuildLocked appends a build to the ring and evicts the oldest
+// completed builds beyond the retention limit. Uncompleted builds are
+// never evicted (they block eviction from the front until they finish —
+// in steady state builds complete roughly in order, so the ring stays
+// within a constant of Retention).
+func (j *Job) pushBuildLocked(b *Build) {
+	if j.byNumber == nil {
+		j.byNumber = map[int]*Build{}
+	}
+	if j.nbuilds == len(j.ring) { // full (or nil): grow and realign
+		grown := make([]*Build, max(8, 2*len(j.ring)))
+		for i := 0; i < j.nbuilds; i++ {
+			grown[i] = j.ring[(j.head+i)%len(j.ring)]
+		}
+		j.ring, j.head = grown, 0
+	}
+	j.ring[(j.head+j.nbuilds)%len(j.ring)] = b
+	j.nbuilds++
+	j.byNumber[b.Number] = b
+	for j.nbuilds > j.Retention {
+		oldest := j.ring[j.head]
+		if !oldest.completed {
+			break
+		}
+		delete(j.byNumber, oldest.Number)
+		j.ring[j.head] = nil
+		j.head = (j.head + 1) % len(j.ring)
+		j.nbuilds--
+	}
+}
+
+// buildAt returns the i-th oldest retained build.
+func (j *Job) buildAt(i int) *Build { return j.ring[(j.head+i)%len(j.ring)] }
 
 // DefaultRetention is the per-job build history size.
 const DefaultRetention = 200
+
+// DefaultMaxLogLines bounds the per-build log ring when logs are retained.
+const DefaultMaxLogLines = 1000
 
 // IsMatrix reports whether the job expands into cells.
 func (j *Job) IsMatrix() bool { return len(j.Axes) > 0 }
@@ -171,6 +311,18 @@ type Build struct {
 	BugSignatures []string
 
 	completed bool
+
+	// key/serial cache the cell-key and serialization-key strings (interned
+	// per job for matrix cells, so triggering a cell allocates neither).
+	key    string
+	serial string
+
+	// Incremental matrix-parent rollup: instead of rescanning every cell
+	// on each completion, the parent tracks how many cells are pending and
+	// folds results/timestamps in as they arrive.
+	cellsPending int
+	aggResult    Result
+	aggStarted   bool
 }
 
 // Completed reports whether the build has finished.
@@ -178,7 +330,12 @@ func (b *Build) Completed() bool { return b.completed }
 
 // CellKey renders the cell coordinates as a stable string
 // ("cluster=sol,image=jessie-x64-min"), or "" for non-cell builds.
-func (b *Build) CellKey() string { return cellKey(b.Cell) }
+func (b *Build) CellKey() string {
+	if b.key != "" || b.Cell == nil {
+		return b.key
+	}
+	return cellKey(b.Cell)
+}
 
 func cellKey(cell map[string]string) string {
 	if len(cell) == 0 {
@@ -241,6 +398,10 @@ type Server struct {
 	// completion listeners (status page, bug filing in internal/core).
 	onComplete []func(*Build)
 
+	// Log policy (see Options).
+	discardLogs bool
+	maxLogLines int
+
 	builtCount int
 }
 
@@ -254,6 +415,16 @@ type Options struct {
 	// NumExecutors is the size of the executor pool: the maximum number of
 	// builds running concurrently. Values below 1 mean 1.
 	NumExecutors int
+
+	// DiscardBuildLogs drops build logs entirely: BuildContext.Logf becomes
+	// a no-op that never formats, and script outcome logs are not stored.
+	// Long campaigns that never read logs run allocation-lean with this
+	// set; the default keeps logs, like Jenkins.
+	DiscardBuildLogs bool
+
+	// MaxLogLines bounds the per-build log to a ring of the most recent
+	// lines (0 = DefaultMaxLogLines, negative = unbounded).
+	MaxLogLines int
 }
 
 // NewServer creates a server with the given executor count.
@@ -266,12 +437,19 @@ func NewServerWith(clock *simclock.Clock, o Options) *Server {
 	if o.NumExecutors < 1 {
 		o.NumExecutors = 1
 	}
+	if o.MaxLogLines == 0 {
+		o.MaxLogLines = DefaultMaxLogLines
+	} else if o.MaxLogLines < 0 {
+		o.MaxLogLines = 0 // unbounded
+	}
 	return &Server{
-		clock:      clock,
-		executors:  o.NumExecutors,
-		jobs:       map[string]*Job{},
-		activeKeys: map[string]bool{},
-		tokens:     map[string]string{},
+		clock:       clock,
+		executors:   o.NumExecutors,
+		jobs:        map[string]*Job{},
+		activeKeys:  map[string]bool{},
+		tokens:      map[string]string{},
+		discardLogs: o.DiscardBuildLogs,
+		maxLogLines: o.MaxLogLines,
 	}
 }
 
@@ -416,7 +594,8 @@ func (s *Server) TriggerToken(jobName, token string) (*Build, error) {
 	return s.Trigger(jobName, "user "+user)
 }
 
-// newBuildLocked allocates the next build number for j.
+// newBuildLocked allocates the next build number for j. Retention is
+// enforced by the ring push (O(1) amortized).
 func (s *Server) newBuildLocked(j *Job, cause string, cell map[string]string, parent int) *Build {
 	j.nextNumber++
 	b := &Build{
@@ -427,27 +606,23 @@ func (s *Server) newBuildLocked(j *Job, cause string, cell map[string]string, pa
 		Parent:   parent,
 		QueuedAt: s.clock.Now(),
 	}
-	j.builds = append(j.builds, b)
-	// Retention: drop the oldest *completed* builds beyond the limit.
-	if excess := len(j.builds) - j.Retention; excess > 0 {
-		kept := j.builds[:0]
-		for _, old := range j.builds {
-			if excess > 0 && old.completed {
-				excess--
-				continue
-			}
-			kept = append(kept, old)
-		}
-		j.builds = kept
+	if cell == nil {
+		b.serial = j.Name
 	}
+	j.pushBuildLocked(b)
 	return b
 }
 
 // serialKey is the per-job serialization key of a build: plain builds
 // serialize on the job name, matrix cells on job+cell so different cells
 // of one matrix run in parallel while re-runs of the same configuration
-// never overlap.
+// never overlap. Builds created by the server carry the key pre-computed
+// (interned per matrix cell); the slow path covers hand-built Builds in
+// tests.
 func serialKey(b *Build) string {
+	if b.serial != "" {
+		return b.serial
+	}
 	if b.Cell == nil {
 		return b.Job
 	}
@@ -533,10 +708,18 @@ func (s *Server) worker() {
 		s.mu.Unlock()
 
 		// The build script runs at the start instant; the executor then
-		// stays occupied for the duration the script reports.
-		bc := &BuildContext{Clock: s.clock, Job: b.Job, Cell: b.Cell}
+		// stays occupied for the duration the script reports. The context
+		// comes from a pool — its log storage is recycled build to build.
+		bc := bcPool.Get().(*BuildContext)
+		bc.Clock, bc.Job, bc.Cell = s.clock, b.Job, b.Cell
+		bc.logOn, bc.maxLines = !s.discardLogs, s.maxLogLines
 		out := p.script(bc)
-		log := append(bc.log, out.Log...)
+		var log []string
+		if !s.discardLogs {
+			log = bc.takeLog(out.Log)
+		}
+		bc.reset()
+		bcPool.Put(bc)
 		dur := out.Duration
 		if dur < 0 {
 			dur = 0
@@ -615,12 +798,7 @@ func (s *Server) Build(jobName string, number int) *Build {
 	if j == nil {
 		return nil
 	}
-	for _, b := range j.builds {
-		if b.Number == number {
-			return b
-		}
-	}
-	return nil
+	return j.byNumber[number]
 }
 
 // Builds returns the retained builds of a job, oldest first.
@@ -631,7 +809,11 @@ func (s *Server) Builds(jobName string) []*Build {
 	if j == nil {
 		return nil
 	}
-	return append([]*Build(nil), j.builds...)
+	out := make([]*Build, j.nbuilds)
+	for i := 0; i < j.nbuilds; i++ {
+		out[i] = j.buildAt(i)
+	}
+	return out
 }
 
 // LastCompleted returns a job's most recent completed top-level build
@@ -643,8 +825,8 @@ func (s *Server) LastCompleted(jobName string) *Build {
 	if j == nil {
 		return nil
 	}
-	for i := len(j.builds) - 1; i >= 0; i-- {
-		b := j.builds[i]
+	for i := j.nbuilds - 1; i >= 0; i-- {
+		b := j.buildAt(i)
 		if b.completed && b.Parent == 0 {
 			return b
 		}

@@ -8,18 +8,29 @@ import "fmt"
 // triggerMatrixLocked creates a parent build plus one cell build per axis
 // combination. When onlyCells is non-nil, only cells whose key appears in
 // it are built (Matrix Reloaded); the others are not re-run.
+//
+// Cell maps and their key strings are interned on the job (cellsLocked):
+// every trigger shares the same read-only maps and strings, so expanding
+// a 448-cell matrix allocates only the builds themselves.
 func (s *Server) triggerMatrixLocked(j *Job, cause string, onlyCells map[string]bool) *Build {
 	parent := s.newBuildLocked(j, cause, nil, 0)
-	cells := expandAxes(j.Axes)
-	for _, cell := range cells {
-		if onlyCells != nil && !onlyCells[cellKey(cell)] {
+	cells := j.cellsLocked()
+	if onlyCells == nil {
+		parent.CellBuilds = make([]int, 0, len(cells))
+	}
+	parent.aggResult = Success
+	for i := range cells {
+		mc := &cells[i]
+		if onlyCells != nil && !onlyCells[mc.key] {
 			continue
 		}
-		cb := s.newBuildLocked(j, cause, cell, parent.Number)
+		cb := s.newBuildLocked(j, cause, mc.values, parent.Number)
+		cb.key, cb.serial = mc.key, mc.serial
 		parent.CellBuilds = append(parent.CellBuilds, cb.Number)
 		s.enqueueLocked(cb, j.Script)
 	}
-	if len(parent.CellBuilds) == 0 {
+	parent.cellsPending = len(parent.CellBuilds)
+	if parent.cellsPending == 0 {
 		// Nothing to run (e.g. retry with no failed cells): complete the
 		// parent immediately as a no-op success.
 		parent.Result = Success
@@ -31,50 +42,34 @@ func (s *Server) triggerMatrixLocked(j *Job, cause string, onlyCells map[string]
 	return parent
 }
 
-// maybeCompleteParentLocked rolls a finished cell up into its parent and
-// completes the parent when it was the last one. Returns the parent if it
-// just completed, else nil. Caller holds s.mu.
+// maybeCompleteParentLocked rolls a finished cell up into its parent,
+// completing the parent when it was the last one. The rollup is
+// incremental — O(1) per cell instead of rescanning every sibling — with
+// the parent accumulating the worst result and the start/end envelope as
+// cells arrive. Returns the parent if it just completed, else nil. Caller
+// holds s.mu.
 func (s *Server) maybeCompleteParentLocked(cell *Build) *Build {
 	j := s.jobs[cell.Job]
-	var parent *Build
-	for _, b := range j.builds {
-		if b.Number == cell.Parent {
-			parent = b
-			break
-		}
+	if j == nil {
+		return nil // job deleted mid-flight
 	}
-	if parent == nil {
+	parent := j.byNumber[cell.Parent]
+	if parent == nil || parent.completed || parent.cellsPending == 0 {
 		return nil // parent rotated out of retention; nothing to roll up
 	}
-	allDone := true
-	agg := Success
-	var firstStart, lastEnd bool = true, false
-	_ = lastEnd
-	for _, num := range parent.CellBuilds {
-		var cb *Build
-		for _, b := range j.builds {
-			if b.Number == num {
-				cb = b
-				break
-			}
-		}
-		if cb == nil || !cb.completed {
-			allDone = false
-			break
-		}
-		agg = worse(agg, cb.Result)
-		if firstStart || cb.StartedAt < parent.StartedAt {
-			parent.StartedAt = cb.StartedAt
-			firstStart = false
-		}
-		if cb.EndedAt > parent.EndedAt {
-			parent.EndedAt = cb.EndedAt
-		}
+	parent.aggResult = worse(parent.aggResult, cell.Result)
+	if !parent.aggStarted || cell.StartedAt < parent.StartedAt {
+		parent.StartedAt = cell.StartedAt
+		parent.aggStarted = true
 	}
-	if !allDone {
+	if cell.EndedAt > parent.EndedAt {
+		parent.EndedAt = cell.EndedAt
+	}
+	parent.cellsPending--
+	if parent.cellsPending > 0 {
 		return nil
 	}
-	parent.Result = agg
+	parent.Result = parent.aggResult
 	parent.completed = true
 	s.builtCount++
 	return parent
@@ -90,13 +85,7 @@ func (s *Server) FailedCells(jobName string, parentNumber int) ([]map[string]str
 	if j == nil {
 		return nil, fmt.Errorf("ci: unknown job %q", jobName)
 	}
-	var parent *Build
-	for _, b := range j.builds {
-		if b.Number == parentNumber {
-			parent = b
-			break
-		}
-	}
+	parent := j.byNumber[parentNumber]
 	if parent == nil {
 		return nil, fmt.Errorf("ci: no build %s#%d", jobName, parentNumber)
 	}
@@ -105,10 +94,8 @@ func (s *Server) FailedCells(jobName string, parentNumber int) ([]map[string]str
 	}
 	var out []map[string]string
 	for _, num := range parent.CellBuilds {
-		for _, b := range j.builds {
-			if b.Number == num && b.completed && b.Result != Success {
-				out = append(out, b.Cell)
-			}
+		if b := j.byNumber[num]; b != nil && b.completed && b.Result != Success {
+			out = append(out, b.Cell)
 		}
 	}
 	return out, nil
@@ -122,7 +109,7 @@ func (s *Server) RetryFailedCells(jobName string, parentNumber int, cause string
 	if err != nil {
 		return nil, err
 	}
-	only := map[string]bool{}
+	only := make(map[string]bool, len(failed))
 	for _, cell := range failed {
 		only[cellKey(cell)] = true
 	}
@@ -164,8 +151,12 @@ func (s *Server) CellResult(jobName string, parentNumber int, key string) Result
 	if j == nil {
 		return NotBuilt
 	}
-	for _, b := range j.builds {
-		if b.Parent == parentNumber && b.CellKey() == key && b.completed {
+	parent := j.byNumber[parentNumber]
+	if parent == nil {
+		return NotBuilt
+	}
+	for _, num := range parent.CellBuilds {
+		if b := j.byNumber[num]; b != nil && b.CellKey() == key && b.completed {
 			return b.Result
 		}
 	}

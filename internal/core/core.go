@@ -63,6 +63,13 @@ type Config struct {
 	// "tests still being added": family name → activation offset. Families
 	// absent from the map activate immediately.
 	Rollout map[string]simclock.Time
+
+	// RetainBuildLogs keeps per-build logs on the CI server (and makes the
+	// test suites render their log lines). Campaigns drop logs by default:
+	// the operations model and every report read verdicts and bug
+	// signatures, never log text, and a 10-week campaign otherwise formats
+	// millions of lines just to throw them away.
+	RetainBuildLogs bool
 }
 
 // DefaultConfig returns the calibrated operations model used by the
@@ -138,9 +145,15 @@ type Framework struct {
 	Ctx   *suites.Context
 	Tests []*suites.Test
 
-	weekly     map[int]*WeekCounts
+	// weekly accumulates build verdicts per simulated week, indexed by
+	// week number. Counters update incrementally in onBuildComplete;
+	// WeeklyReport and Summary never rescan build history.
+	weekly     []WeekCounts
 	envRetries map[int]int // parent build number → retry generation
 	started    bool
+
+	clusters   []*testbed.Cluster // cached topology for the user-load loop
+	fixScratch []*bugs.Bug        // reused operator-pass candidate buffer
 }
 
 // WeekCounts accumulates build verdicts per simulated week.
@@ -174,7 +187,6 @@ func New(cfg Config) *Framework {
 	f := &Framework{
 		Cfg:        cfg,
 		Clock:      simclock.New(cfg.Seed),
-		weekly:     map[int]*WeekCounts{},
 		envRetries: map[int]int{},
 	}
 	f.TB = testbed.Default()
@@ -185,9 +197,13 @@ func New(cfg Config) *Framework {
 	f.VLAN = kavlan.NewManager(f.Clock, f.TB, f.Faults)
 	f.Monitor = monitor.NewCollector(f.Clock, f.TB, f.Faults)
 	f.Checker = checks.NewChecker(f.Clock, f.TB, f.Ref)
-	f.CI = ci.NewServer(f.Clock, cfg.Executors)
+	f.CI = ci.NewServerWith(f.Clock, ci.Options{
+		NumExecutors:     cfg.Executors,
+		DiscardBuildLogs: !cfg.RetainBuildLogs,
+	})
 	f.Bugs = bugs.NewTracker(f.Clock)
 	f.Sched = sched.New(f.Clock, f.OAR, f.CI, cfg.Sched)
+	f.clusters = f.TB.Clusters()
 
 	f.Ctx = &suites.Context{
 		Clock:    f.Clock,
@@ -199,6 +215,7 @@ func New(cfg Config) *Framework {
 		Monitor:  f.Monitor,
 		Checker:  f.Checker,
 		Faults:   f.Faults,
+		Quiet:    !cfg.RetainBuildLogs,
 	}
 	f.Tests = suites.All(f.TB)
 

@@ -7,9 +7,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
+	"repro/internal/bugs"
 	"repro/internal/ci"
 	"repro/internal/oar"
 	"repro/internal/simclock"
@@ -27,13 +27,13 @@ func (f *Framework) onBuildComplete(b *ci.Build) {
 		return
 	}
 
-	// Weekly statistics.
+	// Weekly statistics: counters update in place, so WeeklyReport and
+	// Summary never rescan anything.
 	week := int(b.EndedAt / simclock.Week)
-	wc := f.weekly[week]
-	if wc == nil {
-		wc = &WeekCounts{Week: week}
-		f.weekly[week] = wc
+	for week >= len(f.weekly) {
+		f.weekly = append(f.weekly, WeekCounts{Week: len(f.weekly)})
 	}
+	wc := &f.weekly[week]
 	switch b.Result {
 	case ci.Success:
 		wc.Success++
@@ -55,7 +55,12 @@ func (f *Framework) onBuildComplete(b *ci.Build) {
 		target = b.Cell["cluster"]
 	}
 	for _, sig := range b.BugSignatures {
-		title := titleForSignature(sig)
+		// Render the operator-facing title only when the signature is new —
+		// nightly re-detections of a known bug skip the formatting.
+		var title string
+		if f.Bugs.BySignature(sig) == nil {
+			title = titleForSignature(sig)
+		}
 		f.Bugs.File(sig, title, family, target)
 		// The framework quarantines hardware that eats deployments, like
 		// kadeploy suspecting nodes on a real testbed.
@@ -102,20 +107,25 @@ func (f *Framework) startOperatorProcess() {
 
 // operatorPass fixes up to FixesPerPass of the oldest sufficiently aged
 // open bugs: resolve the root cause (remove the fault / heal the node),
-// then close the ticket.
+// then close the ticket. Candidates are collected first (into a reused
+// buffer, walking the tracker's open index without copying it), because
+// fixing mutates the index mid-walk.
 func (f *Framework) operatorPass() {
+	if f.Cfg.FixesPerPass <= 0 {
+		return
+	}
 	now := f.Clock.Now()
-	fixed := 0
-	for _, b := range f.Bugs.OpenBugs() {
-		if fixed >= f.Cfg.FixesPerPass {
-			break
+	todo := f.fixScratch[:0]
+	f.Bugs.EachOpen(func(b *bugs.Bug) bool {
+		if now-b.FiledAt >= f.Cfg.OperatorMinAge {
+			todo = append(todo, b)
 		}
-		if now-b.FiledAt < f.Cfg.OperatorMinAge {
-			continue
-		}
+		return len(todo) < f.Cfg.FixesPerPass
+	})
+	f.fixScratch = todo[:0]
+	for _, b := range todo {
 		f.resolveRootCause(b.Signature)
 		f.Bugs.Fix(b.ID) //nolint:errcheck // open by construction
-		fixed++
 	}
 }
 
@@ -167,7 +177,7 @@ func (f *Framework) startUserLoad() {
 
 func (f *Framework) submitUserJob() {
 	rng := f.Clock.Rand()
-	cl := simclock.Pick(rng, f.TB.Clusters())
+	cl := simclock.Pick(rng, f.clusters)
 	wall := simclock.Exponential(rng, f.Cfg.UserMeanWalltime)
 	if wall < 10*simclock.Minute {
 		wall = 10 * simclock.Minute
@@ -244,16 +254,17 @@ func (f *Framework) maybeRetryEnvMatrix(parent *ci.Build) {
 
 // ---- reporting ---------------------------------------------------------------
 
-// WeeklyReport returns per-week build statistics in week order.
+// WeeklyReport returns per-week build statistics in week order. The
+// counters are already aggregated (onBuildComplete updates them in place),
+// so this is a straight copy — weeks in which nothing completed are
+// skipped, matching the sparse report of the previous implementation.
 func (f *Framework) WeeklyReport() []WeekCounts {
-	weeks := make([]int, 0, len(f.weekly))
-	for w := range f.weekly {
-		weeks = append(weeks, w)
-	}
-	sort.Ints(weeks)
-	out := make([]WeekCounts, 0, len(weeks))
-	for _, w := range weeks {
-		out = append(out, *f.weekly[w])
+	out := make([]WeekCounts, 0, len(f.weekly))
+	for _, w := range f.weekly {
+		if w.Success == 0 && w.Failure == 0 && w.Unstable == 0 {
+			continue
+		}
+		out = append(out, w)
 	}
 	return out
 }

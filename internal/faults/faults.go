@@ -117,6 +117,11 @@ type Injector struct {
 	clock *simclock.Clock
 	tb    *testbed.Testbed
 
+	// nodes/siteNames cache the (immutable) topology so the random
+	// injection loop does not rebuild them on every arrival.
+	nodes     []*testbed.Node
+	siteNames []string
+
 	nextID  int
 	active  map[int]*Fault
 	history []*Fault
@@ -138,6 +143,8 @@ func NewInjector(clock *simclock.Clock, tb *testbed.Testbed) *Injector {
 	return &Injector{
 		clock:      clock,
 		tb:         tb,
+		nodes:      tb.Nodes(),
+		siteNames:  tb.SiteNames(),
 		active:     map[int]*Fault{},
 		byNode:     map[nodeKind]int{},
 		serviceErr: map[string]float64{},

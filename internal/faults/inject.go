@@ -136,12 +136,12 @@ func (in *Injector) InjectService(site, service string, errRate float64) (*Fault
 // fault (extremely unlikely on a healthy testbed).
 func (in *Injector) InjectRandom() *Fault {
 	rng := in.clock.Rand()
-	nodes := in.tb.Nodes()
+	nodes := in.nodes
 	for attempt := 0; attempt < 10; attempt++ {
 		k := weightedKind(rng.Float64())
 		switch k {
 		case ServiceFlaky:
-			site := simclock.Pick(rng, in.tb.SiteNames())
+			site := simclock.Pick(rng, in.siteNames)
 			svc := simclock.Pick(rng, Services)
 			rate := 0.2 + 0.6*rng.Float64()
 			if f, err := in.InjectService(site, svc, rate); err == nil {

@@ -67,8 +67,15 @@ type Collector struct {
 
 	// wiring is the monitoring database: switch port → node name, recorded
 	// at install time. Cabling faults change live NIC ports, NOT this map —
-	// that divergence is the bug.
+	// that divergence is the bug. portOf is the inverse (node name → its
+	// recorded port); both are immutable after construction.
 	wiring map[string]string
+	portOf map[string]string
+
+	// nodes caches the testbed's node list: attribution scans it on cable
+	// mismatches, and rebuilding the slice per query dominated campaign
+	// allocations before it was hoisted here.
+	nodes []*testbed.Node
 
 	// history of load changes per node (actual physical activity).
 	history map[string][]loadChange
@@ -82,10 +89,13 @@ func NewCollector(clock *simclock.Clock, tb *testbed.Testbed, inj *faults.Inject
 		tb:      tb,
 		faults:  inj,
 		wiring:  map[string]string{},
+		portOf:  map[string]string{},
+		nodes:   tb.Nodes(),
 		history: map[string][]loadChange{},
 	}
-	for _, n := range tb.Nodes() {
+	for _, n := range c.nodes {
 		c.wiring[n.Inv.NICs[0].SwitchPort] = n.Name
+		c.portOf[n.Name] = n.Inv.NICs[0].SwitchPort
 	}
 	return c
 }
@@ -130,19 +140,18 @@ func (c *Collector) attributedNode(target string) string {
 	if n == nil {
 		return ""
 	}
-	// Find the port that the wiring DB says belongs to target...
-	var port string
-	for p, name := range c.wiring {
-		if name == target {
-			port = p
-			break
-		}
-	}
+	// The port that the wiring DB says belongs to target.
+	port := c.portOf[target]
 	if port == "" {
 		return ""
 	}
-	// ...then find who is physically plugged into it now.
-	for _, other := range c.tb.Nodes() {
+	// Fast path: on a healthy cabling the target itself still carries its
+	// recorded port — no scan needed.
+	if n.Inv.NICs[0].SwitchPort == port {
+		return target
+	}
+	// A cable moved: find who is physically plugged into the port now.
+	for _, other := range c.nodes {
 		if other.Inv.NICs[0].SwitchPort == port {
 			return other.Name
 		}
@@ -171,16 +180,28 @@ func peakExtraW(n *testbed.Node) float64 {
 	return 9 * float64(n.Cores())
 }
 
-// noise derives a deterministic ±1 W wiggle from (target, second), keeping
-// query results reproducible without consuming RNG state.
-func noise(target string, sec int64) float64 {
+// noiseSeed is the FNV-1a prefix of the noise hash: it depends only on the
+// target name, so Query hoists it out of the per-sample loop instead of
+// re-hashing the string once per 1 Hz sample.
+func noiseSeed(target string) uint64 {
 	h := uint64(1469598103934665603)
 	for _, b := range []byte(target) {
 		h = (h ^ uint64(b)) * 1099511628211
 	}
-	h ^= uint64(sec)
+	return h
+}
+
+// noiseAt finishes the hash for one second, yielding a deterministic ±1 W
+// wiggle that keeps query results reproducible without consuming RNG state.
+func noiseAt(seed uint64, sec int64) float64 {
+	h := seed ^ uint64(sec)
 	h *= 1099511628211
 	return float64(h%2000)/1000 - 1
+}
+
+// noise derives the wiggle from (target, second) in one call.
+func noise(target string, sec int64) float64 {
+	return noiseAt(noiseSeed(target), sec)
 }
 
 // Query returns the 1 Hz samples of a metric for a node over [from, to].
@@ -216,16 +237,24 @@ func (c *Collector) Query(metric, node string, from, to simclock.Time) ([]Sample
 	}
 	srcNode := c.tb.Node(source)
 
-	var out []Sample
 	start := from / SamplePeriod
 	end := to / SamplePeriod
+	if end < start { // range entirely in the future (to was clamped to now)
+		return nil, nil
+	}
+	out := make([]Sample, 0, int(end-start)+1)
+	seed := noiseSeed(node)
+	idle, peak := 0.0, 0.0
+	if metric == MetricPowerW {
+		idle, peak = idlePowerW(srcNode), peakExtraW(srcNode)
+	}
 	for s := start; s <= end; s++ {
 		t := s * SamplePeriod
 		load := c.loadAt(source, t)
 		var v float64
 		switch metric {
 		case MetricPowerW:
-			v = idlePowerW(srcNode) + load.cpu*peakExtraW(srcNode) + noise(node, int64(s))
+			v = idle + load.cpu*peak + noiseAt(seed, int64(s))
 		case MetricCPULoad:
 			v = load.cpu
 		case MetricNetMbps:

@@ -107,7 +107,7 @@ func (s *Server) FreeOrPreemptable(e Expr) int {
 				continue
 			}
 		}
-		if e.Eval(s.nodeProps(n)) {
+		if e.EvalNode(n) {
 			count++
 		}
 	}

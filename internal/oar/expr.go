@@ -9,15 +9,23 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/testbed"
 )
 
 // Expr is a parsed property expression, e.g.
 //
 //	cluster='a' and gpu='YES'
 //
-// evaluated against a node's property map.
+// evaluated against a node's property map — or, on the scheduling hot
+// path, directly against a node via EvalNode, which reads the live
+// inventory without materialising a property map.
 type Expr interface {
 	Eval(props map[string]string) bool
+	// EvalNode evaluates the expression against a node's live state. It is
+	// semantically Eval(Properties(n)) without the map allocation and
+	// lookups, reading mutable properties (ram_gb, cores) live.
+	EvalNode(n *testbed.Node) bool
 	String() string
 }
 
@@ -36,6 +44,11 @@ func (e orExpr) Eval(p map[string]string) bool  { return e.l.Eval(p) || e.r.Eval
 func (e notExpr) Eval(p map[string]string) bool { return !e.e.Eval(p) }
 func (trueExpr) Eval(map[string]string) bool    { return true }
 
+func (e andExpr) EvalNode(n *testbed.Node) bool { return e.l.EvalNode(n) && e.r.EvalNode(n) }
+func (e orExpr) EvalNode(n *testbed.Node) bool  { return e.l.EvalNode(n) || e.r.EvalNode(n) }
+func (e notExpr) EvalNode(n *testbed.Node) bool { return !e.e.EvalNode(n) }
+func (trueExpr) EvalNode(*testbed.Node) bool    { return true }
+
 func (e andExpr) String() string { return fmt.Sprintf("(%s and %s)", e.l, e.r) }
 func (e orExpr) String() string  { return fmt.Sprintf("(%s or %s)", e.l, e.r) }
 func (e notExpr) String() string { return fmt.Sprintf("not %s", e.e) }
@@ -50,9 +63,14 @@ func (e cmpExpr) Eval(p map[string]string) bool {
 	if !ok {
 		return false
 	}
-	// Numeric comparison only when the literal parsed as a number at parse
-	// time AND the property value looks numeric; the quick first-byte test
-	// avoids allocating a strconv syntax error per node per evaluation.
+	return e.evalStr(actual)
+}
+
+// evalStr compares a property's string value against the literal. Numeric
+// comparison only when the literal parsed as a number at parse time AND
+// the property value looks numeric; the quick first-byte test avoids
+// allocating a strconv syntax error per node per evaluation.
+func (e cmpExpr) evalStr(actual string) bool {
 	var an, vn float64
 	numeric := false
 	if e.valIsNum && looksNumeric(actual) {
@@ -82,6 +100,101 @@ func (e cmpExpr) Eval(p map[string]string) bool {
 		return numeric && an >= vn
 	}
 	return false
+}
+
+// evalIntProp compares an integer property against the literal, matching
+// evalStr's semantics exactly: numeric comparison when the literal is
+// numeric, string comparison of the rendered value otherwise (so e.g.
+// cores!='abc' behaves identically through Eval and EvalNode).
+func (e cmpExpr) evalIntProp(actual int) bool {
+	if e.valIsNum {
+		return e.evalNum(float64(actual))
+	}
+	return e.evalStr(strconv.Itoa(actual))
+}
+
+// evalNum compares a numeric property value against the literal.
+func (e cmpExpr) evalNum(actual float64) bool {
+	if !e.valIsNum {
+		return false
+	}
+	switch e.op {
+	case "=":
+		return actual == e.valNum
+	case "!=":
+		return actual != e.valNum
+	case "<":
+		return actual < e.valNum
+	case "<=":
+		return actual <= e.valNum
+	case ">":
+		return actual > e.valNum
+	case ">=":
+		return actual >= e.valNum
+	}
+	return false
+}
+
+// EvalNode evaluates the comparison directly against the node, without
+// building a property map. The keys mirror Properties; unknown keys fall
+// back to the map form so custom properties keep working.
+func (e cmpExpr) EvalNode(n *testbed.Node) bool {
+	switch e.key {
+	case "cluster":
+		return e.evalStr(n.Cluster)
+	case "site":
+		return e.evalStr(n.Site)
+	case "host":
+		return e.evalStr(n.Name)
+	case "cpu_model":
+		return e.evalStr(n.Inv.CPU.Model)
+	case "cores":
+		return e.evalIntProp(n.Cores())
+	case "ram_gb":
+		return e.evalIntProp(n.Inv.RAMGB)
+	case "gpu":
+		return e.evalStr(yesNo(n.Inv.HasGPU()))
+	case "ib":
+		return e.evalStr(yesNo(n.Inv.HasIB()))
+	case "eth10g":
+		return e.evalStr(yn(n.Inv.Has10G()))
+	case "disktype":
+		return e.evalStr(diskType(n))
+	}
+	return e.Eval(Properties(n))
+}
+
+// anchor extracts a narrowing constraint from the expression: a
+// (key, value) pair such that every matching node satisfies key=value.
+// Only equality comparisons reachable through a pure AND chain qualify —
+// under OR or NOT the constraint is no longer necessary. The allocator
+// uses it to scan one cluster or site instead of the whole testbed.
+func anchor(e Expr) (key, val string) {
+	switch x := e.(type) {
+	case cmpExpr:
+		if x.op == "=" && (x.key == "cluster" || x.key == "site" || x.key == "host") {
+			return x.key, x.val
+		}
+	case andExpr:
+		// Prefer the most selective anchor: host > cluster > site.
+		lk, lv := anchor(x.l)
+		rk, rv := anchor(x.r)
+		switch {
+		case lk == "host":
+			return lk, lv
+		case rk == "host":
+			return rk, rv
+		case lk == "cluster":
+			return lk, lv
+		case rk == "cluster":
+			return rk, rv
+		case lk != "":
+			return lk, lv
+		default:
+			return rk, rv
+		}
+	}
+	return "", ""
 }
 
 // ---- lexer ----

@@ -18,6 +18,11 @@ type Segment struct {
 	Expr  Expr
 	Nodes int // AllNodes for "every matching node"
 	raw   string
+
+	// anchorKey/anchorVal cache the narrowing constraint extracted from
+	// Expr at parse time ("cluster"/"site"/"host" equality, or empty), so
+	// the allocator can scan just the anchored subset of the testbed.
+	anchorKey, anchorVal string
 }
 
 func (s Segment) String() string {
@@ -112,7 +117,9 @@ func parseSegment(s string) (Segment, error) {
 	if err != nil {
 		return Segment{}, err
 	}
-	return Segment{Expr: e, Nodes: n, raw: strings.TrimSpace(exprPart)}, nil
+	ak, av := anchor(e)
+	return Segment{Expr: e, Nodes: n, raw: strings.TrimSpace(exprPart),
+		anchorKey: ak, anchorVal: av}, nil
 }
 
 func parseWalltime(s string) (simclock.Time, error) {
@@ -148,30 +155,34 @@ func parseWalltime(s string) (simclock.Time, error) {
 // (slide 7); here the live inventory plays that role and the property names
 // follow Grid'5000 conventions (gpu='YES', eth10g='Y', ...).
 func Properties(n *testbed.Node) map[string]string {
-	yes := func(b bool) string {
-		if b {
-			return "YES"
-		}
-		return "NO"
-	}
-	y := func(b bool) string {
-		if b {
-			return "Y"
-		}
-		return "N"
-	}
 	return map[string]string{
 		"cluster":   n.Cluster,
 		"site":      n.Site,
 		"host":      n.Name,
 		"cores":     strconv.Itoa(n.Cores()),
 		"ram_gb":    strconv.Itoa(n.Inv.RAMGB),
-		"gpu":       yes(n.Inv.HasGPU()),
-		"ib":        yes(n.Inv.HasIB()),
-		"eth10g":    y(n.Inv.Has10G()),
+		"gpu":       yesNo(n.Inv.HasGPU()),
+		"ib":        yesNo(n.Inv.HasIB()),
+		"eth10g":    yn(n.Inv.Has10G()),
 		"disktype":  diskType(n),
 		"cpu_model": n.Inv.CPU.Model,
 	}
+}
+
+// yesNo renders a boolean property the Grid'5000 way ("YES"/"NO").
+func yesNo(b bool) string {
+	if b {
+		return "YES"
+	}
+	return "NO"
+}
+
+// yn renders a boolean property in the short form ("Y"/"N").
+func yn(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "N"
 }
 
 func diskType(n *testbed.Node) string {

@@ -82,13 +82,28 @@ type Server struct {
 	queue  []*Job         // waiting jobs, FCFS order
 	busy   map[string]int // node name → running job ID
 
-	// Scheduling fast path: the node list is static, and the property maps
-	// used for matching are cached per node (see nodeProps). The properties
-	// requests select on (cluster, site, gpu, eth10g, ib, cores, disktype)
-	// are immutable for a node's lifetime; mutable ones (ram_gb) are served
-	// fresh by the package-level Properties function, which tests use.
+	// Scheduling fast path. The node list and the cluster/site indexes are
+	// static (topology never changes); expressions evaluate directly
+	// against live node state (Expr.EvalNode), so no property maps are
+	// built on the allocation path. Requests anchored on cluster='x' or
+	// site='y' scan only that subset of nodes.
 	nodeList  []*testbed.Node
-	propCache map[string]map[string]string
+	byCluster map[string][]*testbed.Node
+	bySite    map[string][]*testbed.Node
+
+	// reqCache interns parsed requests by their source string: the test
+	// scheduler re-probes a fixed set of requests every poll and user jobs
+	// draw from a small family of request shapes, so parsing each string
+	// once removes the parser from the hot path entirely.
+	reqCache map[string]Request
+
+	// Scratch buffers reused across allocation attempts (all access is
+	// under the server mutex). chosen/taken/free hold the in-progress
+	// selection; only a successful allocation copies the result out.
+	chosenScratch []string
+	freeScratch   []*testbed.Node
+	orderScratch  []*testbed.Node
+	hostScratch   [1]*testbed.Node
 
 	// Re-entrancy guard: OnStart callbacks may Submit or Release
 	// synchronously, which re-invokes Schedule.
@@ -101,24 +116,58 @@ type Server struct {
 
 // NewServer returns an OAR server over the testbed.
 func NewServer(clock *simclock.Clock, tb *testbed.Testbed) *Server {
-	return &Server{
+	s := &Server{
 		clock:     clock,
 		tb:        tb,
 		jobs:      map[int]*Job{},
 		busy:      map[string]int{},
 		nodeList:  tb.Nodes(),
-		propCache: map[string]map[string]string{},
+		byCluster: map[string][]*testbed.Node{},
+		bySite:    map[string][]*testbed.Node{},
+		reqCache:  map[string]Request{},
 	}
+	for _, n := range s.nodeList {
+		s.byCluster[n.Cluster] = append(s.byCluster[n.Cluster], n)
+		s.bySite[n.Site] = append(s.bySite[n.Site], n)
+	}
+	return s
 }
 
-// nodeProps returns the cached matching properties of a node.
-func (s *Server) nodeProps(n *testbed.Node) map[string]string {
-	if p, ok := s.propCache[n.Name]; ok {
-		return p
+// parseRequestCached is ParseRequest through the server's intern table.
+// The cached Request (including its Segments slice) is shared between
+// callers and must be treated as read-only — which every consumer does.
+// The caller holds the mutex.
+func (s *Server) parseRequestCachedLocked(request string) (Request, error) {
+	if req, ok := s.reqCache[request]; ok {
+		return req, nil
 	}
-	p := Properties(n)
-	s.propCache[n.Name] = p
-	return p
+	req, err := ParseRequest(request)
+	if err != nil {
+		return Request{}, err
+	}
+	if len(s.reqCache) >= 8192 { // defensive bound; request families are small
+		s.reqCache = map[string]Request{}
+	}
+	s.reqCache[request] = req
+	return req, nil
+}
+
+// segmentCandidates narrows the nodes a segment can possibly match using
+// its parse-time anchor, falling back to the full node list.
+func (s *Server) segmentCandidates(seg Segment) []*testbed.Node {
+	switch seg.anchorKey {
+	case "cluster":
+		return s.byCluster[seg.anchorVal]
+	case "site":
+		return s.bySite[seg.anchorVal]
+	case "host":
+		if n := s.tb.Node(seg.anchorVal); n != nil {
+			s.hostScratch[0] = n
+			return s.hostScratch[:]
+		}
+		return nil
+	}
+	return s.nodeList
 }
 
 // SubmitOptions tweak job submission.
@@ -140,11 +189,12 @@ type SubmitOptions struct {
 // Running (scheduled now), Waiting (queued), or Canceled (Immediate was set
 // and resources were unavailable).
 func (s *Server) Submit(request string, opts SubmitOptions) (*Job, error) {
-	req, err := ParseRequest(request)
+	s.mu.Lock()
+	req, err := s.parseRequestCachedLocked(request)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
-	s.mu.Lock()
 	s.nextID++
 	j := &Job{
 		ID:          s.nextID,
@@ -355,52 +405,81 @@ func (s *Server) allocate(req Request) ([]string, bool) {
 // N of M candidate nodes, non-penalized nodes are chosen first. The
 // preemption path penalizes nodes held by best-effort jobs so that only the
 // minimum number of them get killed.
+//
+// This is the scheduler's hottest path (every Submit, every availability
+// probe): candidates come pre-narrowed by the segment anchor, expressions
+// evaluate against live node state without property maps, and all working
+// storage is reused scratch — a failed attempt allocates nothing, a
+// successful one allocates only the returned name slice.
 func (s *Server) allocatePreferring(req Request, penalized map[string]bool) ([]string, bool) {
-	taken := map[string]bool{}
-	var chosen []string
-	for _, seg := range req.Segments {
-		var matching []*testbed.Node
-		for _, n := range s.nodeList {
-			if taken[n.Name] {
-				continue
-			}
-			if seg.Expr.Eval(s.nodeProps(n)) {
-				matching = append(matching, n)
+	chosen := s.chosenScratch[:0]
+	defer func() { s.chosenScratch = chosen[:0] }()
+	// taken tracks nodes already claimed by an earlier segment of the same
+	// request; requests are at most a few segments of bounded size, so a
+	// linear scan beats a map here.
+	isTaken := func(name string) bool {
+		for _, t := range chosen {
+			if t == name {
+				return true
 			}
 		}
+		return false
+	}
+	multi := len(req.Segments) > 1
+	for _, seg := range req.Segments {
+		cands := s.segmentCandidates(seg)
 		if seg.Nodes == AllNodes {
 			// Every matching node must exist, be Alive and be free.
-			if len(matching) == 0 {
-				return nil, false
-			}
-			for _, n := range matching {
+			matched := false
+			for _, n := range cands {
+				if multi && isTaken(n.Name) {
+					continue
+				}
+				if !seg.Expr.EvalNode(n) {
+					continue
+				}
+				matched = true
 				if n.State != testbed.Alive {
 					return nil, false
 				}
 				if _, used := s.busy[n.Name]; used {
 					return nil, false
 				}
-				taken[n.Name] = true
 				chosen = append(chosen, n.Name)
+			}
+			if !matched {
+				return nil, false
 			}
 			continue
 		}
-		var free []*testbed.Node
-		for _, n := range matching {
+		free := s.freeScratch[:0]
+		for _, n := range cands {
+			if multi && isTaken(n.Name) {
+				continue
+			}
 			if n.State != testbed.Alive {
 				continue
 			}
 			if _, used := s.busy[n.Name]; used {
 				continue
 			}
+			if !seg.Expr.EvalNode(n) {
+				continue
+			}
 			free = append(free, n)
+			// First-fit takes the first N free candidates in testbed
+			// order; without a penalty set we can stop right there.
+			if penalized == nil && len(free) == seg.Nodes {
+				break
+			}
 		}
+		s.freeScratch = free[:0]
 		if len(free) < seg.Nodes {
 			return nil, false
 		}
 		if penalized != nil {
 			// Stable partition: genuinely free nodes first.
-			ordered := make([]*testbed.Node, 0, len(free))
+			ordered := s.orderScratch[:0]
 			for _, n := range free {
 				if !penalized[n.Name] {
 					ordered = append(ordered, n)
@@ -411,15 +490,17 @@ func (s *Server) allocatePreferring(req Request, penalized map[string]bool) ([]s
 					ordered = append(ordered, n)
 				}
 			}
+			s.orderScratch = ordered[:0]
 			free = ordered
 		}
 		for _, n := range free[:seg.Nodes] {
-			taken[n.Name] = true
 			chosen = append(chosen, n.Name)
 		}
 	}
 	sort.Strings(chosen)
-	return chosen, true
+	out := make([]string, len(chosen))
+	copy(out, chosen)
+	return out, true
 }
 
 // ---- availability queries (used by the external test scheduler) ----
@@ -436,7 +517,7 @@ func (s *Server) FreeMatching(e Expr) int {
 		if _, used := s.busy[n.Name]; used {
 			continue
 		}
-		if e.Eval(s.nodeProps(n)) {
+		if e.EvalNode(n) {
 			count++
 		}
 	}
@@ -447,17 +528,32 @@ func (s *Server) FreeMatching(e Expr) int {
 // immediately, counting nodes that would be freed by preempting best-effort
 // jobs.
 func (s *Server) CanStartNow(request string) (bool, error) {
-	req, err := ParseRequest(request)
+	s.mu.Lock()
+	req, err := s.parseRequestCachedLocked(request)
 	if err != nil {
+		s.mu.Unlock()
 		return false, err
 	}
+	ok := s.canStartNowLocked(req)
+	s.mu.Unlock()
+	return ok, nil
+}
+
+// CanStartNowReq is CanStartNow for a pre-parsed request — the external
+// scheduler parses each spec's request once at registration and probes
+// with it every poll.
+func (s *Server) CanStartNowReq(req Request) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.canStartNowLocked(req)
+}
+
+func (s *Server) canStartNowLocked(req Request) bool {
 	if _, ok := s.allocate(req); ok {
-		return true, nil
+		return true
 	}
 	_, _, ok := s.allocateWithPreemption(req)
-	return ok, nil
+	return ok
 }
 
 // BusyNodes returns how many nodes are currently allocated.

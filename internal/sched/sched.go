@@ -94,7 +94,17 @@ type Config struct {
 	// MaxActivePerSite bounds concurrently running test jobs per site
 	// ("avoid several jobs on same site").
 	MaxActivePerSite int
+	// DecisionLog bounds the retained decision entries: Decisions returns
+	// a ring of the most recent DecisionLog entries, while DecisionCounts
+	// stays complete (aggregated incrementally). 0 means
+	// DefaultDecisionLog; negative disables retention entirely.
+	DecisionLog int
 }
+
+// DefaultDecisionLog is the default size of the retained decision ring. A
+// multi-week campaign makes millions of decisions; the log exists for
+// debugging and benchmarks, not as an unbounded history.
+const DefaultDecisionLog = 4096
 
 // DefaultConfig mirrors the deployment described in the paper.
 func DefaultConfig() Config {
@@ -111,6 +121,8 @@ func DefaultConfig() Config {
 
 type specState struct {
 	spec    *Spec
+	req     oar.Request // parsed once at registration; probed every poll
+	cause   string      // interned trigger cause ("scheduler <name>")
 	nextDue simclock.Time
 	backoff simclock.Time // 0 = not backing off
 	running bool
@@ -137,8 +149,15 @@ type Scheduler struct {
 	order  []string
 	bySite map[string]int // active test builds per site
 
-	ticker    *simclock.Ticker
-	decisions []Decision
+	ticker *simclock.Ticker
+
+	// Decision bookkeeping: counts aggregates every decision ever made;
+	// the ring retains only the most recent cfg.DecisionLog entries.
+	counts    map[Action]int
+	decisions []Decision // ring storage
+	decHead   int        // oldest entry once the ring is full
+
+	dueScratch []*specState // reused batch buffer for Poll
 }
 
 // New wires the scheduler to the OAR and CI servers. It registers a CI
@@ -156,6 +175,11 @@ func New(clock *simclock.Clock, oarSrv *oar.Server, ciSrv *ci.Server, cfg Config
 	if cfg.MaxActivePerSite <= 0 {
 		cfg.MaxActivePerSite = 1
 	}
+	if cfg.DecisionLog == 0 {
+		cfg.DecisionLog = DefaultDecisionLog
+	} else if cfg.DecisionLog < 0 {
+		cfg.DecisionLog = 0
+	}
 	s := &Scheduler{
 		clock:  clock,
 		oar:    oarSrv,
@@ -163,6 +187,7 @@ func New(clock *simclock.Clock, oarSrv *oar.Server, ciSrv *ci.Server, cfg Config
 		cfg:    cfg,
 		specs:  map[string]*specState{},
 		bySite: map[string]int{},
+		counts: map[Action]int{},
 	}
 	ciSrv.OnComplete(s.observeBuild)
 	return s
@@ -177,7 +202,8 @@ func (s *Scheduler) Register(spec *Spec) error {
 	if spec.Period <= 0 {
 		return fmt.Errorf("sched: spec %q needs a positive period", spec.Name)
 	}
-	if _, err := oar.ParseRequest(spec.Request); err != nil {
+	req, err := oar.ParseRequest(spec.Request)
+	if err != nil {
 		return fmt.Errorf("sched: spec %q: %w", spec.Name, err)
 	}
 	s.mu.Lock()
@@ -185,7 +211,12 @@ func (s *Scheduler) Register(spec *Spec) error {
 	if _, dup := s.specs[spec.Name]; dup {
 		return fmt.Errorf("sched: spec %q already registered", spec.Name)
 	}
-	s.specs[spec.Name] = &specState{spec: spec, nextDue: s.clock.Now()}
+	s.specs[spec.Name] = &specState{
+		spec:    spec,
+		req:     req,
+		cause:   "scheduler " + spec.Name,
+		nextDue: s.clock.Now(),
+	}
 	s.order = append(s.order, spec.Name)
 	return nil
 }
@@ -232,10 +263,10 @@ func (s *Scheduler) Poll() {
 }
 
 // dueBatchLocked snapshots the specs due at this tick, in registration
-// order.
+// order. The batch buffer is reused across polls.
 func (s *Scheduler) dueBatchLocked() []*specState {
 	now := s.clock.Now()
-	var due []*specState
+	due := s.dueScratch[:0]
 	for _, name := range s.order {
 		st := s.specs[name]
 		if st.running {
@@ -246,6 +277,7 @@ func (s *Scheduler) dueBatchLocked() []*specState {
 		}
 		due = append(due, st)
 	}
+	s.dueScratch = due
 	return due
 }
 
@@ -269,8 +301,9 @@ func (s *Scheduler) decideLocked(st *specState) {
 	}
 
 	// Resource availability: would the test's OAR job start right now?
-	ok, err := s.oar.CanStartNow(spec.Request)
-	if err != nil || !ok {
+	// The request was parsed once at registration; the probe is
+	// allocation-free.
+	if !s.oar.CanStartNowReq(st.req) {
 		st.backoff = s.nextBackoff(st.backoff)
 		st.nextDue = now + st.backoff
 		s.logLocked(Decision{At: now, Spec: spec.Name, Action: ActionDeferResources, Backoff: st.backoff})
@@ -279,7 +312,7 @@ func (s *Scheduler) decideLocked(st *specState) {
 
 	// Trigger the CI build; it starts on the executor pool at this instant,
 	// concurrently with the other builds of this tick's batch.
-	if _, err := s.ci.Trigger(spec.JobName, "scheduler "+spec.Name); err != nil {
+	if _, err := s.ci.Trigger(spec.JobName, st.cause); err != nil {
 		// Job vanished from CI: treat like a resource miss so the operator
 		// notices the growing backoff.
 		st.backoff = s.nextBackoff(st.backoff)
@@ -352,23 +385,43 @@ func (s *Scheduler) observeBuild(b *ci.Build) {
 	st.nextDue = now + st.spec.Period
 }
 
-// logLocked appends to the decision log.
-func (s *Scheduler) logLocked(d Decision) { s.decisions = append(s.decisions, d) }
+// logLocked records a decision: the aggregate count always, the entry
+// itself in the bounded ring.
+func (s *Scheduler) logLocked(d Decision) {
+	s.counts[d.Action]++
+	if s.cfg.DecisionLog == 0 {
+		return
+	}
+	if len(s.decisions) < s.cfg.DecisionLog {
+		s.decisions = append(s.decisions, d)
+		return
+	}
+	s.decisions[s.decHead] = d
+	s.decHead++
+	if s.decHead == len(s.decisions) {
+		s.decHead = 0
+	}
+}
 
-// Decisions returns a copy of the decision log.
+// Decisions returns a copy of the retained decision log (the most recent
+// Config.DecisionLog entries), in chronological order.
 func (s *Scheduler) Decisions() []Decision {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]Decision(nil), s.decisions...)
+	out := make([]Decision, 0, len(s.decisions))
+	out = append(out, s.decisions[s.decHead:]...)
+	out = append(out, s.decisions[:s.decHead]...)
+	return out
 }
 
-// DecisionCounts aggregates the log by action.
+// DecisionCounts aggregates every decision ever made by action — complete
+// even when the retained log ring has wrapped.
 func (s *Scheduler) DecisionCounts() map[Action]int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := map[Action]int{}
-	for _, d := range s.decisions {
-		out[d.Action]++
+	out := make(map[Action]int, len(s.counts))
+	for a, n := range s.counts {
+		out[a] = n
 	}
 	return out
 }

@@ -115,8 +115,9 @@ func (c *Client) BuildGrid() (*Grid, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &Grid{Cells: map[string]map[string]CellStatus{}}
-	famSet, tgtSet := map[string]bool{}, map[string]bool{}
+	g := &Grid{Cells: make(map[string]map[string]CellStatus, len(root.Jobs))}
+	famSet := make(map[string]bool, len(root.Jobs))
+	tgtSet := make(map[string]bool, 64)
 	put := func(family, target string, st CellStatus) {
 		if g.Cells[family] == nil {
 			g.Cells[family] = map[string]CellStatus{}
@@ -148,9 +149,11 @@ func (c *Client) BuildGrid() (*Grid, error) {
 		}
 	}
 
+	g.Families = make([]string, 0, len(famSet))
 	for f := range famSet {
 		g.Families = append(g.Families, f)
 	}
+	g.Targets = make([]string, 0, len(tgtSet))
 	for t := range tgtSet {
 		g.Targets = append(g.Targets, t)
 	}
@@ -179,11 +182,11 @@ func (c *Client) mergeMatrix(g *Grid, jobName string, put func(string, string, C
 	if parent == nil {
 		return nil
 	}
-	inParent := map[int]bool{}
+	inParent := make(map[int]bool, len(parent.CellBuilds))
 	for _, n := range parent.CellBuilds {
 		inParent[n] = true
 	}
-	worst := map[string]CellStatus{}
+	worst := make(map[string]CellStatus, 32)
 	for _, b := range jd.Builds {
 		if b.Cell == nil || !inParent[b.Number] {
 			continue
@@ -271,18 +274,16 @@ func Trend(builds []ci.BuildJSON, bucketSec float64) []TrendPoint {
 	if bucketSec <= 0 {
 		return nil
 	}
+	// Value map: one accumulator struct per bucket lives inline in the map
+	// instead of behind a per-bucket pointer allocation.
 	type acc struct{ total, success, unstable int }
-	buckets := map[int64]*acc{}
+	buckets := make(map[int64]acc, 64)
 	for _, b := range builds {
 		if b.Building || len(b.CellBuilds) > 0 {
 			continue
 		}
 		k := int64(b.EndedAtSec / bucketSec)
 		a := buckets[k]
-		if a == nil {
-			a = &acc{}
-			buckets[k] = a
-		}
 		switch b.Result {
 		case "SUCCESS":
 			a.total++
@@ -292,6 +293,7 @@ func Trend(builds []ci.BuildJSON, bucketSec float64) []TrendPoint {
 		case "UNSTABLE":
 			a.unstable++
 		}
+		buckets[k] = a
 	}
 	keys := make([]int64, 0, len(buckets))
 	for k := range buckets {

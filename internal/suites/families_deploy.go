@@ -19,23 +19,32 @@ import (
 // cell: reserve one node of the cluster, deploy the image, verify the
 // booted kernel, release.
 func environmentsCellScript(ctx *Context) ci.Script {
+	// Per-cluster request strings rendered once: a 448-cell matrix fires
+	// this script constantly and the requests never change.
+	reqByCluster := map[string]string{}
+	for _, cl := range ctx.TB.Clusters() {
+		reqByCluster[cl.Name] = fmt.Sprintf("cluster='%s'/nodes=1,walltime=1", cl.Name)
+	}
 	return func(bc *ci.BuildContext) ci.Outcome {
 		image, cluster := bc.Axis("image"), bc.Axis("cluster")
 		env, err := kadeploy.EnvByName(image)
 		if err != nil {
+			bc.Logf("%v", err)
 			return ci.Outcome{Result: ci.Failure, Duration: simclock.Minute,
-				Log:           []string{err.Error()},
 				BugSignatures: []string{"env-unregistered:" + image}}
 		}
-		req := fmt.Sprintf("cluster='%s'/nodes=1,walltime=1", cluster)
+		req, ok := reqByCluster[cluster]
+		if !ok {
+			req = fmt.Sprintf("cluster='%s'/nodes=1,walltime=1", cluster)
+		}
 		job, err := ctx.OAR.Submit(req, oar.SubmitOptions{User: "jenkins", Immediate: true})
 		if err != nil {
-			return ci.Outcome{Result: ci.Failure, Duration: simclock.Minute,
-				Log: []string{fmt.Sprintf("oarsub failed: %v", err)}}
+			bc.Logf("oarsub failed: %v", err)
+			return ci.Outcome{Result: ci.Failure, Duration: simclock.Minute}
 		}
 		if job.State != oar.Running {
-			return ci.Outcome{Result: ci.Unstable, Duration: simclock.Minute,
-				Log: []string{"no node available right now; cancelled"}}
+			bc.Logf("no node available right now; cancelled")
+			return ci.Outcome{Result: ci.Unstable, Duration: simclock.Minute}
 		}
 		node := ctx.TB.Node(job.Nodes[0])
 		out := ci.Outcome{Result: ci.Success}
@@ -44,18 +53,17 @@ func environmentsCellScript(ctx *Context) ci.Script {
 		case err != nil:
 			out.Result = ci.Failure
 			out.Duration = 2 * simclock.Minute
-			out.Log = append(out.Log, fmt.Sprintf("deploy error: %v", err))
+			bc.Logf("deploy error: %v", err)
 			out.BugSignatures = append(out.BugSignatures,
-				fmt.Sprintf("service-flaky:%s/kadeploy", node.Site))
+				"service-flaky:"+node.Site+"/kadeploy")
 		case res.OK != 1:
 			out.Result = ci.Failure
 			out.Duration = res.Duration + simclock.Minute
-			out.Log = append(out.Log, fmt.Sprintf("deployment of %s failed on %s: %s",
-				image, node.Name, res.PerNode[0].Reason))
+			bc.Logf("deployment of %s failed on %s: %s", image, node.Name, res.PerNode[0].Reason)
 			out.BugSignatures = append(out.BugSignatures, "random-reboots:"+node.Name)
 		default:
 			out.Duration = res.Duration + simclock.Minute
-			out.Log = append(out.Log, fmt.Sprintf("%s deployed on %s in %v", image, node.Name, res.Duration))
+			bc.Logf("%s deployed on %s in %v", image, node.Name, res.Duration)
 		}
 		jobID := job.ID
 		ctx.Clock.After(out.Duration, func() {
@@ -84,7 +92,7 @@ func paralleldeployTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("cluster='%s'/nodes=ALL,walltime=2", cl.Name),
 			Period:  simclock.Week,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{}
+				v := ctx.NewVerdict()
 				nodes := make([]*testbed.Node, len(job.Nodes))
 				for i, name := range job.Nodes {
 					nodes[i] = ctx.TB.Node(name)
@@ -126,7 +134,7 @@ func multirebootTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("cluster='%s'/nodes=1,walltime=2", cl.Name),
 			Period:  simclock.Week,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{}
+				v := ctx.NewVerdict()
 				node := ctx.TB.Node(job.Nodes[0])
 				var total simclock.Time
 				for i := 0; i < reboots; i++ {
@@ -175,7 +183,7 @@ func multideployTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("cluster='%s'/nodes=1,walltime=2", cl.Name),
 			Period:  simclock.Week,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{}
+				v := ctx.NewVerdict()
 				node := ctx.TB.Node(job.Nodes[0])
 				var total simclock.Time
 				for i := 0; i < rounds; i++ {

@@ -38,7 +38,8 @@ func refapiTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("cluster='%s'/nodes=1,walltime=1", cl.Name),
 			Period:  simclock.Day,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{Duration: 5 * simclock.Minute}
+				v := ctx.NewVerdict()
+				v.Duration = 5 * simclock.Minute
 				reports, _, err := ctx.Checker.CheckClusterParallel(cl.Name, sweepWorkers)
 				if err != nil {
 					v.fail("refapi-error:"+cl.Name, "check run failed: %v", err)
@@ -74,7 +75,8 @@ func oarPropertiesTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("cluster='%s'/nodes=1,walltime=1", cl.Name),
 			Period:  simclock.Day,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{Duration: 3 * simclock.Minute}
+				v := ctx.NewVerdict()
+				v.Duration = 3 * simclock.Minute
 				for _, n := range ctx.TB.Cluster(cl.Name).Nodes {
 					ref, err := ctx.Ref.Describe(n.Name)
 					if err != nil {
@@ -123,7 +125,8 @@ func dellbiosTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("cluster='%s'/nodes=1,walltime=1", cl.Name),
 			Period:  simclock.Week,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{Duration: 5 * simclock.Minute}
+				v := ctx.NewVerdict()
+				v.Duration = 5 * simclock.Minute
 				for _, n := range ctx.TB.Cluster(cl.Name).Nodes {
 					ref, err := ctx.Ref.Describe(n.Name)
 					if err != nil {
@@ -168,7 +171,7 @@ func stdenvTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("cluster='%s'/nodes=1,walltime=1", cl.Name),
 			Period:  simclock.Day,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{}
+				v := ctx.NewVerdict()
 				node := ctx.TB.Node(job.Nodes[0])
 				res, err := ctx.Deployer.Deploy([]*testbed.Node{node}, kadeploy.StdEnv)
 				if err != nil {

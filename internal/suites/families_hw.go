@@ -31,7 +31,8 @@ func mpigraphTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("cluster='%s'/nodes=ALL,walltime=2", cl.Name),
 			Period:  simclock.Week,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{Duration: 20 * simclock.Minute}
+				v := ctx.NewVerdict()
+				v.Duration = 20 * simclock.Minute
 				started := 0
 				for _, name := range job.Nodes {
 					if ctx.Faults.OFEDStartFails(name) {
@@ -86,7 +87,8 @@ func diskTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("cluster='%s'/nodes=ALL,walltime=2", cl.Name),
 			Period:  simclock.Week,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{Duration: 30 * simclock.Minute}
+				v := ctx.NewVerdict()
+				v.Duration = 30 * simclock.Minute
 				for _, name := range job.Nodes {
 					node := ctx.TB.Node(name)
 					ref, err := ctx.Ref.Describe(name)

@@ -41,7 +41,8 @@ func oarstateTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("site='%s'/nodes=1,walltime=0:30", site.Name),
 			Period:  simclock.Day,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{Duration: 2 * simclock.Minute}
+				v := ctx.NewVerdict()
+				v.Duration = 2 * simclock.Minute
 				if fails := probeService(ctx, site.Name, "oar", 10); fails > 0 {
 					v.fail(fmt.Sprintf("service-flaky:%s/oar", site.Name),
 						"%d/10 oarstat calls failed", fails)
@@ -79,7 +80,8 @@ func cmdlineTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("site='%s'/nodes=1,walltime=1", site.Name),
 			Period:  simclock.Day,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{Duration: 10 * simclock.Minute}
+				v := ctx.NewVerdict()
+				v.Duration = 10 * simclock.Minute
 				for _, svc := range []string{"oar", "kadeploy"} {
 					if fails := probeService(ctx, site.Name, svc, 8); fails > 0 {
 						v.fail(fmt.Sprintf("service-flaky:%s/%s", site.Name, svc),
@@ -108,7 +110,8 @@ func sidapiTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("site='%s'/nodes=1,walltime=0:30", site.Name),
 			Period:  simclock.Day,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{Duration: 5 * simclock.Minute}
+				v := ctx.NewVerdict()
+				v.Duration = 5 * simclock.Minute
 				if fails := probeService(ctx, site.Name, "api", 12); fails > 0 {
 					v.fail(fmt.Sprintf("service-flaky:%s/api", site.Name),
 						"%d/12 REST calls failed", fails)
@@ -143,7 +146,8 @@ func consoleTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("cluster='%s'/nodes=1,walltime=0:30", cl.Name),
 			Period:  simclock.Week,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{Duration: 3 * simclock.Minute}
+				v := ctx.NewVerdict()
+				v.Duration = 3 * simclock.Minute
 				if fails := probeService(ctx, cl.Site, "console", 4); fails > 0 {
 					v.fail(fmt.Sprintf("service-flaky:%s/console", cl.Site),
 						"%d/4 console service calls failed", fails)
@@ -176,7 +180,8 @@ func kavlanTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("site='%s'/nodes=3,walltime=1", site.Name),
 			Period:  simclock.Week,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{Duration: 5 * simclock.Minute}
+				v := ctx.NewVerdict()
+				v.Duration = 5 * simclock.Minute
 				vl := ctx.VLAN.FindVLAN(kavlan.Local, site.Name)
 				if vl == nil {
 					v.fail("kavlan-pool:"+site.Name, "no local VLAN available")
@@ -221,7 +226,8 @@ func kwapiTests(tb *testbed.Testbed) []*Test {
 			Request: fmt.Sprintf("site='%s'/nodes=1,walltime=1", site.Name),
 			Period:  simclock.Day,
 			Run: func(ctx *Context, job *oar.Job) Verdict {
-				v := Verdict{Duration: 6 * simclock.Minute}
+				v := ctx.NewVerdict()
+				v.Duration = 6 * simclock.Minute
 				node := job.Nodes[0]
 				now := ctx.Clock.Now()
 				from := now - 2*simclock.Minute

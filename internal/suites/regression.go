@@ -142,7 +142,7 @@ func RegressionTests(tb *testbed.Testbed, experiments []*Experiment) ([]*Test, e
 // runExperiment deploys the experiment's environment and replays its
 // workload, comparing the measurement against the recorded baseline.
 func runExperiment(ctx *Context, e *Experiment, job *oar.Job) Verdict {
-	v := Verdict{}
+	v := ctx.NewVerdict()
 	env, _ := kadeploy.EnvByName(e.Env)
 	nodes := make([]*testbed.Node, len(job.Nodes))
 	for i, name := range job.Nodes {

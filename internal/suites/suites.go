@@ -46,7 +46,16 @@ type Context struct {
 	Monitor  *monitor.Collector
 	Checker  *checks.Checker
 	Faults   *faults.Injector
+
+	// Quiet suppresses verdict log rendering (signatures and results are
+	// unaffected). Campaigns that discard build logs set it so scripts
+	// never format the lines the CI server would throw away.
+	Quiet bool
 }
+
+// NewVerdict returns a verdict carrying the context's log policy; test
+// scripts start from it instead of a zero Verdict.
+func (ctx *Context) NewVerdict() Verdict { return Verdict{Quiet: ctx.Quiet} }
 
 // Verdict is the outcome of one test run (before CI bookkeeping).
 type Verdict struct {
@@ -54,9 +63,13 @@ type Verdict struct {
 	Duration   simclock.Time
 	Log        []string
 	Signatures []string // bug signatures for every problem found
+	Quiet      bool     // drop log lines (bug signatures still recorded)
 }
 
 func (v *Verdict) logf(format string, args ...any) {
+	if v.Quiet {
+		return
+	}
 	v.Log = append(v.Log, fmt.Sprintf(format, args...))
 }
 
@@ -64,6 +77,9 @@ func (v *Verdict) logf(format string, args ...any) {
 func (v *Verdict) fail(sig, format string, args ...any) {
 	v.Failed = true
 	v.Signatures = append(v.Signatures, sig)
+	if v.Quiet {
+		return
+	}
 	v.logf("FAIL[%s]: %s", sig, fmt.Sprintf(format, args...))
 }
 
@@ -87,18 +103,12 @@ func (t *Test) Script(ctx *Context) ci.Script {
 	return func(bc *ci.BuildContext) ci.Outcome {
 		job, err := ctx.OAR.Submit(t.Request, oar.SubmitOptions{User: "jenkins", Immediate: true})
 		if err != nil {
-			return ci.Outcome{
-				Result:   ci.Failure,
-				Duration: simclock.Minute,
-				Log:      []string{fmt.Sprintf("oarsub failed: %v", err)},
-			}
+			bc.Logf("oarsub failed: %v", err)
+			return ci.Outcome{Result: ci.Failure, Duration: simclock.Minute}
 		}
 		if job.State != oar.Running {
-			return ci.Outcome{
-				Result:   ci.Unstable,
-				Duration: simclock.Minute,
-				Log:      []string{"testbed job could not be scheduled immediately; cancelled"},
-			}
+			bc.Logf("testbed job could not be scheduled immediately; cancelled")
+			return ci.Outcome{Result: ci.Unstable, Duration: simclock.Minute}
 		}
 		v := t.Run(ctx, job)
 		dur := v.Duration
