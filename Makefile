@@ -1,9 +1,9 @@
 GO ?= go
 
 # Benchmarks whose ns_per_op / allocs_per_op are gated by bench-check.
-TRACKED_BENCHES = BenchmarkE2_,BenchmarkE9_,BenchmarkE12_,BenchmarkE13_,BenchmarkE14_
+TRACKED_BENCHES = BenchmarkE2_,BenchmarkE9_,BenchmarkE12_,BenchmarkE13_,BenchmarkE14_,BenchmarkE15_,BenchmarkE16_
 
-.PHONY: all build vet fmt-check test race bench bench-check check
+.PHONY: all build vet fmt-check test race stress bench bench-check check
 
 all: check
 
@@ -22,6 +22,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# stress runs the gateway's concurrency stress test at full size under the
+# race detector: 16 clients hammering every endpoint family while the
+# campaign advances underneath them.
+stress:
+	GATEWAY_STRESS=1 $(GO) test -race -count=1 -run 'TestStress|TestInventoryETagUnderChurn' ./internal/gateway
 
 # bench runs the full experiment suite once and records every number
 # (ns/op, allocs/op, reproduced sim metrics) in BENCH_results.json via

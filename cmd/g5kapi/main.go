@@ -1,0 +1,130 @@
+// Command g5kapi serves a live campaign through the unified testbed API
+// gateway (internal/gateway), or load-tests it in process
+// (internal/loadgen).
+//
+// Serving mode runs a short campaign first, then exposes every subsystem
+// over one HTTP front door:
+//
+//	g5kapi [-addr :8080] [-weeks 2] [-seed 42] [-live] [-step 10m]
+//
+// With -live the campaign keeps advancing: every wall-clock second the
+// simulation steps by -step while request handlers are held out, so the
+// served state (resources, bugs, grid, inventory versions) evolves under
+// the clients' feet exactly like a production testbed.
+//
+// Load-generation mode drives the gateway without a listener and prints
+// throughput plus latency percentiles, overall and per scenario:
+//
+//	g5kapi -loadgen [-workers 4] [-requests 20000] [-mix default|scrape|submit]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/inproc"
+	"repro/internal/loadgen"
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (serving mode)")
+	weeks := flag.Int("weeks", 2, "simulated weeks of campaign to run before serving")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	live := flag.Bool("live", false, "keep advancing the campaign while serving")
+	step := flag.Duration("step", 10*time.Minute, "simulated time advanced per wall second in -live mode")
+	runLoad := flag.Bool("loadgen", false, "run the load generator against an in-process gateway and exit")
+	workers := flag.Int("workers", 4, "loadgen: concurrent client workers")
+	requests := flag.Int("requests", 20000, "loadgen: total scenario iterations")
+	mixName := flag.String("mix", "default", "loadgen: scenario mix (default|scrape|submit)")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	f := core.New(cfg)
+	f.Start()
+	log.Printf("running %d simulated weeks of testing on %s...", *weeks, f.TB.Stats())
+	f.RunFor(simclock.Time(*weeks) * simclock.Week)
+	log.Printf("campaign done: %s", f.Summary())
+
+	gw := gateway.ForFramework(f)
+
+	if *runLoad {
+		if err := loadTest(gw, f.TB, *workers, *requests, *mixName, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "g5kapi: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *live {
+		simStep := simclock.Time(*step)
+		go func() {
+			for range time.Tick(time.Second) {
+				gw.Advance(simStep)
+			}
+		}()
+		log.Printf("live mode: +%v of simulated time per wall second", *step)
+	}
+	log.Printf("testbed API gateway on %s (try /, /oar/resources, /ref/inventory, /metrics)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, gw))
+}
+
+// loadTest drives the gateway through the in-process transport — no
+// listener, no socket stack, just the service code under concurrency.
+func loadTest(gw *gateway.Gateway, tb *testbed.Testbed, workers, requests int, mixName string, seed int64) error {
+	clusters := make([]string, 0, 8)
+	for _, cl := range tb.Clusters() {
+		clusters = append(clusters, cl.Name)
+		if len(clusters) == 8 {
+			break
+		}
+	}
+	var mix []loadgen.Scenario
+	switch mixName {
+	case "default":
+		mix = loadgen.DefaultMix(clusters)
+	case "scrape":
+		mix = loadgen.ScrapeOnlyMix(clusters)
+	case "submit":
+		mix = []loadgen.Scenario{loadgen.SubmitHeavy(clusters)}
+	default:
+		return fmt.Errorf("unknown -mix %q (default|scrape|submit)", mixName)
+	}
+
+	fmt.Printf("load-generating %d iterations of %q on %d workers...\n", requests, mixName, workers)
+	rep, err := loadgen.Run(loadgen.Config{
+		Workers:  workers,
+		Requests: requests,
+		Mix:      mix,
+		Seed:     seed,
+		NewClient: func(int) (*http.Client, string) {
+			return inproc.Client(gw), "http://gateway.local"
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(rep.String())
+
+	fmt.Println("\ngateway metrics:")
+	m := gw.Metrics()
+	fmt.Printf("  %-18s %8d requests, %d errors\n", "total", m.Requests, m.Errors)
+	for _, ep := range []string{"/ref/inventory", "/ref/diff", "/oar/resources", "/oar/jobs", "/oar/submit", "/status/grid", "/status/trend", "/bugs", "/ci/", "/metrics"} {
+		em, ok := m.Endpoints[ep]
+		if !ok || em.Requests == 0 {
+			continue
+		}
+		fmt.Printf("  %-18s %8d requests, %5d × 304, avg %7.1fµs, max %.0fµs\n",
+			ep, em.Requests, em.NotModified, em.AvgMicros, em.MaxMicros)
+	}
+	return nil
+}

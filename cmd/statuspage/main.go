@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"net/http/httptest"
 	"strings"
 
 	"repro/internal/core"
@@ -41,10 +40,12 @@ func main() {
 	f.RunFor(simclock.Time(*weeks) * simclock.Week)
 	log.Printf("campaign done: %s", f.Summary())
 
-	// The CI API serves on an internal listener; the page queries it over
-	// real HTTP exactly like the paper's external status page does.
-	ciSrv := httptest.NewServer(f.CI.Handler())
-	client := status.NewClient(ciSrv.URL)
+	// The page consumes the CI REST API through the exact HTTP client code
+	// path the paper's external status page uses, but dispatched in
+	// process: the same handler is mounted below under /ci/, so there is
+	// no second listener and no loopback hop.
+	ciHandler := f.CI.Handler()
+	client := status.NewLocalClient(ciHandler)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -84,7 +85,7 @@ func main() {
 		}
 		status.RenderTrend(w, status.Trend(builds, float64(simclock.Day/simclock.Second)))
 	})
-	mux.Handle("/ci/", http.StripPrefix("/ci", f.CI.Handler()))
+	mux.Handle("/ci/", http.StripPrefix("/ci", ciHandler))
 
 	log.Printf("status page on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))

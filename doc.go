@@ -15,6 +15,22 @@
 //     aggregates the reliability trend and bug counters with mean ±
 //     spread, the Monte-Carlo sensitivity view of the paper's
 //     longitudinal result (g5ktest -seeds N is the CLI form)
+//   - internal/gateway — the unified testbed API gateway: one
+//     http.Handler mounting read-optimized JSON endpoints over every
+//     subsystem (OAR resources/jobs/submission, the Reference API with
+//     per-version ETags and a 304 path that never re-materializes
+//     snapshots, monitoring queries, the bug tracker, the status views,
+//     and the CI REST API proxied under /ci/), with per-endpoint atomic
+//     request/error/latency counters at /metrics. Request handlers share
+//     a read lock; Gateway.Advance steps the campaign under the write
+//     lock, so live serving stays coherent (g5kapi -live)
+//   - internal/loadgen — the workload engine: N client workers replay
+//     weighted scenario mixes (operator-dashboard, api-scraper,
+//     submit-heavy) and report throughput plus latency percentiles
+//     (g5kapi -loadgen is the CLI form)
+//   - internal/inproc — in-process http.RoundTripper used by the status
+//     page, the gateway's internal status client and the load generator
+//     to consume HTTP APIs without a listener
 //   - internal/suites — the 751 test configurations in 16 families
 //   - internal/sched — the external test scheduler (the paper's core
 //     custom development)
@@ -23,9 +39,10 @@
 //     faults, bugs — the simulated substrate
 //
 // bench_test.go at the repository root regenerates every quantitative
-// claim of the paper (E1–E10, plus E11–E14 added by this reproduction:
+// claim of the paper (E1–E10, plus E11–E16 added by this reproduction:
 // executor-pool scaling, parallel verification sweeps, Reference API
-// version churn, and campaign-fleet scaling — E12/E13 exercised against
+// version churn, campaign-fleet scaling, API-gateway throughput scaling
+// and the mixed gateway workload — E12/E13 exercised against
 // deterministic k×-scale testbeds from testbed.Scaled), smoke_test.go
 // runs the same experiments at reduced scale as plain tests, and
 // ablation_test.go compares the paper's mechanisms against their obvious

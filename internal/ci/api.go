@@ -90,9 +90,17 @@ type RootJSON struct {
 	TotalBuilds int       `json:"total_builds"`
 }
 
+// methodNotAllowed rejects a request with 405 and the Allow header RFC 9110
+// requires, so clients can discover the supported methods. Read endpoints
+// accept only GET; the trigger endpoint only POST.
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+}
+
 func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	out := RootJSON{
@@ -137,7 +145,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			methodNotAllowed(w, http.MethodPost)
 			return
 		}
 		b, err := s.TriggerToken(name, r.URL.Query().Get("token"))
@@ -145,12 +153,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusForbidden)
 			return
 		}
+		// Content-Type must precede the status line: header mutations
+		// after WriteHeader are dropped by net/http.
+		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusCreated)
 		writeJSON(w, s.buildSnapshot(b, false))
 
 	case strings.HasSuffix(rest, "/api/json"):
 		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			methodNotAllowed(w, http.MethodGet)
 			return
 		}
 		name := strings.TrimSuffix(rest, "/api/json")

@@ -165,4 +165,52 @@ func TestAPIMethodNotAllowedOnRoot(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+		t.Fatalf("Allow = %q, want GET", allow)
+	}
+}
+
+// TestAPIMethodNotAllowedOnReads: every read endpoint must reject mutating
+// methods with 405 and name the allowed method, never silently treat a
+// PUT/DELETE/POST as a read.
+func TestAPIMethodNotAllowedOnReads(t *testing.T) {
+	_, _, ts := apiServer(t)
+	paths := []string{
+		"/api/json",
+		"/job/smoke/api/json",
+		"/job/smoke/1/api/json",
+	}
+	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		for _, path := range paths {
+			req, err := http.NewRequest(method, ts.URL+path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s: status = %d, want 405", method, path, resp.StatusCode)
+			}
+			if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+				t.Fatalf("%s %s: Allow = %q, want GET", method, path, allow)
+			}
+		}
+	}
+
+	// The trigger endpoint allows POST only, and says so.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/job/smoke/build", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT build: status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Fatalf("PUT build: Allow = %q, want POST", allow)
+	}
 }

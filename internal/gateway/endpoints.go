@@ -1,0 +1,376 @@
+package gateway
+
+// The OAR, monitoring, bug-tracker and status-view endpoints.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"repro/internal/monitor"
+	"repro/internal/oar"
+	"repro/internal/simclock"
+	"repro/internal/status"
+)
+
+// secondsToSim converts a wire-level seconds value to simulated time.
+func secondsToSim(s float64) simclock.Time {
+	return simclock.Time(s * float64(simclock.Second))
+}
+
+// ---- OAR -------------------------------------------------------------------
+
+// OARResourcesJSON is the wire form of GET /oar/resources.
+type OARResourcesJSON struct {
+	Summary map[string]int     `json:"summary"`
+	Nodes   []oar.ResourceInfo `json:"nodes"`
+}
+
+func (g *Gateway) handleOARResources(w http.ResponseWriter, r *http.Request) {
+	srv := g.cfg.OAR
+	if srv == nil {
+		notConfigured(w, "oar")
+		return
+	}
+	cluster := r.URL.Query().Get("cluster")
+	nodes := srv.Resources(cluster)
+	if cluster != "" && len(nodes) == 0 {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no cluster %q", cluster))
+		return
+	}
+	summary := map[string]int{}
+	for _, n := range nodes {
+		summary[n.State]++
+	}
+	writeJSON(w, OARResourcesJSON{Summary: summary, Nodes: nodes})
+}
+
+// OARJobsJSON is the wire form of GET /oar/jobs.
+type OARJobsJSON struct {
+	Submitted int           `json:"submitted"`
+	Started   int           `json:"started"`
+	Canceled  int           `json:"canceled"`
+	Jobs      []oar.JobInfo `json:"jobs"`
+}
+
+func (g *Gateway) handleOARJobs(w http.ResponseWriter, r *http.Request) {
+	srv := g.cfg.OAR
+	if srv == nil {
+		notConfigured(w, "oar")
+		return
+	}
+	limit := 500
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad limit %q", q))
+			return
+		}
+		limit = v
+	}
+	out := OARJobsJSON{Jobs: srv.JobsInfo(limit)}
+	out.Submitted, out.Started, out.Canceled = srv.Stats()
+	writeJSON(w, out)
+}
+
+// SubmitRequest is the body of POST /oar/submit.
+type SubmitRequest struct {
+	Request string `json:"request"`
+	User    string `json:"user,omitempty"`
+	// DryRun probes whether the request could start right now
+	// (oar.Server.CanStartNow — what the external scheduler asks before
+	// every trigger) without enqueuing anything.
+	DryRun bool `json:"dry_run,omitempty"`
+}
+
+// SubmitResponse is the reply of POST /oar/submit.
+type SubmitResponse struct {
+	CanStartNow *bool        `json:"can_start_now,omitempty"`
+	Job         *oar.JobInfo `json:"job,omitempty"`
+}
+
+func (g *Gateway) handleOARSubmit(w http.ResponseWriter, r *http.Request) {
+	srv := g.cfg.OAR
+	if srv == nil {
+		notConfigured(w, "oar")
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON body: "+err.Error())
+		return
+	}
+	if req.Request == "" {
+		httpError(w, http.StatusBadRequest, "missing request")
+		return
+	}
+	if req.DryRun {
+		ok, err := srv.CanStartNow(req.Request)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, SubmitResponse{CanStartNow: &ok})
+		return
+	}
+	user := req.User
+	if user == "" {
+		user = "api"
+	}
+	j, err := srv.Submit(req.Request, oar.SubmitOptions{User: user})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	info, _ := srv.JobInfoByID(j.ID)
+	writeJSONStatus(w, http.StatusCreated, SubmitResponse{Job: &info})
+}
+
+// ---- monitoring ------------------------------------------------------------
+
+// MonitorJSON is the wire form of GET /monitor/metrics.
+type MonitorJSON struct {
+	Metric  string       `json:"metric"`
+	Node    string       `json:"node"`
+	FromSec float64      `json:"from_sec"`
+	ToSec   float64      `json:"to_sec"`
+	Mean    float64      `json:"mean"`
+	Samples []SampleJSON `json:"samples"`
+}
+
+// SampleJSON is one measurement with the timestamp in seconds.
+type SampleJSON struct {
+	TSec float64 `json:"t_sec"`
+	V    float64 `json:"v"`
+}
+
+func (g *Gateway) handleMonitorMetrics(w http.ResponseWriter, r *http.Request) {
+	col := g.cfg.Monitor
+	if col == nil || g.cfg.Clock == nil {
+		notConfigured(w, "monitoring")
+		return
+	}
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		metric = monitor.MetricPowerW
+	}
+	switch metric {
+	case monitor.MetricPowerW, monitor.MetricCPULoad, monitor.MetricNetMbps:
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown metric %q", metric))
+		return
+	}
+	node := q.Get("node")
+	if node == "" {
+		httpError(w, http.StatusBadRequest, "missing node")
+		return
+	}
+	if g.cfg.TB != nil && g.cfg.TB.Node(node) == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown node %q", node))
+		return
+	}
+	now := g.cfg.Clock.Now().Seconds()
+	defFrom := now - 60
+	if defFrom < 0 {
+		defFrom = 0 // a campaign younger than the default window
+	}
+	from, err := floatParam(q.Get("from_sec"), defFrom)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	to, err := floatParam(q.Get("to_sec"), now)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if from < 0 || to < from {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad range %g..%g", from, to))
+		return
+	}
+	fromT := secondsToSim(from)
+	toT := secondsToSim(to)
+
+	// The collector shares the campaign RNG on flaky-kwapi rolls; serialize
+	// queries so concurrent scrapes never race on it.
+	g.monMu.Lock()
+	samples, err := col.Query(metric, node, fromT, toT)
+	g.monMu.Unlock()
+	if err != nil {
+		// Inputs were validated above; what remains is the monitoring
+		// service itself failing (the paper's flaky kwapi).
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	out := MonitorJSON{
+		Metric:  metric,
+		Node:    node,
+		FromSec: from,
+		ToSec:   to,
+		Mean:    monitor.Mean(samples),
+		Samples: make([]SampleJSON, len(samples)),
+	}
+	for i, s := range samples {
+		out.Samples[i] = SampleJSON{TSec: s.T.Seconds(), V: s.V}
+	}
+	writeJSON(w, out)
+}
+
+// ---- bugs ------------------------------------------------------------------
+
+// BugJSON is the wire form of one bug report.
+type BugJSON struct {
+	ID          int     `json:"id"`
+	Signature   string  `json:"signature"`
+	Title       string  `json:"title,omitempty"`
+	Family      string  `json:"family,omitempty"`
+	Target      string  `json:"target,omitempty"`
+	State       string  `json:"state"`
+	FiledAtSec  float64 `json:"filed_at_sec"`
+	FixedAtSec  float64 `json:"fixed_at_sec,omitempty"`
+	Occurrences int     `json:"occurrences"`
+	Reopens     int     `json:"reopens,omitempty"`
+}
+
+// BugsJSON is the wire form of GET /bugs.
+type BugsJSON struct {
+	Filed int       `json:"filed"`
+	Fixed int       `json:"fixed"`
+	Open  int       `json:"open"`
+	Bugs  []BugJSON `json:"bugs"`
+}
+
+func (g *Gateway) handleBugs(w http.ResponseWriter, r *http.Request) {
+	tr := g.cfg.Bugs
+	if tr == nil {
+		notConfigured(w, "bug tracker")
+		return
+	}
+	q := r.URL.Query()
+	state := q.Get("state")
+	if state == "" {
+		state = "open"
+	}
+	if state != "open" && state != "all" {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad state %q (open|all)", state))
+		return
+	}
+	family := q.Get("family")
+	st := tr.Stats()
+	out := BugsJSON{Filed: st.Filed, Fixed: st.Fixed, Open: st.Open}
+	list := tr.OpenBugs()
+	if state == "all" {
+		list = tr.All()
+	}
+	for _, b := range list {
+		if family != "" && b.Family != family {
+			continue
+		}
+		out.Bugs = append(out.Bugs, BugJSON{
+			ID:          b.ID,
+			Signature:   b.Signature,
+			Title:       b.Title,
+			Family:      b.Family,
+			Target:      b.Target,
+			State:       b.State.String(),
+			FiledAtSec:  b.FiledAt.Seconds(),
+			FixedAtSec:  b.FixedAt.Seconds(),
+			Occurrences: b.Occurrences,
+			Reopens:     b.Reopens,
+		})
+	}
+	if out.Bugs == nil {
+		out.Bugs = []BugJSON{}
+	}
+	writeJSON(w, out)
+}
+
+// ---- status views ----------------------------------------------------------
+
+// GridJSON is the wire form of GET /status/grid.
+type GridJSON struct {
+	Families  []string                           `json:"families"`
+	Targets   []string                           `json:"targets"`
+	OKRatePct float64                            `json:"ok_rate_pct"`
+	Cells     map[string]map[string]GridCellJSON `json:"cells"`
+}
+
+// GridCellJSON is one grid entry.
+type GridCellJSON struct {
+	Result string  `json:"result"`
+	Build  int     `json:"build"`
+	AtSec  float64 `json:"at_sec"`
+}
+
+func (g *Gateway) handleStatusGrid(w http.ResponseWriter, r *http.Request) {
+	if g.statusClient == nil {
+		notConfigured(w, "status views")
+		return
+	}
+	grid, err := g.statusClient.BuildGrid()
+	if err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	out := GridJSON{
+		Families:  grid.Families,
+		Targets:   grid.Targets,
+		OKRatePct: 100 * grid.OKRate(),
+		Cells:     make(map[string]map[string]GridCellJSON, len(grid.Cells)),
+	}
+	for fam, row := range grid.Cells {
+		m := make(map[string]GridCellJSON, len(row))
+		for tgt, st := range row {
+			m[tgt] = GridCellJSON{Result: st.Result, Build: st.Build, AtSec: st.AtSec}
+		}
+		out.Cells[fam] = m
+	}
+	writeJSON(w, out)
+}
+
+// TrendJSON is the wire form of GET /status/trend.
+type TrendJSON struct {
+	BucketSec float64             `json:"bucket_sec"`
+	Points    []status.TrendPoint `json:"points"`
+}
+
+func (g *Gateway) handleStatusTrend(w http.ResponseWriter, r *http.Request) {
+	if g.statusClient == nil {
+		notConfigured(w, "status views")
+		return
+	}
+	bucket, err := floatParam(r.URL.Query().Get("bucket_sec"), 86400)
+	if err != nil || bucket <= 0 {
+		httpError(w, http.StatusBadRequest, "bad bucket_sec")
+		return
+	}
+	builds, err := g.statusClient.AllBuilds()
+	if err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	points := status.Trend(builds, bucket)
+	if points == nil {
+		points = []status.TrendPoint{}
+	}
+	writeJSON(w, TrendJSON{BucketSec: bucket, Points: points})
+}
+
+// ---- small parsers ---------------------------------------------------------
+
+func floatParam(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	// NaN slides past ordering checks (NaN <= x is always false) and Inf
+	// breaks range arithmetic; both would corrupt downstream validation
+	// and make json.Encode fail after the 200 status line went out.
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}

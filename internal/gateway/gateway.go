@@ -1,0 +1,366 @@
+// Package gateway is the testbed's unified HTTP front door: one
+// http.Handler mounting read-optimized JSON endpoints over every subsystem
+// of a campaign — OAR's resource manager, the Reference API, monitoring,
+// the bug tracker, the status page views and the CI server's own REST API.
+//
+// On the real Grid'5000 these are separate REST services (the OAR API, the
+// Reference API, Jenkins' JSON API) that operators, dashboards and scripts
+// hammer constantly; here they share one mux so a single campaign can be
+// served, scraped and load-tested as a production system
+// (internal/loadgen drives exactly that).
+//
+// Endpoints (all JSON):
+//
+//	GET  /                 endpoint index
+//	GET  /oar/resources    node allocation states (?cluster=X narrows)
+//	GET  /oar/jobs         recent jobs, newest first (?limit=N, 0 = all)
+//	POST /oar/submit       submit a resource request (or dry-run probe)
+//	GET  /ref/inventory    testbed description (?version=N; ETag/304)
+//	GET  /ref/diff         drift between two versions (?from=&to=; ETag/304)
+//	GET  /monitor/metrics  1 Hz samples (?metric=&node=&from_sec=&to_sec=)
+//	GET  /bugs             bug reports (?state=open|all, ?family=F)
+//	GET  /status/grid      family × target status matrix
+//	GET  /status/trend     historical success rate (?bucket_sec=S)
+//	GET  /metrics          per-endpoint request/error/latency counters
+//	     /ci/...           the CI REST API, proxied to ci.Handler
+//
+// Concurrency: request handlers hold the read side of one RWMutex and any
+// number of them run in parallel; Advance — which steps the simulated
+// campaign — holds the write side, so no request ever observes the
+// simulation mid-event. Subsystems guard their own state with their own
+// mutexes; the gate only serializes requests against campaign progress.
+// Monitoring queries additionally share one mutex because a flaky-kwapi
+// site draws from the campaign's RNG, which is single-threaded.
+//
+// The /ref endpoints are read-optimized: responses carry a strong ETag
+// derived from the store's version counter, conditional requests short-cut
+// to 304 before any snapshot is materialized or marshaled, and rendered
+// bodies are cached per version — hot reads cost two atomic counters and a
+// map hit.
+package gateway
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bugs"
+	"repro/internal/ci"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/oar"
+	"repro/internal/refapi"
+	"repro/internal/simclock"
+	"repro/internal/status"
+	"repro/internal/testbed"
+)
+
+// Config wires the subsystems a Gateway serves. Nil fields disable their
+// endpoints (they answer 503), so partial assemblies are valid.
+type Config struct {
+	Clock   *simclock.Clock
+	TB      *testbed.Testbed
+	OAR     *oar.Server
+	Ref     *refapi.Store
+	Monitor *monitor.Collector
+	Bugs    *bugs.Tracker
+	CI      *ci.Server
+
+	// Advance, when set, lets Gateway.Advance drive the campaign forward
+	// (typically core.Framework.RunFor). It always runs under the write
+	// side of the request gate.
+	Advance func(simclock.Time)
+}
+
+// Gateway is the front door. It implements http.Handler.
+type Gateway struct {
+	cfg     Config
+	mux     *http.ServeMux
+	started time.Time
+
+	// sim is the campaign gate (see the package comment).
+	sim sync.RWMutex
+
+	// monMu serializes monitoring queries (campaign RNG, see above).
+	monMu sync.Mutex
+
+	// statusClient reads the CI REST API in process to assemble the
+	// /status views, the same code path the external status page uses.
+	statusClient *status.Client
+
+	// metrics is keyed by mux pattern; read-only after New.
+	metrics map[string]*endpointMetrics
+
+	// Rendered-body caches for the hot /ref endpoints.
+	invMu    sync.Mutex
+	invCache map[int][]byte
+	diffMu   sync.Mutex
+	diffFrom int
+	diffTo   int
+	diffBody []byte
+}
+
+// New assembles a gateway over the configured subsystems.
+func New(cfg Config) *Gateway {
+	g := &Gateway{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		metrics:  map[string]*endpointMetrics{},
+		invCache: map[int][]byte{},
+	}
+	if cfg.CI != nil {
+		g.statusClient = status.NewLocalClient(cfg.CI.Handler())
+	}
+
+	g.handle("/", http.MethodGet, g.handleIndex)
+	g.handle("/oar/resources", http.MethodGet, g.handleOARResources)
+	g.handle("/oar/jobs", http.MethodGet, g.handleOARJobs)
+	g.handle("/oar/submit", http.MethodPost, g.handleOARSubmit)
+	g.handle("/ref/inventory", http.MethodGet, g.handleRefInventory)
+	g.handle("/ref/diff", http.MethodGet, g.handleRefDiff)
+	g.handle("/monitor/metrics", http.MethodGet, g.handleMonitorMetrics)
+	g.handle("/bugs", http.MethodGet, g.handleBugs)
+	g.handle("/status/grid", http.MethodGet, g.handleStatusGrid)
+	g.handle("/status/trend", http.MethodGet, g.handleStatusTrend)
+	g.handle("/metrics", http.MethodGet, g.handleMetrics)
+	if cfg.CI != nil {
+		// The CI API enforces its own methods (GET reads, POST trigger);
+		// the gateway only instruments it.
+		proxy := http.StripPrefix("/ci", cfg.CI.Handler())
+		g.handle("/ci/", "", func(w http.ResponseWriter, r *http.Request) {
+			proxy.ServeHTTP(w, r)
+		})
+	}
+	return g
+}
+
+// ForFramework is the one-call assembly over a complete campaign.
+func ForFramework(f *core.Framework) *Gateway {
+	return New(Config{
+		Clock:   f.Clock,
+		TB:      f.TB,
+		OAR:     f.OAR,
+		Ref:     f.Ref,
+		Monitor: f.Monitor,
+		Bugs:    f.Bugs,
+		CI:      f.CI,
+		Advance: f.RunFor,
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// Advance steps the campaign by d of simulated time while holding every
+// request handler out. A no-op when the gateway was assembled without an
+// Advance hook.
+func (g *Gateway) Advance(d simclock.Time) {
+	if g.cfg.Advance == nil {
+		return
+	}
+	g.sim.Lock()
+	defer g.sim.Unlock()
+	g.cfg.Advance(d)
+}
+
+// handle registers an instrumented endpoint. allow is the accepted method
+// ("" lets the wrapped handler enforce methods itself, used by the CI
+// proxy).
+func (g *Gateway) handle(pattern, allow string, fn http.HandlerFunc) {
+	m := &endpointMetrics{}
+	g.metrics[pattern] = m
+	g.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		switch {
+		case pattern == "/" && r.URL.Path != "/":
+			// The root pattern catches every unregistered path; a missing
+			// resource is 404 regardless of method.
+			http.NotFound(sw, r)
+		case allow != "" && r.Method != allow:
+			sw.Header().Set("Allow", allow)
+			http.Error(sw, "method not allowed", http.StatusMethodNotAllowed)
+		default:
+			g.sim.RLock()
+			fn(sw, r)
+			g.sim.RUnlock()
+		}
+		m.record(sw.Code(), time.Since(start))
+	})
+}
+
+// ---- instrumentation --------------------------------------------------------
+
+// endpointMetrics is the per-endpoint counter set. All fields are atomics:
+// the hot path never takes a lock.
+type endpointMetrics struct {
+	requests    atomic.Int64
+	errors      atomic.Int64
+	notModified atomic.Int64
+	totalNs     atomic.Int64
+	maxNs       atomic.Int64
+}
+
+func (m *endpointMetrics) record(code int, d time.Duration) {
+	m.requests.Add(1)
+	if code >= 400 {
+		m.errors.Add(1)
+	}
+	if code == http.StatusNotModified {
+		m.notModified.Add(1)
+	}
+	ns := d.Nanoseconds()
+	m.totalNs.Add(ns)
+	for {
+		cur := m.maxNs.Load()
+		if ns <= cur || m.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// statusWriter captures the response code for the instrumentation layer.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Code returns the response status (200 when the handler never wrote one).
+func (w *statusWriter) Code() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// EndpointMetrics is the wire form of one endpoint's counters.
+type EndpointMetrics struct {
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	NotModified int64   `json:"not_modified,omitempty"`
+	AvgMicros   float64 `json:"avg_us"`
+	MaxMicros   float64 `json:"max_us"`
+}
+
+// MetricsReport is the wire form of GET /metrics.
+type MetricsReport struct {
+	UptimeSec float64                    `json:"uptime_sec"`
+	SimNowSec float64                    `json:"sim_now_sec,omitempty"`
+	Requests  int64                      `json:"requests"`
+	Errors    int64                      `json:"errors"`
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+}
+
+// Metrics snapshots the gateway's counters (what GET /metrics serves).
+func (g *Gateway) Metrics() MetricsReport {
+	rep := MetricsReport{
+		UptimeSec: time.Since(g.started).Seconds(),
+		Endpoints: make(map[string]EndpointMetrics, len(g.metrics)),
+	}
+	if g.cfg.Clock != nil {
+		rep.SimNowSec = g.cfg.Clock.Now().Seconds()
+	}
+	for pattern, m := range g.metrics {
+		em := EndpointMetrics{
+			Requests:    m.requests.Load(),
+			Errors:      m.errors.Load(),
+			NotModified: m.notModified.Load(),
+			MaxMicros:   float64(m.maxNs.Load()) / 1e3,
+		}
+		if em.Requests > 0 {
+			em.AvgMicros = float64(m.totalNs.Load()) / float64(em.Requests) / 1e3
+		}
+		rep.Requests += em.Requests
+		rep.Errors += em.Errors
+		rep.Endpoints[pattern] = em
+	}
+	return rep
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, g.Metrics())
+}
+
+func (g *Gateway) handleIndex(w http.ResponseWriter, r *http.Request) {
+	patterns := make([]string, 0, len(g.metrics))
+	for p := range g.metrics {
+		if p != "/" {
+			patterns = append(patterns, p)
+		}
+	}
+	sort.Strings(patterns)
+	writeJSON(w, struct {
+		Service   string   `json:"service"`
+		Endpoints []string `json:"endpoints"`
+	}{"testbed API gateway", patterns})
+}
+
+// ---- shared helpers ---------------------------------------------------------
+
+func marshalIndent(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus sets the content type BEFORE the status line goes out —
+// header mutations after WriteHeader are silently dropped by net/http.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort on a closed client
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	http.Error(w, msg, code)
+}
+
+// notConfigured answers for endpoints whose subsystem was not wired in.
+func notConfigured(w http.ResponseWriter, what string) {
+	httpError(w, http.StatusServiceUnavailable, what+" not configured")
+}
+
+// etagMatches implements the If-None-Match comparison for strong ETags:
+// "*" matches anything, otherwise any listed tag must equal etag (weak
+// validators — W/ prefixed — are compared by their opaque part, per the
+// weak comparison RFC 9110 prescribes for If-None-Match).
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,692 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/inproc"
+	"repro/internal/simclock"
+)
+
+// newCampaign builds a framework, runs it for d of simulated time and
+// returns it with a gateway in front. The environments matrix is disabled:
+// these tests exercise the serving layer, not the 448-cell job.
+func newCampaign(t testing.TB, seed int64, faults int, d simclock.Time) (*core.Framework, *Gateway) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.InitialFaults = faults
+	cfg.EnvMatrixPeriod = 0
+	f := core.New(cfg)
+	f.Start()
+	f.RunFor(d)
+	return f, ForFramework(f)
+}
+
+func get(t *testing.T, c *http.Client, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := c.Get("http://gw.local" + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp, body
+}
+
+func decode[T any](t *testing.T, body []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	return v
+}
+
+func TestEndpoints(t *testing.T) {
+	f, gw := newCampaign(t, 7, 8, 2*simclock.Day)
+	c := inproc.Client(gw)
+
+	resp, body := get(t, c, "/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status = %d", resp.StatusCode)
+	}
+	idx := decode[struct {
+		Endpoints []string `json:"endpoints"`
+	}](t, body)
+	if len(idx.Endpoints) < 10 {
+		t.Fatalf("index lists %d endpoints", len(idx.Endpoints))
+	}
+
+	resp, body = get(t, c, "/oar/resources")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resources status = %d", resp.StatusCode)
+	}
+	res := decode[OARResourcesJSON](t, body)
+	if len(res.Nodes) != f.TB.TotalNodes() {
+		t.Fatalf("resources lists %d of %d nodes", len(res.Nodes), f.TB.TotalNodes())
+	}
+	total := 0
+	for _, n := range res.Summary {
+		total += n
+	}
+	if total != len(res.Nodes) {
+		t.Fatalf("summary counts %d, nodes %d", total, len(res.Nodes))
+	}
+
+	cluster := f.TB.Clusters()[0].Name
+	resp, body = get(t, c, "/oar/resources?cluster="+cluster)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster resources status = %d", resp.StatusCode)
+	}
+	clRes := decode[OARResourcesJSON](t, body)
+	if len(clRes.Nodes) == 0 || len(clRes.Nodes) >= len(res.Nodes) {
+		t.Fatalf("cluster filter returned %d nodes", len(clRes.Nodes))
+	}
+	if resp, _ := get(t, c, "/oar/resources?cluster=nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cluster status = %d", resp.StatusCode)
+	}
+
+	resp, body = get(t, c, "/oar/jobs?limit=10")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("jobs status = %d", resp.StatusCode)
+	}
+	jobs := decode[OARJobsJSON](t, body)
+	if jobs.Submitted == 0 || len(jobs.Jobs) == 0 || len(jobs.Jobs) > 10 {
+		t.Fatalf("jobs = %d listed of %d submitted", len(jobs.Jobs), jobs.Submitted)
+	}
+	// Newest first.
+	for i := 1; i < len(jobs.Jobs); i++ {
+		if jobs.Jobs[i].ID >= jobs.Jobs[i-1].ID {
+			t.Fatalf("jobs not newest-first: %d then %d", jobs.Jobs[i-1].ID, jobs.Jobs[i].ID)
+		}
+	}
+
+	resp, body = get(t, c, "/bugs?state=all")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bugs status = %d", resp.StatusCode)
+	}
+	bl := decode[BugsJSON](t, body)
+	if bl.Filed == 0 || len(bl.Bugs) != bl.Filed {
+		t.Fatalf("bugs = %d listed, %d filed", len(bl.Bugs), bl.Filed)
+	}
+	if resp, _ := get(t, c, "/bugs?state=weird"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad bug state status = %d", resp.StatusCode)
+	}
+
+	resp, body = get(t, c, "/status/grid")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grid status = %d", resp.StatusCode)
+	}
+	grid := decode[GridJSON](t, body)
+	if len(grid.Families) == 0 || len(grid.Targets) == 0 {
+		t.Fatalf("empty grid: %d families, %d targets", len(grid.Families), len(grid.Targets))
+	}
+
+	resp, body = get(t, c, "/status/trend")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trend status = %d", resp.StatusCode)
+	}
+	trend := decode[TrendJSON](t, body)
+	if len(trend.Points) == 0 {
+		t.Fatal("empty trend")
+	}
+
+	// The CI API proxied under /ci/.
+	resp, body = get(t, c, "/ci/api/json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ci proxy status = %d", resp.StatusCode)
+	}
+	ciRoot := decode[struct {
+		Jobs []struct {
+			Name string `json:"name"`
+		} `json:"jobs"`
+	}](t, body)
+	if len(ciRoot.Jobs) == 0 {
+		t.Fatal("ci proxy lists no jobs")
+	}
+
+	// Metrics reflect everything above.
+	resp, body = get(t, c, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	m := decode[MetricsReport](t, body)
+	if m.Endpoints["/oar/resources"].Requests != 3 {
+		t.Fatalf("resources counter = %d, want 3", m.Endpoints["/oar/resources"].Requests)
+	}
+	if m.Endpoints["/bugs"].Errors != 1 {
+		t.Fatalf("bugs error counter = %d, want 1", m.Endpoints["/bugs"].Errors)
+	}
+	if m.Requests == 0 || m.SimNowSec == 0 {
+		t.Fatalf("metrics totals off: %+v", m)
+	}
+}
+
+func TestMethodAndPathErrors(t *testing.T) {
+	_, gw := newCampaign(t, 7, 0, simclock.Hour)
+	c := inproc.Client(gw)
+
+	resp, err := c.Post("http://gw.local/ref/inventory", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST read endpoint status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+		t.Fatalf("Allow = %q, want GET", allow)
+	}
+
+	resp, _ = get(t, c, "/oar/submit")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET submit status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Fatalf("Allow = %q, want POST", allow)
+	}
+
+	resp, _ = get(t, c, "/no/such/endpoint")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+
+	// A missing resource is 404 regardless of method — never 405.
+	resp, err = c.Post("http://gw.local/no/such/endpoint", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST unknown path status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestInventoryETag(t *testing.T) {
+	f, gw := newCampaign(t, 11, 0, simclock.Hour)
+	c := inproc.Client(gw)
+
+	resp, body := get(t, c, "/ref/inventory")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on inventory")
+	}
+	snap := decode[struct {
+		Version int `json:"version"`
+	}](t, body)
+	if want := fmt.Sprintf(`"v%d"`, snap.Version); etag != want {
+		t.Fatalf("ETag = %s, want %s", etag, want)
+	}
+
+	// Conditional re-reads take the 304 path and never re-materialize.
+	mats := f.Ref.Materializations()
+	for i := 0; i < 50; i++ {
+		req, _ := http.NewRequest(http.MethodGet, "http://gw.local/ref/inventory", nil)
+		req.Header.Set("If-None-Match", etag)
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("conditional read %d: status = %d, want 304", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("ETag"); got != etag {
+			t.Fatalf("304 ETag = %s, want %s", got, etag)
+		}
+	}
+	if f.Ref.Materializations() != mats {
+		t.Fatalf("304 path re-materialized: %d → %d", mats, f.Ref.Materializations())
+	}
+
+	// Unconditional hot reads serve the cached body: still no new
+	// materializations.
+	for i := 0; i < 10; i++ {
+		if resp, _ := get(t, c, "/ref/inventory"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("hot read status = %d", resp.StatusCode)
+		}
+	}
+	if f.Ref.Materializations() != mats {
+		t.Fatalf("hot reads re-materialized: %d → %d", mats, f.Ref.Materializations())
+	}
+
+	// A description update moves the current version: the stale ETag now
+	// misses and the response carries the new one.
+	node := f.TB.Nodes()[0]
+	inv := node.Inv.Clone()
+	inv.RAMGB += 8
+	if err := f.Ref.Update(f.Clock.Now(), node.Name, inv); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, "http://gw.local/ref/inventory", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body) //nolint:errcheck
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-update conditional status = %d, want 200", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("ETag"); got == etag || got == "" {
+		t.Fatalf("post-update ETag = %q (old %q)", got, etag)
+	}
+
+	// Archived versions stay addressable and cacheable.
+	resp, body = get(t, c, "/ref/inventory?version=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("archived status = %d", resp.StatusCode)
+	}
+	if v := decode[struct {
+		Version int `json:"version"`
+	}](t, body); v.Version != 1 {
+		t.Fatalf("archived version = %d, want 1", v.Version)
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "max-age") {
+		t.Fatalf("archived Cache-Control = %q", cc)
+	}
+	if resp, _ := get(t, c, "/ref/inventory?version=99999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("future version status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, c, "/ref/inventory?version=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus version status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestInventoryCacheBound: the rendered-body cache must stay bounded no
+// matter the access pattern — including a client scraping archived
+// history newest-to-oldest, where no cached entry is older than the
+// requested one.
+func TestInventoryCacheBound(t *testing.T) {
+	f, gw := newCampaign(t, 31, 0, simclock.Hour)
+	c := inproc.Client(gw)
+	nodes := f.TB.Nodes()
+	const versions = 40
+	for u := 0; u < versions; u++ {
+		n := nodes[u%len(nodes)]
+		inv := n.Inv.Clone()
+		inv.RAMGB = 16 + u
+		if err := f.Ref.Update(f.Clock.Now(), n.Name, inv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Descending scrape of the whole archive.
+	for v := f.Ref.VersionCount(); v >= 1; v-- {
+		resp, _ := get(t, c, fmt.Sprintf("/ref/inventory?version=%d", v))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("version %d status = %d", v, resp.StatusCode)
+		}
+	}
+	gw.invMu.Lock()
+	size := len(gw.invCache)
+	gw.invMu.Unlock()
+	if size > 8 {
+		t.Fatalf("inventory cache grew to %d entries (bound is 8)", size)
+	}
+}
+
+// TestNonFiniteParams: NaN/Inf query values must be rejected up front —
+// NaN slides past ordering checks and would otherwise surface as a 200
+// with an empty body when json.Encode chokes on it.
+func TestNonFiniteParams(t *testing.T) {
+	f, gw := newCampaign(t, 37, 0, simclock.Hour)
+	c := inproc.Client(gw)
+	node := f.TB.Nodes()[0].Name
+	for _, path := range []string{
+		"/status/trend?bucket_sec=NaN",
+		"/status/trend?bucket_sec=+Inf",
+		"/monitor/metrics?node=" + node + "&from_sec=NaN",
+		"/monitor/metrics?node=" + node + "&to_sec=Inf",
+	} {
+		resp, _ := get(t, c, path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestRefDiff(t *testing.T) {
+	f, gw := newCampaign(t, 13, 0, simclock.Hour)
+	c := inproc.Client(gw)
+
+	node := f.TB.Nodes()[3]
+	inv := node.Inv.Clone()
+	inv.RAMGB /= 2
+	if err := f.Ref.Update(f.Clock.Now(), node.Name, inv); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := get(t, c, "/ref/diff")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff status = %d", resp.StatusCode)
+	}
+	diff := decode[RefDiffJSON](t, body)
+	if diff.From != 1 || diff.To != 2 || diff.Count != 1 {
+		t.Fatalf("diff = %d..%d with %d differences", diff.From, diff.To, diff.Count)
+	}
+	if diff.Differences[0].Node != node.Name || diff.Differences[0].Field != "ram_gb" {
+		t.Fatalf("difference = %+v", diff.Differences[0])
+	}
+
+	etag := resp.Header.Get("ETag")
+	req, _ := http.NewRequest(http.MethodGet, "http://gw.local/ref/diff", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional diff status = %d, want 304", resp2.StatusCode)
+	}
+
+	// Identical endpoints diff to zero differences.
+	resp, body = get(t, c, "/ref/diff?from=1&to=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("self diff status = %d", resp.StatusCode)
+	}
+	if d := decode[RefDiffJSON](t, body); d.Count != 0 {
+		t.Fatalf("self diff count = %d", d.Count)
+	}
+	if resp, _ := get(t, c, "/ref/diff?from=2&to=1"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted diff status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, c, "/ref/diff?to=99"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range diff status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSubmit(t *testing.T) {
+	f, gw := newCampaign(t, 17, 0, simclock.Hour)
+	c := inproc.Client(gw)
+	cluster := f.TB.Clusters()[0].Name
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := c.Post("http://gw.local/oar/submit", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	resp, body := post(fmt.Sprintf(`{"request":"cluster='%s'/nodes=2,walltime=1","dry_run":true}`, cluster))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dry run status = %d: %s", resp.StatusCode, body)
+	}
+	dry := decode[SubmitResponse](t, body)
+	if dry.CanStartNow == nil || !*dry.CanStartNow {
+		t.Fatalf("dry run on an idle testbed = %+v", dry)
+	}
+
+	resp, body = post(fmt.Sprintf(`{"request":"cluster='%s'/nodes=2,walltime=1","user":"alice"}`, cluster))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("201 Content-Type = %q", ct)
+	}
+	sub := decode[SubmitResponse](t, body)
+	if sub.Job == nil || sub.Job.State != "Running" || len(sub.Job.Nodes) != 2 || sub.Job.User != "alice" {
+		t.Fatalf("submitted job = %+v", sub.Job)
+	}
+
+	if resp, body := post(`{"request":"gibberish"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad request status = %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := post(`{}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty request status = %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := post(`not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestMonitorEndpoint(t *testing.T) {
+	f, gw := newCampaign(t, 19, 0, simclock.Hour)
+	c := inproc.Client(gw)
+	node := f.TB.Nodes()[0].Name
+
+	resp, body := get(t, c, "/monitor/metrics?metric=cpu_load&node="+node+"&from_sec=0&to_sec=60")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("monitor status = %d: %s", resp.StatusCode, body)
+	}
+	mon := decode[MonitorJSON](t, body)
+	if len(mon.Samples) != 61 {
+		t.Fatalf("samples = %d, want 61 (1 Hz inclusive)", len(mon.Samples))
+	}
+
+	// power_w flows through the wiring database (attribution path).
+	resp, _ = get(t, c, "/monitor/metrics?node="+node+"&from_sec=0&to_sec=10")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("power status = %d", resp.StatusCode)
+	}
+
+	if resp, _ := get(t, c, "/monitor/metrics?node=ghost-1"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown node status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, c, "/monitor/metrics?metric=quux&node="+node); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown metric status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, c, "/monitor/metrics?node="+node+"&from_sec=60&to_sec=10"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted range status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, c, "/monitor/metrics"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing node status = %d, want 400", resp.StatusCode)
+	}
+
+	// On a campaign younger than the default 60 s window, the default
+	// from clamps to the epoch instead of rejecting the request.
+	fy, gwy := newCampaign(t, 19, 0, 10*simclock.Second)
+	cy := inproc.Client(gwy)
+	resp, body = get(t, cy, "/monitor/metrics?metric=cpu_load&node="+fy.TB.Nodes()[0].Name)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("young-campaign default window status = %d: %s", resp.StatusCode, body)
+	}
+	if m := decode[MonitorJSON](t, body); m.FromSec != 0 || len(m.Samples) != 11 {
+		t.Fatalf("young-campaign window = %g..%g with %d samples", m.FromSec, m.ToSec, len(m.Samples))
+	}
+}
+
+// TestInventoryETagUnderChurn drives conditional reads from several client
+// goroutines while the Reference API archives new versions underneath
+// them. Every response must be coherent: a 304 confirms the exact ETag the
+// client sent, and a 200's body version must match the ETag it carries.
+func TestInventoryETagUnderChurn(t *testing.T) {
+	f, gw := newCampaign(t, 23, 0, simclock.Hour)
+	c := inproc.Client(gw)
+	nodes := f.TB.Nodes()
+
+	const (
+		readers = 4
+		updates = 300
+		reads   = 150
+	)
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for u := 0; u < updates; u++ {
+			n := nodes[(u*131)%len(nodes)]
+			inv := n.Inv.Clone()
+			inv.RAMGB = 8 + u%64
+			if err := f.Ref.Update(f.Clock.Now(), n.Name, inv); err != nil {
+				t.Error(err)
+				return
+			}
+			// Yield so readers interleave with the churn even on one core.
+			runtime.Gosched()
+		}
+	}()
+
+	var clients sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		clients.Add(1)
+		go func() {
+			defer clients.Done()
+			etag := ""
+			hits200 := 0
+			for i := 0; i < reads; i++ {
+				req, _ := http.NewRequest(http.MethodGet, "http://gw.local/ref/inventory", nil)
+				if etag != "" {
+					req.Header.Set("If-None-Match", etag)
+				}
+				resp, err := c.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusNotModified:
+					if got := resp.Header.Get("ETag"); got != etag {
+						t.Errorf("304 with ETag %q after sending %q", got, etag)
+					}
+					resp.Body.Close()
+				case http.StatusOK:
+					hits200++
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					var snap struct {
+						Version int `json:"version"`
+					}
+					if err := json.Unmarshal(body, &snap); err != nil {
+						t.Errorf("bad body: %v", err)
+						return
+					}
+					etag = resp.Header.Get("ETag")
+					if want := fmt.Sprintf(`"v%d"`, snap.Version); etag != want {
+						t.Errorf("body version %d vs ETag %s", snap.Version, etag)
+						return
+					}
+				default:
+					t.Errorf("status = %d", resp.StatusCode)
+					resp.Body.Close()
+					return
+				}
+			}
+			// The first read is unconditional, so every reader sees at
+			// least one full body.
+			if hits200 == 0 {
+				t.Error("reader saw no 200 at all")
+			}
+		}()
+	}
+	writer.Wait()
+	clients.Wait()
+	if got := f.Ref.VersionCount(); got != updates+1 {
+		t.Fatalf("versions = %d, want %d", got, updates+1)
+	}
+}
+
+// TestStress hammers every endpoint family from concurrent clients while a
+// driver goroutine keeps advancing the simulated campaign through
+// Gateway.Advance — the live-serving mode of cmd/g5kapi. Run with -race;
+// CI does (GATEWAY_STRESS=1 scales it up).
+func TestStress(t *testing.T) {
+	f, gw := newCampaign(t, 29, 5, simclock.Day)
+	clients, iters := 4, 30
+	if os.Getenv("GATEWAY_STRESS") != "" {
+		clients, iters = 16, 60
+	}
+	cluster := f.TB.Clusters()[1].Name
+	node := f.TB.Nodes()[0].Name
+	paths := []string{
+		"/oar/resources?cluster=" + cluster,
+		"/oar/jobs?limit=20",
+		"/ref/inventory",
+		"/ref/diff",
+		"/bugs",
+		"/status/trend",
+		"/monitor/metrics?metric=cpu_load&node=" + node + "&from_sec=0&to_sec=30",
+		"/ci/api/json",
+		"/metrics",
+	}
+
+	done := make(chan struct{})
+	var advancer sync.WaitGroup
+	advancer.Add(1)
+	go func() {
+		defer advancer.Done()
+		// Bounded: ~a simulated day of campaign progress under the
+		// clients' feet is plenty, and keeps the test fast under -race.
+		for i := 0; i < 150; i++ {
+			select {
+			case <-done:
+				return
+			default:
+				gw.Advance(10 * simclock.Minute)
+			}
+		}
+		<-done
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := inproc.Client(gw)
+			for i := 0; i < iters; i++ {
+				path := paths[(w+i)%len(paths)]
+				resp, err := c.Get("http://gw.local" + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				// Monitoring may legitimately answer 502 when the advancing
+				// campaign injects a kwapi fault; everything else must be 2xx.
+				if resp.StatusCode >= 400 && resp.StatusCode != http.StatusBadGateway {
+					t.Errorf("GET %s: status %d", path, resp.StatusCode)
+					return
+				}
+				if w%2 == 0 {
+					body := fmt.Sprintf(`{"request":"cluster='%s'/nodes=1,walltime=0:30:00","dry_run":true}`, cluster)
+					resp, err := c.Post("http://gw.local/oar/submit", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Errorf("submit: %v", err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("dry-run submit status = %d", resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	advancer.Wait()
+
+	m := gw.Metrics()
+	for pattern, em := range m.Endpoints {
+		// Monitoring may answer 502 when the advancing campaign injects a
+		// kwapi fault; every other endpoint must stay clean.
+		if pattern != "/monitor/metrics" && em.Errors != 0 {
+			t.Fatalf("endpoint %s recorded %d errors under stress", pattern, em.Errors)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package gateway
+
+// The Reference API endpoints. These are the gateway's hottest reads —
+// scripts poll the testbed description constantly — so both are built
+// around the store's monotone version counter:
+//
+//   - the ETag of /ref/inventory?version=N is "vN"; the current inventory's
+//     ETag advances exactly when Store.Update archives a new version;
+//   - a conditional request whose ETag still matches returns 304 before any
+//     snapshot is materialized or marshaled;
+//   - rendered bodies are cached per version, so even non-conditional hot
+//     reads marshal each version once.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/refapi"
+)
+
+func versionETag(v int) string { return `"v` + strconv.Itoa(v) + `"` }
+
+// parseVersion reads a 1-based version query parameter; 0 means "not
+// given".
+func parseVersion(r *http.Request, key string) (int, error) {
+	q := r.URL.Query().Get(key)
+	if q == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("bad %s %q", key, q)
+	}
+	return v, nil
+}
+
+func (g *Gateway) handleRefInventory(w http.ResponseWriter, r *http.Request) {
+	st := g.cfg.Ref
+	if st == nil {
+		notConfigured(w, "reference API")
+		return
+	}
+	cur := st.VersionCount()
+	ver, err := parseVersion(r, "version")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if ver == 0 {
+		ver = cur
+	}
+	if ver > cur {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("version %d not archived (latest is %d)", ver, cur))
+		return
+	}
+	etag := versionETag(ver)
+	w.Header().Set("ETag", etag)
+	if ver < cur {
+		// Archived versions are immutable: let clients cache them hard.
+		w.Header().Set("Cache-Control", "public, max-age=86400")
+	}
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body, err := g.inventoryBody(st, ver)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body) //nolint:errcheck
+}
+
+// inventoryBody returns the rendered JSON of one archived version, from the
+// per-version cache when possible. The cache is bounded: campaigns archive
+// thousands of versions but traffic concentrates on the newest few. The
+// render happens outside invMu — cache hits (the hot path) must never
+// queue behind a cache miss marshaling a multi-thousand-node snapshot; a
+// duplicate render per version under contention is the cheaper price.
+func (g *Gateway) inventoryBody(st *refapi.Store, ver int) ([]byte, error) {
+	g.invMu.Lock()
+	body, ok := g.invCache[ver]
+	g.invMu.Unlock()
+	if ok {
+		return body, nil
+	}
+	snap := st.Version(ver)
+	if snap == nil {
+		return nil, fmt.Errorf("version %d vanished", ver)
+	}
+	body, err := snap.MarshalJSONIndent()
+	if err != nil {
+		return nil, err
+	}
+	g.invMu.Lock()
+	defer g.invMu.Unlock()
+	if cached, ok := g.invCache[ver]; ok {
+		return cached, nil // raced with another renderer; keep its copy
+	}
+	// Bounded: evict oldest versions first, never the one just rendered —
+	// under churn the hot current version must stay cached. When every
+	// cached entry is newer (a client scraping history oldest-ward), skip
+	// caching entirely rather than grow past the bound.
+	for len(g.invCache) >= 8 {
+		oldest := ver
+		for v := range g.invCache {
+			if v < oldest {
+				oldest = v
+			}
+		}
+		if oldest == ver {
+			return body, nil
+		}
+		delete(g.invCache, oldest)
+	}
+	g.invCache[ver] = body
+	return body, nil
+}
+
+// RefDiffJSON is the wire form of GET /ref/diff.
+type RefDiffJSON struct {
+	From        int                 `json:"from"`
+	To          int                 `json:"to"`
+	Count       int                 `json:"count"`
+	Differences []refapi.Difference `json:"differences"`
+}
+
+func (g *Gateway) handleRefDiff(w http.ResponseWriter, r *http.Request) {
+	st := g.cfg.Ref
+	if st == nil {
+		notConfigured(w, "reference API")
+		return
+	}
+	cur := st.VersionCount()
+	from, err := parseVersion(r, "from")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	to, err := parseVersion(r, "to")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if to == 0 {
+		to = cur
+	}
+	if from == 0 {
+		// Default: what changed in the latest version.
+		from = to - 1
+		if from < 1 {
+			from = 1
+		}
+	}
+	if from > cur || to > cur {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("version range %d..%d exceeds latest %d", from, to, cur))
+		return
+	}
+	if from > to {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("from %d > to %d", from, to))
+		return
+	}
+	etag := fmt.Sprintf(`"v%d-v%d"`, from, to)
+	w.Header().Set("ETag", etag)
+	if to < cur {
+		w.Header().Set("Cache-Control", "public, max-age=86400")
+	}
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body, err := g.refDiffBody(st, from, to)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body) //nolint:errcheck
+}
+
+// refDiffBody renders (and memoizes) the diff between two archived
+// versions. A single-entry cache suffices: traffic overwhelmingly asks for
+// the same (latest-1, latest) pair until the store moves on.
+func (g *Gateway) refDiffBody(st *refapi.Store, from, to int) ([]byte, error) {
+	g.diffMu.Lock()
+	defer g.diffMu.Unlock()
+	if g.diffBody != nil && g.diffFrom == from && g.diffTo == to {
+		return g.diffBody, nil
+	}
+	a, b := st.Version(from), st.Version(to)
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("version range %d..%d vanished", from, to)
+	}
+	diffs := refapi.DiffSnapshots(a, b)
+	if diffs == nil {
+		diffs = []refapi.Difference{}
+	}
+	out := RefDiffJSON{From: from, To: to, Count: len(diffs), Differences: diffs}
+	body, err := marshalIndent(out)
+	if err != nil {
+		return nil, err
+	}
+	g.diffFrom, g.diffTo, g.diffBody = from, to, body
+	return body, nil
+}

@@ -1,0 +1,86 @@
+// Package inproc provides an in-process http.RoundTripper: requests are
+// dispatched straight into an http.Handler on the caller's goroutine, with
+// no TCP listener, no loopback hop and no real network I/O.
+//
+// The testbed's services (the CI REST API, the gateway) are consumed both
+// remotely — over a real listener — and from inside the same process: the
+// status page renders the grid through the very API it publishes, and the
+// load generator benchmarks the gateway without measuring the kernel's
+// socket stack. Both use an *http.Client whose Transport is one of these,
+// so the client-side code path (URLs, headers, JSON decoding, status
+// handling) stays identical to the networked one.
+package inproc
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Transport dispatches every request to Handler, in process.
+type Transport struct {
+	Handler http.Handler
+}
+
+// RoundTrip implements http.RoundTripper. The handler runs synchronously on
+// the calling goroutine; its response is captured in memory and returned as
+// a regular *http.Response.
+func (t Transport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if t.Handler == nil {
+		return nil, fmt.Errorf("inproc: nil handler")
+	}
+	rec := &recorder{header: make(http.Header)}
+	t.Handler.ServeHTTP(rec, r)
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+		rec.sent = rec.header.Clone()
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", rec.code, http.StatusText(rec.code)),
+		StatusCode:    rec.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.sent,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       r,
+	}, nil
+}
+
+// Client returns an *http.Client that serves every request from h. Use any
+// syntactically valid base URL with it ("http://local"); the host is never
+// resolved.
+func Client(h http.Handler) *http.Client {
+	return &http.Client{Transport: Transport{Handler: h}}
+}
+
+// recorder is the minimal in-memory http.ResponseWriter behind Transport.
+// Like net/http, it freezes the header map at WriteHeader time: mutations
+// after the status line would be silently dropped on a real connection,
+// and must be equally invisible here so handler bugs cannot hide behind
+// the in-process transport.
+type recorder struct {
+	header http.Header
+	sent   http.Header // snapshot taken at WriteHeader
+	body   bytes.Buffer
+	code   int
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(code int) {
+	if r.code != 0 {
+		return
+	}
+	r.code = code
+	r.sent = r.header.Clone()
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.body.Write(p)
+}

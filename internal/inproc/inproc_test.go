@@ -1,0 +1,118 @@
+package inproc
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestClientRoundTrip(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", `"v1"`)
+		json.NewEncoder(w).Encode(map[string]int{"n": 42}) //nolint:errcheck
+	})
+	mux.HandleFunc("/echo", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.WriteHeader(http.StatusCreated)
+		w.Write(body) //nolint:errcheck
+	})
+
+	c := Client(mux)
+
+	resp, err := c.Get("http://local/json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got != `"v1"` {
+		t.Fatalf("ETag = %q", got)
+	}
+	var v map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v["n"] != 42 {
+		t.Fatalf("body = %v", v)
+	}
+
+	resp, err = c.Post("http://local/echo", "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d, want 201", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "hello" {
+		t.Fatalf("body = %q", body)
+	}
+	if resp.ContentLength != int64(len("hello")) {
+		t.Fatalf("ContentLength = %d", resp.ContentLength)
+	}
+}
+
+func TestNotFoundAndNilHandler(t *testing.T) {
+	c := Client(http.NewServeMux())
+	resp, err := c.Get("http://local/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+
+	if _, err := (Transport{}).RoundTrip(&http.Request{}); err == nil {
+		t.Fatal("nil handler round trip should fail")
+	}
+}
+
+// TestHeaderFrozenAtWriteHeader: net/http drops header mutations made
+// after the status line goes out; the in-process transport must behave
+// identically, or handler bugs stay invisible to in-process tests.
+func TestHeaderFrozenAtWriteHeader(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Before", "yes")
+		w.WriteHeader(http.StatusCreated)
+		w.Header().Set("X-After", "yes")
+		io.WriteString(w, "body") //nolint:errcheck
+	})
+	resp, err := Client(h).Get("http://local/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Before") != "yes" {
+		t.Fatal("pre-WriteHeader header lost")
+	}
+	if resp.Header.Get("X-After") != "" {
+		t.Fatal("post-WriteHeader header mutation leaked into the response")
+	}
+}
+
+// TestImplicitOK covers handlers that write a body without an explicit
+// WriteHeader call — the recorder must report 200, like net/http does.
+func TestImplicitOK(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok") //nolint:errcheck
+	})
+	resp, err := Client(h).Get("http://local/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+}

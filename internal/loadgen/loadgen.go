@@ -1,0 +1,299 @@
+// Package loadgen is the workload engine for the testbed's HTTP services:
+// N concurrent client workers replay weighted scenario mixes (an operator
+// refreshing a dashboard, a script scraping the APIs, a submission-heavy
+// user) against a base URL and report throughput plus latency percentiles.
+//
+// Reporting discipline: a single load-generation run is one sample of a
+// noisy process, so Run records every operation's latency and reports the
+// spread (p50/p90/p99/max), never just a mean — the same
+// resample-and-report-spread discipline the campaign fleet applies to
+// simulated metrics. Workers draw scenarios from per-worker seeded RNGs,
+// so the generated *sequence* of operations is deterministic for a given
+// (seed, workers, requests) triple even though wall-clock interleaving is
+// not.
+//
+// The driver is transport-agnostic: point it at a real listener, or at an
+// in-process handler via internal/inproc to benchmark the service code
+// without the kernel's socket stack (what BenchmarkE15/E16 do).
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// Workers is the number of concurrent client goroutines (≥1).
+	Workers int
+	// Requests is the total number of scenario iterations to perform
+	// across all workers.
+	Requests int
+	// Mix is the weighted scenario set; at least one scenario with a
+	// positive weight is required.
+	Mix []Scenario
+	// Seed derives the per-worker RNGs (worker i uses Seed+i).
+	Seed int64
+	// NewClient builds the HTTP client and base URL a worker uses.
+	// Workers get one client each, so client-side state (ETag memory)
+	// is per-worker, like real independent API consumers.
+	NewClient func(worker int) (*http.Client, string)
+}
+
+// Scenario is one weighted workload: Run performs a single iteration
+// (typically a few related HTTP requests) using the worker's context.
+type Scenario struct {
+	Name   string
+	Weight int
+	Run    func(c *Ctx) error
+}
+
+// Ctx is the per-worker client context handed to scenario iterations.
+type Ctx struct {
+	HTTP *http.Client
+	Base string
+	Rand *rand.Rand
+
+	etags     map[string]string // path → last ETag seen (conditional requests)
+	http304   int64
+	httpCount int64
+}
+
+// Get performs a GET and drains the body. Statuses ≥ 400 are errors.
+func (c *Ctx) Get(path string) error {
+	c.httpCount++
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	return drain(resp, path)
+}
+
+// GetConditional performs a GET with If-None-Match set to the last ETag
+// this worker saw for path; 304 responses count as cache hits and any new
+// ETag is remembered.
+func (c *Ctx) GetConditional(path string) error {
+	c.httpCount++
+	req, err := http.NewRequest(http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	if tag := c.etags[path]; tag != "" {
+		req.Header.Set("If-None-Match", tag)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusNotModified {
+		c.http304++
+		resp.Body.Close()
+		return nil
+	}
+	if tag := resp.Header.Get("ETag"); tag != "" {
+		if c.etags == nil {
+			c.etags = map[string]string{}
+		}
+		c.etags[path] = tag
+	}
+	return drain(resp, path)
+}
+
+// PostJSON performs a POST with a JSON body. 2xx statuses pass.
+func (c *Ctx) PostJSON(path, body string) error {
+	c.httpCount++
+	resp, err := c.HTTP.Post(c.Base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return drain(resp, path)
+}
+
+func drain(resp *http.Response, path string) error {
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("loadgen: %s: %s", path, resp.Status)
+	}
+	return nil
+}
+
+// Percentiles summarizes a latency distribution.
+type Percentiles struct {
+	Mean time.Duration
+	P50  time.Duration
+	P90  time.Duration
+	P99  time.Duration
+	Max  time.Duration
+}
+
+// ScenarioReport is the per-scenario slice of a run report.
+type ScenarioReport struct {
+	Name       string
+	Iterations int
+	Errors     int
+	Latency    Percentiles
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	Workers      int
+	Elapsed      time.Duration
+	Iterations   int   // scenario iterations completed
+	HTTPRequests int64 // individual HTTP requests issued
+	NotModified  int64 // conditional requests answered 304
+	Errors       int
+	Throughput   float64 // iterations per second
+	Latency      Percentiles
+	Scenarios    []ScenarioReport
+}
+
+// String renders the report as a compact operator-facing table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d iterations on %d workers in %v: %.0f it/s, %d HTTP requests (%d × 304), %d errors\n",
+		r.Iterations, r.Workers, r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.HTTPRequests, r.NotModified, r.Errors)
+	fmt.Fprintf(&sb, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max)
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(&sb, "  %-20s %6d it  %3d err  p50 %-10v p99 %v\n",
+			s.Name, s.Iterations, s.Errors, s.Latency.P50, s.Latency.P99)
+	}
+	return sb.String()
+}
+
+// opRec is one completed scenario iteration.
+type opRec struct {
+	scenario int
+	ns       int64
+	failed   bool
+}
+
+// Run executes the configured workload and reports on it.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Requests < 1 {
+		return nil, fmt.Errorf("loadgen: Requests must be positive")
+	}
+	if cfg.NewClient == nil {
+		return nil, fmt.Errorf("loadgen: NewClient is required")
+	}
+	total := 0
+	for _, s := range cfg.Mix {
+		if s.Weight < 0 || s.Run == nil {
+			return nil, fmt.Errorf("loadgen: scenario %q invalid", s.Name)
+		}
+		total += s.Weight
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("loadgen: mix has no positive weights")
+	}
+	// Cumulative weights for the per-iteration draw.
+	cum := make([]int, len(cfg.Mix))
+	acc := 0
+	for i, s := range cfg.Mix {
+		acc += s.Weight
+		cum[i] = acc
+	}
+	pick := func(rng *rand.Rand) int {
+		n := rng.Intn(total)
+		for i, c := range cum {
+			if n < c {
+				return i
+			}
+		}
+		return len(cum) - 1 // unreachable
+	}
+
+	var (
+		next   atomic.Int64 // shared iteration counter (work stealing)
+		wg     sync.WaitGroup
+		perOps = make([][]opRec, cfg.Workers)
+		perCtx = make([]*Ctx, cfg.Workers)
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		hc, base := cfg.NewClient(w)
+		ctx := &Ctx{HTTP: hc, Base: base, Rand: rand.New(rand.NewSource(cfg.Seed + int64(w)))}
+		perCtx[w] = ctx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ops := make([]opRec, 0, cfg.Requests/cfg.Workers+1)
+			for next.Add(1) <= int64(cfg.Requests) {
+				i := pick(ctx.Rand)
+				t0 := time.Now()
+				err := cfg.Mix[i].Run(ctx)
+				ops = append(ops, opRec{scenario: i, ns: time.Since(t0).Nanoseconds(), failed: err != nil})
+			}
+			perOps[w] = ops
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Workers: cfg.Workers, Elapsed: elapsed}
+	var all []int64
+	perScen := make([][]int64, len(cfg.Mix))
+	scenErr := make([]int, len(cfg.Mix))
+	for w, ops := range perOps {
+		rep.HTTPRequests += perCtx[w].httpCount
+		rep.NotModified += perCtx[w].http304
+		for _, op := range ops {
+			rep.Iterations++
+			if op.failed {
+				rep.Errors++
+				scenErr[op.scenario]++
+			}
+			all = append(all, op.ns)
+			perScen[op.scenario] = append(perScen[op.scenario], op.ns)
+		}
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Iterations) / elapsed.Seconds()
+	}
+	rep.Latency = percentiles(all)
+	for i, s := range cfg.Mix {
+		rep.Scenarios = append(rep.Scenarios, ScenarioReport{
+			Name:       s.Name,
+			Iterations: len(perScen[i]),
+			Errors:     scenErr[i],
+			Latency:    percentiles(perScen[i]),
+		})
+	}
+	return rep, nil
+}
+
+// percentiles computes the latency spread of a sample set.
+func percentiles(ns []int64) Percentiles {
+	if len(ns) == 0 {
+		return Percentiles{}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	var sum int64
+	for _, v := range ns {
+		sum += v
+	}
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(ns)-1))
+		return time.Duration(ns[i])
+	}
+	return Percentiles{
+		Mean: time.Duration(sum / int64(len(ns))),
+		P50:  at(0.50),
+		P90:  at(0.90),
+		P99:  at(0.99),
+		Max:  time.Duration(ns[len(ns)-1]),
+	}
+}

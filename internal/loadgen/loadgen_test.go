@@ -1,0 +1,212 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/inproc"
+)
+
+// stubService is a tiny in-process API with an ETag'd endpoint, a plain
+// endpoint and a failing one.
+func stubService() (http.Handler, *atomic.Int64) {
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/plain", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		json.NewEncoder(w).Encode(map[string]int{"ok": 1}) //nolint:errcheck
+	})
+	mux.HandleFunc("/tagged", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		const etag = `"v1"`
+		w.Header().Set("ETag", etag)
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]int{"v": 1}) //nolint:errcheck
+	})
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	mux.HandleFunc("/echo", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.Method != http.MethodPost {
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+	return mux, &hits
+}
+
+func newClientFor(h http.Handler) func(int) (*http.Client, string) {
+	return func(int) (*http.Client, string) {
+		return inproc.Client(h), "http://stub.local"
+	}
+}
+
+func TestRunCountsAndPercentiles(t *testing.T) {
+	h, hits := stubService()
+	rep, err := Run(Config{
+		Workers:  3,
+		Requests: 90,
+		Seed:     1,
+		Mix: []Scenario{
+			{Name: "read", Weight: 3, Run: func(c *Ctx) error { return c.Get("/plain") }},
+			{Name: "cond", Weight: 2, Run: func(c *Ctx) error { return c.GetConditional("/tagged") }},
+			{Name: "write", Weight: 1, Run: func(c *Ctx) error { return c.PostJSON("/echo", `{}`) }},
+		},
+		NewClient: newClientFor(h),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 90 {
+		t.Fatalf("iterations = %d, want 90", rep.Iterations)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d", rep.Errors)
+	}
+	if rep.HTTPRequests != hits.Load() {
+		t.Fatalf("client counted %d requests, server saw %d", rep.HTTPRequests, hits.Load())
+	}
+	// Each worker's first /tagged read is a 200; everything after is 304.
+	if rep.NotModified == 0 {
+		t.Fatal("no 304s recorded")
+	}
+	sum := 0
+	for _, s := range rep.Scenarios {
+		if s.Iterations == 0 {
+			t.Fatalf("scenario %s never ran", s.Name)
+		}
+		sum += s.Iterations
+	}
+	if sum != rep.Iterations {
+		t.Fatalf("scenario iterations sum %d != total %d", sum, rep.Iterations)
+	}
+	l := rep.Latency
+	if l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.Max || l.Max == 0 {
+		t.Fatalf("percentiles not ordered: %+v", l)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %f", rep.Throughput)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report rendering")
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	h, _ := stubService()
+	rep, err := Run(Config{
+		Workers:  2,
+		Requests: 20,
+		Mix: []Scenario{
+			{Name: "bad", Weight: 1, Run: func(c *Ctx) error { return c.Get("/boom") }},
+		},
+		NewClient: newClientFor(h),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 20 || rep.Scenarios[0].Errors != 20 {
+		t.Fatalf("errors = %d / %d, want 20", rep.Errors, rep.Scenarios[0].Errors)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	h, _ := stubService()
+	ok := Scenario{Name: "ok", Weight: 1, Run: func(c *Ctx) error { return nil }}
+	cases := []Config{
+		{Workers: 1, Requests: 0, Mix: []Scenario{ok}, NewClient: newClientFor(h)},
+		{Workers: 1, Requests: 1, Mix: nil, NewClient: newClientFor(h)},
+		{Workers: 1, Requests: 1, Mix: []Scenario{{Name: "w0", Weight: 0, Run: ok.Run}}, NewClient: newClientFor(h)},
+		{Workers: 1, Requests: 1, Mix: []Scenario{ok}},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestWeightedDrawDistribution checks the weighted scenario draw against
+// its expectation: over many iterations the split must approach the
+// configured 3:1 ratio.
+func TestWeightedDrawDistribution(t *testing.T) {
+	h, _ := stubService()
+	rep, err := Run(Config{
+		Workers:  1,
+		Requests: 4000,
+		Seed:     99,
+		Mix: []Scenario{
+			{Name: "heavy", Weight: 3, Run: func(c *Ctx) error { return nil }},
+			{Name: "light", Weight: 1, Run: func(c *Ctx) error { return nil }},
+		},
+		NewClient: newClientFor(h),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := rep.Scenarios[0].Iterations
+	frac := float64(heavy) / float64(rep.Iterations)
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("heavy fraction = %.3f, want ≈0.75", frac)
+	}
+}
+
+// TestScenarioSequenceDeterminism: for a fixed (seed, workers), a single
+// worker draws the same scenario sequence run over run.
+func TestScenarioSequenceDeterminism(t *testing.T) {
+	h, _ := stubService()
+	sequence := func() string {
+		var seq []byte
+		mix := []Scenario{
+			{Name: "a", Weight: 2, Run: func(c *Ctx) error { seq = append(seq, 'a'); return nil }},
+			{Name: "b", Weight: 1, Run: func(c *Ctx) error { seq = append(seq, 'b'); return nil }},
+		}
+		if _, err := Run(Config{Workers: 1, Requests: 40, Seed: 5, Mix: mix, NewClient: newClientFor(h)}); err != nil {
+			t.Fatal(err)
+		}
+		return string(seq)
+	}
+	if s1, s2 := sequence(), sequence(); s1 != s2 {
+		t.Fatalf("sequences diverged:\n%s\n%s", s1, s2)
+	}
+}
+
+func TestPercentilesEdgeCases(t *testing.T) {
+	if p := percentiles(nil); p.Max != 0 || p.P50 != 0 {
+		t.Fatalf("empty percentiles = %+v", p)
+	}
+	p := percentiles([]int64{int64(time.Millisecond)})
+	if p.P50 != time.Millisecond || p.P99 != time.Millisecond || p.Max != time.Millisecond {
+		t.Fatalf("single-sample percentiles = %+v", p)
+	}
+}
+
+func TestDefaultMixShapes(t *testing.T) {
+	mix := DefaultMix([]string{"c1"})
+	if len(mix) != 3 {
+		t.Fatalf("default mix has %d scenarios", len(mix))
+	}
+	for _, s := range mix {
+		if s.Weight <= 0 || s.Run == nil || s.Name == "" {
+			t.Fatalf("scenario %+v malformed", s.Name)
+		}
+	}
+	if mix := ScrapeOnlyMix(nil); len(mix) != 1 || mix[0].Name != "api-scraper" {
+		t.Fatalf("scrape mix = %+v", mix)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubmitHeavy with no clusters should panic")
+		}
+	}()
+	SubmitHeavy(nil)
+}

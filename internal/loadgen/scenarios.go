@@ -1,0 +1,101 @@
+package loadgen
+
+// The canonical scenario mixes for the testbed API gateway. Each models
+// one real consumer population of the paper's services:
+//
+//   - operator-dashboard: a human dashboard polling the status grid, the
+//     trend and the open-bug list;
+//   - api-scraper: scripted consumers re-reading the Reference API and the
+//     resource states; they use conditional requests, so a quiet testbed
+//     answers them almost entirely from the 304 path;
+//   - submit-heavy: tooling probing and submitting OAR jobs.
+
+import "fmt"
+
+// OperatorDashboard returns the dashboard-refresh scenario.
+func OperatorDashboard() Scenario {
+	return Scenario{
+		Name:   "operator-dashboard",
+		Weight: 2,
+		Run: func(c *Ctx) error {
+			if err := c.Get("/status/grid"); err != nil {
+				return err
+			}
+			if err := c.Get("/status/trend"); err != nil {
+				return err
+			}
+			if err := c.Get("/bugs?state=open"); err != nil {
+				return err
+			}
+			return c.Get("/metrics")
+		},
+	}
+}
+
+// APIScraper returns the scripted-consumer scenario. clusters narrows the
+// resource reads the way real scripts scope their queries; an empty slice
+// reads everything.
+func APIScraper(clusters []string) Scenario {
+	return Scenario{
+		Name:   "api-scraper",
+		Weight: 5,
+		Run: func(c *Ctx) error {
+			if err := c.GetConditional("/ref/inventory"); err != nil {
+				return err
+			}
+			if err := c.GetConditional("/ref/diff"); err != nil {
+				return err
+			}
+			path := "/oar/resources"
+			if len(clusters) > 0 {
+				path += "?cluster=" + clusters[c.Rand.Intn(len(clusters))]
+			}
+			if err := c.Get(path); err != nil {
+				return err
+			}
+			return c.Get("/ci/api/json")
+		},
+	}
+}
+
+// SubmitHeavy returns the submission-tooling scenario: a few availability
+// probes (dry runs through the scheduler's CanStartNow path) and one real
+// short job per iteration.
+func SubmitHeavy(clusters []string) Scenario {
+	if len(clusters) == 0 {
+		panic("loadgen: SubmitHeavy needs at least one cluster")
+	}
+	return Scenario{
+		Name:   "submit-heavy",
+		Weight: 3,
+		Run: func(c *Ctx) error {
+			cl := clusters[c.Rand.Intn(len(clusters))]
+			probe := fmt.Sprintf(`{"request":"cluster='%s'/nodes=%d,walltime=0:30:00","dry_run":true}`,
+				cl, 1+c.Rand.Intn(4))
+			for i := 0; i < 3; i++ {
+				if err := c.PostJSON("/oar/submit", probe); err != nil {
+					return err
+				}
+			}
+			submit := fmt.Sprintf(`{"request":"cluster='%s'/nodes=1,walltime=0:10:00","user":"loadgen"}`, cl)
+			if err := c.PostJSON("/oar/submit", submit); err != nil {
+				return err
+			}
+			return c.Get("/oar/jobs?limit=25")
+		},
+	}
+}
+
+// DefaultMix is the mixed production-style workload: mostly scripted
+// scraping, a steady dashboard-refresh stream, and submission tooling.
+func DefaultMix(clusters []string) []Scenario {
+	return []Scenario{OperatorDashboard(), APIScraper(clusters), SubmitHeavy(clusters)}
+}
+
+// ScrapeOnlyMix is the read-hot workload used for throughput scaling
+// measurements: conditional Reference API reads plus resource listings.
+func ScrapeOnlyMix(clusters []string) []Scenario {
+	s := APIScraper(clusters)
+	s.Weight = 1
+	return []Scenario{s}
+}

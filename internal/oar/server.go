@@ -596,6 +596,102 @@ func (s *Server) SetNodeState(nodeName string, st testbed.NodeState) error {
 	return nil
 }
 
+// ResourceInfo is a point-in-time view of one node as OAR sees it: its
+// administrative state plus the job occupying it, if any. This is the wire
+// form behind the gateway's /oar/resources endpoint (the equivalent of
+// oarnodes / the OAR REST API's resource listing).
+type ResourceInfo struct {
+	Name    string `json:"name"`
+	Cluster string `json:"cluster"`
+	Site    string `json:"site"`
+	State   string `json:"state"`
+	JobID   int    `json:"job_id,omitempty"`
+}
+
+// Resources snapshots every node's allocation state in testbed order,
+// optionally narrowed to one cluster (empty = all). The copy is taken under
+// the server mutex, so it is consistent with a single scheduling instant.
+func (s *Server) Resources(cluster string) []ResourceInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nodes := s.nodeList
+	if cluster != "" {
+		nodes = s.byCluster[cluster]
+	}
+	out := make([]ResourceInfo, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, ResourceInfo{
+			Name:    n.Name,
+			Cluster: n.Cluster,
+			Site:    n.Site,
+			State:   n.State.String(),
+			JobID:   s.busy[n.Name],
+		})
+	}
+	return out
+}
+
+// JobInfo is a point-in-time copy of one job's externally visible state —
+// the wire form behind the gateway's /oar/jobs endpoint (oarstat).
+type JobInfo struct {
+	ID             int      `json:"id"`
+	User           string   `json:"user,omitempty"`
+	Request        string   `json:"request"`
+	State          string   `json:"state"`
+	Nodes          []string `json:"nodes,omitempty"`
+	SubmittedAtSec float64  `json:"submitted_at_sec"`
+	StartedAtSec   float64  `json:"started_at_sec,omitempty"`
+	EndedAtSec     float64  `json:"ended_at_sec,omitempty"`
+}
+
+// jobInfoLocked copies one job's externally visible state. The caller
+// holds the server mutex.
+func jobInfoLocked(j *Job) JobInfo {
+	return JobInfo{
+		ID:             j.ID,
+		User:           j.User,
+		Request:        j.Request.String(),
+		State:          j.State.String(),
+		Nodes:          append([]string(nil), j.Nodes...),
+		SubmittedAtSec: j.SubmittedAt.Seconds(),
+		StartedAtSec:   j.StartedAt.Seconds(),
+		EndedAtSec:     j.EndedAt.Seconds(),
+	}
+}
+
+// JobsInfo snapshots the most recently submitted limit jobs (0 = all),
+// newest first. Node name slices are copied, so callers may hold the result
+// while the scheduler keeps running.
+func (s *Server) JobsInfo(limit int) []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if limit <= 0 || limit > s.nextID {
+		limit = s.nextID
+	}
+	out := make([]JobInfo, 0, limit)
+	for id := s.nextID; id >= 1 && len(out) < limit; id-- {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		out = append(out, jobInfoLocked(j))
+	}
+	return out
+}
+
+// JobInfoByID snapshots one job's externally visible state; ok is false
+// when the job is unknown. Unlike Job, the returned copy is safe to read
+// while the scheduler keeps mutating the live object.
+func (s *Server) JobInfoByID(id int) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobInfo{}, false
+	}
+	return jobInfoLocked(j), true
+}
+
 // StateSummary counts nodes per state, the oarstate test family's input.
 func (s *Server) StateSummary() map[testbed.NodeState]int {
 	s.mu.Lock()

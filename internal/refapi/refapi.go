@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/simclock"
 	"repro/internal/testbed"
@@ -89,7 +90,18 @@ type Store struct {
 	// owned by the store and mutated in place by Update (O(changed nodes)),
 	// never aliased by a handed-out Snapshot.
 	cur map[string]NodeDescription
+
+	// materializations counts how many times a full snapshot was actually
+	// built (cache misses of the lazy delta chain). Readers that claim to
+	// avoid re-materialization — the gateway's ETag/304 path — assert
+	// against it.
+	materializations atomic.Int64
 }
+
+// Materializations returns how many full-snapshot builds the store has
+// performed. Cached reads (Version/At/Current returning an already
+// materialized snapshot) do not count.
+func (st *Store) Materializations() int64 { return st.materializations.Load() }
 
 // NewStore captures version 1 of the description from the testbed's current
 // live state. By construction the initial description is accurate; drift
@@ -232,6 +244,7 @@ func (st *Store) materializeLocked(i int) *Snapshot {
 		}
 	}
 	ver.snap = &Snapshot{Version: ver.num, TakenAt: ver.takenAt, Nodes: nodes}
+	st.materializations.Add(1)
 	return ver.snap
 }
 

@@ -20,8 +20,10 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/ci"
+	"repro/internal/inproc"
 )
 
 // Client talks to the CI server's REST API.
@@ -30,9 +32,30 @@ type Client struct {
 	http *http.Client
 }
 
-// NewClient returns a client for the API at baseURL (no trailing slash).
+// DefaultTimeout bounds every request a NewClient makes. The status page
+// sits in front of operators' browsers; without a client timeout a single
+// stalled CI server would hang every page render forever.
+const DefaultTimeout = 10 * time.Second
+
+// NewClient returns a client for the API at baseURL (no trailing slash),
+// with DefaultTimeout on every request. Use NewClientWith to supply a
+// custom *http.Client.
 func NewClient(baseURL string) *Client {
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: &http.Client{}}
+	return NewClientWith(baseURL, &http.Client{Timeout: DefaultTimeout})
+}
+
+// NewClientWith returns a client for the API at baseURL using hc for its
+// requests (custom timeouts, transports, instrumentation).
+func NewClientWith(baseURL string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: hc}
+}
+
+// NewLocalClient returns a client that dispatches requests in process,
+// straight into the given CI API handler — no TCP listener, no loopback
+// hop. The HTTP client-side code path (URLs, status handling, JSON
+// decoding) is identical to the networked one.
+func NewLocalClient(h http.Handler) *Client {
+	return NewClientWith("http://ci.local", inproc.Client(h))
 }
 
 func (c *Client) get(path string, v any) error {
@@ -257,13 +280,14 @@ func (g *Grid) OKRate() float64 {
 	return float64(ok) / float64(total)
 }
 
-// TrendPoint is one bucket of the historical success-rate series.
+// TrendPoint is one bucket of the historical success-rate series. The JSON
+// tags are its wire form on the gateway's /status/trend endpoint.
 type TrendPoint struct {
-	BucketStartSec float64
-	Total          int // completed verdicts (success+failure)
-	Success        int
-	Unstable       int // tracked separately: could-not-run is not a verdict
-	Rate           float64
+	BucketStartSec float64 `json:"bucket_start_sec"`
+	Total          int     `json:"total"` // completed verdicts (success+failure)
+	Success        int     `json:"success"`
+	Unstable       int     `json:"unstable"` // tracked separately: could-not-run is not a verdict
+	Rate           float64 `json:"rate"`
 }
 
 // Trend buckets completed builds by EndedAt and computes the success rate

@@ -2,9 +2,11 @@ package status
 
 import (
 	"bytes"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/ci"
 	"repro/internal/simclock"
@@ -131,6 +133,85 @@ func TestTrend(t *testing.T) {
 	}
 	if Trend(builds, 0) != nil {
 		t.Fatal("zero bucket accepted")
+	}
+}
+
+// TestTrendBucketBoundaries pins the bucketing rules at the edges: empty
+// input, negative bucket size, a build landing exactly on a bucket
+// boundary, single-sample buckets, and gaps (buckets in which nothing
+// completed never appear).
+func TestTrendBucketBoundaries(t *testing.T) {
+	if pts := Trend(nil, 60); len(pts) != 0 {
+		t.Fatalf("empty input produced %+v", pts)
+	}
+	if Trend([]ci.BuildJSON{{Result: "SUCCESS"}}, -5) != nil {
+		t.Fatal("negative bucket accepted")
+	}
+
+	const day = 86400.0
+	const week = 7 * day
+	builds := []ci.BuildJSON{
+		// Exactly on the epoch: first bucket.
+		{Result: "SUCCESS", EndedAtSec: 0},
+		// Last instant of week 0 vs exactly the week-1 boundary: the
+		// boundary sample must fall in the NEXT bucket (half-open buckets).
+		{Result: "FAILURE", EndedAtSec: week - 1},
+		{Result: "SUCCESS", EndedAtSec: week},
+		// A single-sample bucket far away; weeks 2..4 stay empty.
+		{Result: "SUCCESS", EndedAtSec: 5*week + 12},
+	}
+	pts := Trend(builds, week)
+	if len(pts) != 3 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if pts[0].BucketStartSec != 0 || pts[0].Total != 2 || pts[0].Rate != 0.5 {
+		t.Fatalf("week 0 = %+v", pts[0])
+	}
+	if pts[1].BucketStartSec != week || pts[1].Total != 1 || pts[1].Rate != 1.0 {
+		t.Fatalf("week 1 = %+v", pts[1])
+	}
+	// The gap: the next point jumps straight to week 5.
+	if pts[2].BucketStartSec != 5*week || pts[2].Total != 1 {
+		t.Fatalf("week 5 = %+v", pts[2])
+	}
+
+	// A bucket holding only an UNSTABLE build has no verdicts: rate 0,
+	// unstable counted separately.
+	pts = Trend([]ci.BuildJSON{{Result: "UNSTABLE", EndedAtSec: 30}}, 60)
+	if len(pts) != 1 || pts[0].Total != 0 || pts[0].Unstable != 1 || pts[0].Rate != 0 {
+		t.Fatalf("unstable-only bucket = %+v", pts)
+	}
+}
+
+// TestClientDefaultTimeout: NewClient must never hang forever on a stalled
+// server — the page in front of operators inherits any hang.
+func TestClientDefaultTimeout(t *testing.T) {
+	c := NewClient("http://example.invalid")
+	if c.http.Timeout != DefaultTimeout {
+		t.Fatalf("NewClient timeout = %v, want %v", c.http.Timeout, DefaultTimeout)
+	}
+	custom := &http.Client{Timeout: time.Second}
+	if cc := NewClientWith("http://example.invalid", custom); cc.http != custom {
+		t.Fatal("NewClientWith ignored the supplied client")
+	}
+}
+
+// TestLocalClient runs the whole grid assembly through the in-process
+// transport — no listener involved.
+func TestLocalClient(t *testing.T) {
+	c, s, _ := fixture(t)
+	runAll(c, s)
+	cl := NewLocalClient(s.Handler())
+	g, err := cl.BuildGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Families) == 0 {
+		t.Fatal("in-process grid is empty")
+	}
+	builds, err := cl.AllBuilds()
+	if err != nil || len(builds) == 0 {
+		t.Fatalf("AllBuilds = %d builds, err %v", len(builds), err)
 	}
 }
 
