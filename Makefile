@@ -1,9 +1,9 @@
 GO ?= go
 
 # Benchmarks whose ns_per_op / allocs_per_op are gated by bench-check.
-TRACKED_BENCHES = BenchmarkE2_,BenchmarkE9_,BenchmarkE12_,BenchmarkE13_,BenchmarkE14_,BenchmarkE15_,BenchmarkE16_
+TRACKED_BENCHES = BenchmarkE2_,BenchmarkE9_,BenchmarkE12_,BenchmarkE13_,BenchmarkE14_,BenchmarkE15_,BenchmarkE16_,BenchmarkE17_
 
-.PHONY: all build vet fmt-check test race stress bench bench-check check
+.PHONY: all build vet fmt-check test race stress fed-check bench bench-check check
 
 all: check
 
@@ -28,6 +28,12 @@ race:
 # campaign advances underneath them.
 stress:
 	GATEWAY_STRESS=1 $(GO) test -race -count=1 -run 'TestStress|TestInventoryETagUnderChurn' ./internal/gateway
+
+# fed-check proves the federation's load-bearing property under the race
+# detector: stepping per-site campaign shards serially or across 4
+# goroutines yields bit-identical per-site and merged summaries.
+fed-check:
+	$(GO) test -race -count=1 -run 'TestFederationSerialParallelDeterminism' ./internal/federation
 
 # bench runs the full experiment suite once and records every number
 # (ns/op, allocs/op, reproduced sim metrics) in BENCH_results.json via

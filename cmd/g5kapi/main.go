@@ -5,7 +5,14 @@
 // Serving mode runs a short campaign first, then exposes every subsystem
 // over one HTTP front door:
 //
-//	g5kapi [-addr :8080] [-weeks 2] [-seed 42] [-live] [-step 10m]
+//	g5kapi [-addr :8080] [-weeks 2] [-seed 42] [-live] [-step 10m] [-shards]
+//
+// With -shards the campaign is federated (internal/federation): one
+// per-site shard behind per-shard gateway locks, site-scoped routes under
+// /sites/{site}/... and scatter-gather merges on the classic paths. A
+// -live advance then steps the sites concurrently, each under its own
+// write lock, so reads against one site never wait for another site's
+// progress.
 //
 // With -live the campaign keeps advancing: every wall-clock second the
 // simulation steps by -step while request handlers are held out, so the
@@ -16,6 +23,7 @@
 // throughput plus latency percentiles, overall and per scenario:
 //
 //	g5kapi -loadgen [-workers 4] [-requests 20000] [-mix default|scrape|submit]
+//	g5kapi -loadgen -shards    # site-pinned federated mix
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/federation"
 	"repro/internal/gateway"
 	"repro/internal/inproc"
 	"repro/internal/loadgen"
@@ -40,24 +49,53 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	live := flag.Bool("live", false, "keep advancing the campaign while serving")
 	step := flag.Duration("step", 10*time.Minute, "simulated time advanced per wall second in -live mode")
+	shards := flag.Bool("shards", false, "federate the campaign: one per-site shard behind per-shard gateway locks")
+	fedWorkers := flag.Int("shard-workers", 0, "shards advanced concurrently (0 = GOMAXPROCS; -shards only)")
 	runLoad := flag.Bool("loadgen", false, "run the load generator against an in-process gateway and exit")
 	workers := flag.Int("workers", 4, "loadgen: concurrent client workers")
 	requests := flag.Int("requests", 20000, "loadgen: total scenario iterations")
-	mixName := flag.String("mix", "default", "loadgen: scenario mix (default|scrape|submit)")
+	mixName := flag.String("mix", "default", "loadgen: scenario mix (default|scrape|submit; ignored with -shards)")
 	flag.Parse()
 
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
-	f := core.New(cfg)
-	f.Start()
-	log.Printf("running %d simulated weeks of testing on %s...", *weeks, f.TB.Stats())
-	f.RunFor(simclock.Time(*weeks) * simclock.Week)
-	log.Printf("campaign done: %s", f.Summary())
+	var gw *gateway.Gateway
+	var mix []loadgen.Scenario
 
-	gw := gateway.ForFramework(f)
+	if *shards {
+		fed := federation.New(federation.Config{Seed: *seed, Workers: *fedWorkers})
+		fed.Start()
+		log.Printf("running %d simulated weeks on %d federated site shards...",
+			*weeks, len(fed.Shards()))
+		fed.Advance(simclock.Time(*weeks) * simclock.Week)
+		sum := fed.Summary()
+		for _, s := range sum.Sites {
+			log.Printf("  site %-12s %s", s.Site, s.Summary)
+		}
+		log.Printf("campaign done: %s", sum)
+		gw = gateway.ForFederation(fed)
+		if *runLoad {
+			mix = loadgen.FederatedMix(federatedTargets(fed))
+			*mixName = "federated"
+		}
+	} else {
+		cfg := core.DefaultConfig()
+		cfg.Seed = *seed
+		f := core.New(cfg)
+		f.Start()
+		log.Printf("running %d simulated weeks of testing on %s...", *weeks, f.TB.Stats())
+		f.RunFor(simclock.Time(*weeks) * simclock.Week)
+		log.Printf("campaign done: %s", f.Summary())
+		gw = gateway.ForFramework(f)
+		if *runLoad {
+			var err error
+			if mix, err = monolithicMix(*mixName, f.TB); err != nil {
+				fmt.Fprintf(os.Stderr, "g5kapi: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *runLoad {
-		if err := loadTest(gw, f.TB, *workers, *requests, *mixName, *seed); err != nil {
+		if err := loadTest(gw, mix, *workers, *requests, *mixName, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "g5kapi: %v\n", err)
 			os.Exit(1)
 		}
@@ -73,13 +111,12 @@ func main() {
 		}()
 		log.Printf("live mode: +%v of simulated time per wall second", *step)
 	}
-	log.Printf("testbed API gateway on %s (try /, /oar/resources, /ref/inventory, /metrics)", *addr)
+	log.Printf("testbed API gateway on %s (try /, /sites, /oar/resources, /ref/inventory, /metrics)", *addr)
 	log.Fatal(http.ListenAndServe(*addr, gw))
 }
 
-// loadTest drives the gateway through the in-process transport — no
-// listener, no socket stack, just the service code under concurrency.
-func loadTest(gw *gateway.Gateway, tb *testbed.Testbed, workers, requests int, mixName string, seed int64) error {
+// monolithicMix picks the classic scenario mix for a single-shard gateway.
+func monolithicMix(name string, tb *testbed.Testbed) ([]loadgen.Scenario, error) {
 	clusters := make([]string, 0, 8)
 	for _, cl := range tb.Clusters() {
 		clusters = append(clusters, cl.Name)
@@ -87,18 +124,37 @@ func loadTest(gw *gateway.Gateway, tb *testbed.Testbed, workers, requests int, m
 			break
 		}
 	}
-	var mix []loadgen.Scenario
-	switch mixName {
+	switch name {
 	case "default":
-		mix = loadgen.DefaultMix(clusters)
+		return loadgen.DefaultMix(clusters), nil
 	case "scrape":
-		mix = loadgen.ScrapeOnlyMix(clusters)
+		return loadgen.ScrapeOnlyMix(clusters), nil
 	case "submit":
-		mix = []loadgen.Scenario{loadgen.SubmitHeavy(clusters)}
-	default:
-		return fmt.Errorf("unknown -mix %q (default|scrape|submit)", mixName)
+		return []loadgen.Scenario{loadgen.SubmitHeavy(clusters)}, nil
 	}
+	return nil, fmt.Errorf("unknown -mix %q (default|scrape|submit)", name)
+}
 
+// federatedTargets derives the site-pinned loadgen targets from a
+// federation: every site with its clusters and one monitored node.
+func federatedTargets(fed *federation.Federation) []loadgen.SiteTarget {
+	var out []loadgen.SiteTarget
+	for _, sh := range fed.Shards() {
+		tgt := loadgen.SiteTarget{Site: sh.Site}
+		for _, cl := range sh.F.TB.Clusters() {
+			tgt.Clusters = append(tgt.Clusters, cl.Name)
+		}
+		if nodes := sh.F.TB.Nodes(); len(nodes) > 0 {
+			tgt.Nodes = []string{nodes[0].Name}
+		}
+		out = append(out, tgt)
+	}
+	return out
+}
+
+// loadTest drives the gateway through the in-process transport — no
+// listener, no socket stack, just the service code under concurrency.
+func loadTest(gw *gateway.Gateway, mix []loadgen.Scenario, workers, requests int, mixName string, seed int64) error {
 	fmt.Printf("load-generating %d iterations of %q on %d workers...\n", requests, mixName, workers)
 	rep, err := loadgen.Run(loadgen.Config{
 		Workers:  workers,
@@ -118,7 +174,7 @@ func loadTest(gw *gateway.Gateway, tb *testbed.Testbed, workers, requests int, m
 	fmt.Println("\ngateway metrics:")
 	m := gw.Metrics()
 	fmt.Printf("  %-18s %8d requests, %d errors\n", "total", m.Requests, m.Errors)
-	for _, ep := range []string{"/ref/inventory", "/ref/diff", "/oar/resources", "/oar/jobs", "/oar/submit", "/status/grid", "/status/trend", "/bugs", "/ci/", "/metrics"} {
+	for _, ep := range []string{"/sites", "/sites/", "/ref/inventory", "/ref/diff", "/oar/resources", "/oar/jobs", "/oar/submit", "/status/grid", "/status/trend", "/bugs", "/ci/", "/metrics"} {
 		em, ok := m.Endpoints[ep]
 		if !ok || em.Requests == 0 {
 			continue

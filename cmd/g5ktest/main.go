@@ -8,10 +8,18 @@
 // goroutines, reporting the trend and bug statistics as mean ± spread —
 // the Monte-Carlo view of the paper's longitudinal result.
 //
+// With -federated it runs ONE campaign split into per-site shards
+// (internal/federation): every site gets its own OAR, monitor, CI, fault
+// and operator processes on an independent RNG stream, shards step in
+// lockstep weekly barriers across -parallel goroutines, and the report
+// shows each site's outcome plus the cross-site merge. Serial and
+// parallel stepping produce bit-identical results by construction.
+//
 // Usage:
 //
 //	g5ktest [-weeks N] [-seed S] [-faults N] [-quiet]
 //	g5ktest -seeds N [-parallel P] [-weeks N] [-seed BASE] [-faults N]
+//	g5ktest -federated [-parallel P] [-weeks N] [-seed S] [-faults N]
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/federation"
 	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/status"
@@ -34,13 +43,18 @@ func main() {
 	initialFaults := flag.Int("faults", 25, "fault backlog at campaign start")
 	quiet := flag.Bool("quiet", false, "only print the final summary")
 	seeds := flag.Int("seeds", 1, "run a fleet of N independently seeded campaigns")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaigns simulated concurrently in fleet mode")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaigns (fleet mode) or site shards (federated mode) simulated concurrently")
+	federated := flag.Bool("federated", false, "run one campaign as per-site shards (internal/federation)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.InitialFaults = *initialFaults
 
+	if *federated {
+		runFederated(*seed, *parallel, *weeks, *initialFaults)
+		return
+	}
 	if *seeds > 1 {
 		runFleet(*seed, *seeds, *parallel, *weeks, *initialFaults)
 		return
@@ -133,6 +147,39 @@ func runFleet(base int64, n, parallel, weeks, initialFaults int) {
 	fmt.Printf("  bugs filed     %s\n", res.BugsFiled)
 	fmt.Printf("  bugs fixed     %s\n", res.BugsFixed)
 	fmt.Printf("  bugs open      %s\n", res.BugsOpen)
+}
+
+// runFederated is the -federated mode: one campaign as per-site shards.
+func runFederated(seed int64, parallel, weeks, initialFaults int) {
+	fed := federation.New(federation.Config{
+		Seed:    seed,
+		Workers: parallel,
+		Configure: func(site string, shardSeed int64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.InitialFaults = initialFaults
+			return cfg
+		},
+	})
+	fmt.Printf("federated campaign: %d site shards, %d weeks, %d shard workers, seed %d\n\n",
+		len(fed.Shards()), weeks, parallel, seed)
+	fed.Start()
+	for w := 1; w <= weeks; w++ {
+		fed.Advance(simclock.Week)
+	}
+
+	sum := fed.Summary()
+	fmt.Println("per-site campaigns:")
+	for _, s := range sum.Sites {
+		fmt.Printf("  %-12s %s\n", s.Site, s.Summary)
+	}
+
+	fmt.Println("\nfederated weekly success rate:")
+	for _, wc := range fed.WeeklyReport() {
+		fmt.Printf("  week %2d: %4d runs, %5.1f%% ok, %3d unstable\n",
+			wc.Week+1, wc.Total(), 100*wc.Rate(), wc.Unstable)
+	}
+
+	fmt.Printf("\n%s\n", sum)
 }
 
 // pct renders a rate aggregate as percentages.

@@ -15,15 +15,28 @@
 //     aggregates the reliability trend and bug counters with mean ±
 //     spread, the Monte-Carlo sensitivity view of the paper's
 //     longitudinal result (g5ktest -seeds N is the CLI form)
+//   - internal/federation — the campaign federated into per-site shards,
+//     the architecture of the paper's subject itself: every site gets a
+//     complete framework (OAR, monitor, CI, faults, operators) on an
+//     independent RNG stream (ShardSeed is a pure function of campaign
+//     seed and site name), and the federation steps the shards through
+//     lockstep weekly barriers — serially or across GOMAXPROCS
+//     goroutines with bit-identical per-site and merged summaries
+//     (g5ktest -federated is the CLI form; make fed-check races the
+//     determinism proof)
 //   - internal/gateway — the unified testbed API gateway: one
 //     http.Handler mounting read-optimized JSON endpoints over every
 //     subsystem (OAR resources/jobs/submission, the Reference API with
 //     per-version ETags and a 304 path that never re-materializes
 //     snapshots, monitoring queries, the bug tracker, the status views,
 //     and the CI REST API proxied under /ci/), with per-endpoint atomic
-//     request/error/latency counters at /metrics. Request handlers share
-//     a read lock; Gateway.Advance steps the campaign under the write
-//     lock, so live serving stays coherent (g5kapi -live)
+//     request/error/latency counters at /metrics. The gateway serves one
+//     or many shards: handlers hold only their shard's read lock,
+//     site-scoped routes under /sites/{site}/... touch exactly one
+//     shard, the classic paths scatter-gather federated merges, and
+//     Gateway.Advance steps each shard under its own write lock, so live
+//     serving stays coherent and one site's reads never queue behind
+//     another site's progress (g5kapi -live, -shards)
 //   - internal/loadgen — the workload engine: N client workers replay
 //     weighted scenario mixes (operator-dashboard, api-scraper,
 //     submit-heavy) and report throughput plus latency percentiles
@@ -39,11 +52,12 @@
 //     faults, bugs — the simulated substrate
 //
 // bench_test.go at the repository root regenerates every quantitative
-// claim of the paper (E1–E10, plus E11–E16 added by this reproduction:
+// claim of the paper (E1–E10, plus E11–E17 added by this reproduction:
 // executor-pool scaling, parallel verification sweeps, Reference API
-// version churn, campaign-fleet scaling, API-gateway throughput scaling
-// and the mixed gateway workload — E12/E13 exercised against
-// deterministic k×-scale testbeds from testbed.Scaled), smoke_test.go
+// version churn, campaign-fleet scaling, API-gateway throughput scaling,
+// the mixed gateway workload, and the federated per-site shard advance —
+// E12/E13 exercised against deterministic k×-scale testbeds from
+// testbed.Scaled), smoke_test.go
 // runs the same experiments at reduced scale as plain tests, and
 // ablation_test.go compares the paper's mechanisms against their obvious
 // alternatives. README.md maps the module layout; `make bench` records

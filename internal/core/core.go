@@ -70,6 +70,13 @@ type Config struct {
 	// signatures, never log text, and a 10-week campaign otherwise formats
 	// millions of lines just to throw them away.
 	RetainBuildLogs bool
+
+	// Spec optionally replaces the generated testbed's cluster
+	// specification (nil = testbed.DefaultSpec, the paper-scale grid).
+	// internal/federation carves per-site campaign shards out of one spec
+	// this way: each shard is a complete Framework over just its site's
+	// clusters.
+	Spec []testbed.ClusterSpec
 }
 
 // DefaultConfig returns the calibrated operations model used by the
@@ -189,7 +196,11 @@ func New(cfg Config) *Framework {
 		Clock:      simclock.New(cfg.Seed),
 		envRetries: map[int]int{},
 	}
-	f.TB = testbed.Default()
+	if cfg.Spec != nil {
+		f.TB = testbed.Generate(cfg.Spec)
+	} else {
+		f.TB = testbed.Default()
+	}
 	f.Ref = refapi.NewStore(f.TB, f.Clock.Now())
 	f.Faults = faults.NewInjector(f.Clock, f.TB)
 	f.OAR = oar.NewServer(f.Clock, f.TB)

@@ -288,6 +288,26 @@ func (s CampaignSummary) String() string {
 		100*s.FirstWeek.Rate(), 100*s.LastWeek.Rate())
 }
 
+// TrendWeeks selects the first and last weeks with meaningful build volume
+// (≥ 20 verdicts) from a weekly report — the endpoints of the paper's
+// slide-23 trend. Exported because federated campaigns re-apply the same
+// rule to a cross-site merged report (internal/federation).
+func TrendWeeks(weekly []WeekCounts) (first, last WeekCounts) {
+	for _, w := range weekly {
+		if w.Total() >= 20 {
+			first = w
+			break
+		}
+	}
+	for i := len(weekly) - 1; i >= 0; i-- {
+		if weekly[i].Total() >= 20 {
+			last = weekly[i]
+			break
+		}
+	}
+	return first, last
+}
+
 // Summary reports the campaign state so far.
 func (f *Framework) Summary() CampaignSummary {
 	st := f.Bugs.Stats()
@@ -299,19 +319,6 @@ func (f *Framework) Summary() CampaignSummary {
 		BugsOpen:     st.Open,
 		ActiveFaults: f.Faults.ActiveCount(),
 	}
-	weekly := f.WeeklyReport()
-	// Use the first/last weeks with meaningful volume.
-	for _, w := range weekly {
-		if w.Total() >= 20 {
-			out.FirstWeek = w
-			break
-		}
-	}
-	for i := len(weekly) - 1; i >= 0; i-- {
-		if weekly[i].Total() >= 20 {
-			out.LastWeek = weekly[i]
-			break
-		}
-	}
+	out.FirstWeek, out.LastWeek = TrendWeeks(f.WeeklyReport())
 	return out
 }

@@ -1,0 +1,314 @@
+// Package federation coordinates a campaign split into per-site shards —
+// the architecture the paper's subject actually has. Grid'5000 is not one
+// scheduler: it is a federation of sites, each running its own OAR, its
+// own monitoring and its own operations team, stitched together behind
+// common APIs. The monolithic core.Framework collapses that into a single
+// world; a Federation instead builds one complete Framework per site (its
+// own OAR shard, monitor shard, fault and operator processes, CI server,
+// bug tracker and simulated clock) and owns the barriers that keep the
+// shards' clocks in lockstep.
+//
+// Determinism is the load-bearing property. Every shard draws from an
+// independent RNG stream whose seed is a pure function of (campaign seed,
+// site name) — see ShardSeed — and shards share no mutable state
+// whatsoever, so stepping them serially or across GOMAXPROCS goroutines
+// produces bit-identical campaign summaries. That is the same
+// serial ≡ parallel discipline core.Fleet proved for multi-seed sweeps,
+// now applied *inside* one campaign: Advance splits simulated time into
+// barrier ticks (a week by default), steps every shard through the tick
+// on a worker pool, waits on the barrier, and repeats. The determinism
+// test and BenchmarkE17_FederatedAdvance gate exactly this.
+//
+// Reporting merges shard outcomes the way the real federation's status
+// pages do: weekly verdict counters sum across sites week by week, bug
+// and build counters sum, and the trend endpoints are re-selected from
+// the merged report with the same volume threshold a monolithic campaign
+// uses (core.TrendWeeks).
+package federation
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+// Config parameterises a federated campaign.
+type Config struct {
+	// Seed is the campaign seed; each shard derives its own stream from it
+	// via ShardSeed.
+	Seed int64
+
+	// Spec is the cluster specification to federate (nil =
+	// testbed.DefaultSpec). Shards are carved per distinct Site, in first-
+	// appearance order.
+	Spec []testbed.ClusterSpec
+
+	// Workers bounds how many shards advance concurrently inside one
+	// barrier tick. 0 means GOMAXPROCS; 1 steps shards serially. The
+	// campaign outcome is identical either way.
+	Workers int
+
+	// Barrier is the tick length between cross-site clock barriers
+	// (0 = one simulated week). Shards never drift further apart than one
+	// barrier while an Advance is in flight, and always finish it in
+	// lockstep.
+	Barrier simclock.Time
+
+	// Configure builds a shard's campaign profile (nil =
+	// core.DefaultConfig). The returned Config's Seed and Spec are
+	// overridden with the shard's derived seed and site clusters.
+	Configure func(site string, seed int64) core.Config
+}
+
+// Shard is one site's slice of the federated campaign: a complete
+// framework over just that site's clusters.
+type Shard struct {
+	Site string
+	Seed int64
+	F    *core.Framework
+}
+
+// Federation owns the per-site shards and their lockstep clocks.
+type Federation struct {
+	cfg     Config
+	shards  []*Shard
+	bySite  map[string]*Shard
+	workers int
+	barrier simclock.Time
+	now     simclock.Time
+	started bool
+}
+
+// ShardSeed derives a shard's RNG seed from the campaign seed and its site
+// name (FNV-1a over the name, mixed into the base). The function is pure,
+// so a shard's entire campaign depends only on (seed, site, profile) — not
+// on shard order, worker count or scheduling.
+func ShardSeed(base int64, site string) int64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(site) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return base ^ int64(h&0x7fffffffffffffff)
+}
+
+// New carves the spec into per-site shards and builds their frameworks.
+// Nothing runs until Start.
+func New(cfg Config) *Federation {
+	spec := cfg.Spec
+	if spec == nil {
+		spec = testbed.DefaultSpec
+	}
+	configure := cfg.Configure
+	if configure == nil {
+		configure = func(string, int64) core.Config { return core.DefaultConfig() }
+	}
+	// Group clusters by site in first-appearance order, so shard order is a
+	// deterministic function of the spec.
+	var sites []string
+	bySiteSpec := map[string][]testbed.ClusterSpec{}
+	for _, cs := range spec {
+		if _, ok := bySiteSpec[cs.Site]; !ok {
+			sites = append(sites, cs.Site)
+		}
+		bySiteSpec[cs.Site] = append(bySiteSpec[cs.Site], cs)
+	}
+
+	fed := &Federation{
+		cfg:     cfg,
+		bySite:  make(map[string]*Shard, len(sites)),
+		workers: cfg.Workers,
+		barrier: cfg.Barrier,
+	}
+	if fed.workers <= 0 {
+		fed.workers = runtime.GOMAXPROCS(0)
+	}
+	if fed.barrier <= 0 {
+		fed.barrier = simclock.Week
+	}
+	for _, site := range sites {
+		seed := ShardSeed(cfg.Seed, site)
+		c := configure(site, seed)
+		c.Seed = seed
+		c.Spec = bySiteSpec[site]
+		sh := &Shard{Site: site, Seed: seed, F: core.New(c)}
+		fed.shards = append(fed.shards, sh)
+		fed.bySite[site] = sh
+	}
+	return fed
+}
+
+// Shards returns the shards in site order.
+func (fed *Federation) Shards() []*Shard { return fed.shards }
+
+// Workers returns the shard-step concurrency bound (resolved, never 0).
+func (fed *Federation) Workers() int { return fed.workers }
+
+// Shard returns the shard owning the named site, or nil.
+func (fed *Federation) Shard(site string) *Shard { return fed.bySite[site] }
+
+// Sites returns the shard site names in shard order.
+func (fed *Federation) Sites() []string {
+	out := make([]string, len(fed.shards))
+	for i, sh := range fed.shards {
+		out[i] = sh.Site
+	}
+	return out
+}
+
+// Now returns the federated clock: the simulated time every shard has been
+// advanced to (they finish every Advance in lockstep).
+func (fed *Federation) Now() simclock.Time { return fed.now }
+
+// Start arms every shard's processes (CI jobs, schedulers, faults,
+// operators, user load). Idempotent, like Framework.Start.
+func (fed *Federation) Start() {
+	if fed.started {
+		return
+	}
+	fed.started = true
+	for _, sh := range fed.shards {
+		sh.F.Start()
+	}
+}
+
+// Advance steps every shard by d of simulated time, in barrier ticks: all
+// shards complete tick k before any shard begins tick k+1. Within a tick
+// shards step on up to Workers goroutines; because they share no state,
+// the outcome is bit-identical to the serial order.
+func (fed *Federation) Advance(d simclock.Time) {
+	for d > 0 {
+		tick := fed.barrier
+		if tick > d {
+			tick = d
+		}
+		fed.stepTick(tick)
+		d -= tick
+		fed.now += tick
+	}
+}
+
+// stepTick advances every shard by one tick and waits on the barrier.
+func (fed *Federation) stepTick(tick simclock.Time) {
+	workers := fed.workers
+	if workers > len(fed.shards) {
+		workers = len(fed.shards)
+	}
+	if workers <= 1 {
+		for _, sh := range fed.shards {
+			sh.F.RunFor(tick)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fed.shards[i].F.RunFor(tick)
+			}
+		}()
+	}
+	for i := range fed.shards {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// MergeWeekly sums per-site weekly reports into one federated report:
+// counters add up week by week, and weeks in which no site reported are
+// skipped (matching Framework.WeeklyReport's sparse shape).
+func MergeWeekly(reports ...[]core.WeekCounts) []core.WeekCounts {
+	byWeek := map[int]core.WeekCounts{}
+	maxWeek := -1
+	for _, rep := range reports {
+		for _, w := range rep {
+			acc := byWeek[w.Week]
+			acc.Week = w.Week
+			acc.Success += w.Success
+			acc.Failure += w.Failure
+			acc.Unstable += w.Unstable
+			byWeek[w.Week] = acc
+			if w.Week > maxWeek {
+				maxWeek = w.Week
+			}
+		}
+	}
+	out := make([]core.WeekCounts, 0, len(byWeek))
+	for w := 0; w <= maxWeek; w++ {
+		if acc, ok := byWeek[w]; ok {
+			out = append(out, acc)
+		}
+	}
+	return out
+}
+
+// WeeklyReport returns the federated weekly build statistics: the sum of
+// every shard's report, week by week.
+func (fed *Federation) WeeklyReport() []core.WeekCounts {
+	reports := make([][]core.WeekCounts, len(fed.shards))
+	for i, sh := range fed.shards {
+		reports[i] = sh.F.WeeklyReport()
+	}
+	return MergeWeekly(reports...)
+}
+
+// SiteSummary is one shard's slice of a federated summary.
+type SiteSummary struct {
+	Site    string
+	Summary core.CampaignSummary
+}
+
+// Summary is the outcome of a federated campaign: the cross-site merge
+// plus every site's own summary (in shard order).
+type Summary struct {
+	Merged core.CampaignSummary
+	Sites  []SiteSummary
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("federation of %d sites, %s", len(s.Sites), s.Merged)
+}
+
+// Summary merges the shard campaigns: counters sum across sites, the
+// trend endpoints are re-selected from the merged weekly report with the
+// monolithic volume rule, and Duration is the federated clock.
+func (fed *Federation) Summary() Summary {
+	out := Summary{Sites: make([]SiteSummary, len(fed.shards))}
+	out.Merged.Duration = fed.now
+	for i, sh := range fed.shards {
+		s := sh.F.Summary()
+		out.Sites[i] = SiteSummary{Site: sh.Site, Summary: s}
+		out.Merged.Builds += s.Builds
+		out.Merged.BugsFiled += s.BugsFiled
+		out.Merged.BugsFixed += s.BugsFixed
+		out.Merged.BugsOpen += s.BugsOpen
+		out.Merged.ActiveFaults += s.ActiveFaults
+	}
+	out.Merged.FirstWeek, out.Merged.LastWeek = core.TrendWeeks(fed.WeeklyReport())
+	return out
+}
+
+// SpecSites returns the distinct site names of a cluster specification in
+// first-appearance order (nil = testbed.DefaultSpec). Exposed for binaries
+// that want to enumerate a federation's layout before building it.
+func SpecSites(spec []testbed.ClusterSpec) []string {
+	if spec == nil {
+		spec = testbed.DefaultSpec
+	}
+	var sites []string
+	seen := map[string]bool{}
+	for _, cs := range spec {
+		if !seen[cs.Site] {
+			seen[cs.Site] = true
+			sites = append(sites, cs.Site)
+		}
+	}
+	return sites
+}

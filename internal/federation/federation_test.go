@@ -1,0 +1,161 @@
+package federation
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+// subSpec narrows the default specification to a few sites, keeping tests
+// fast while still exercising multi-shard behaviour.
+func subSpec(sites ...string) []testbed.ClusterSpec {
+	want := map[string]bool{}
+	for _, s := range sites {
+		want[s] = true
+	}
+	var out []testbed.ClusterSpec
+	for _, cs := range testbed.DefaultSpec {
+		if want[cs.Site] {
+			out = append(out, cs)
+		}
+	}
+	return out
+}
+
+func TestShardLayout(t *testing.T) {
+	fed := New(Config{Seed: 1})
+	if got := len(fed.Shards()); got != 8 {
+		t.Fatalf("default federation has %d shards, want 8", got)
+	}
+	seeds := map[int64]string{}
+	for _, sh := range fed.Shards() {
+		st := sh.F.TB.Stats()
+		if st.Sites != 1 {
+			t.Fatalf("shard %q spans %d sites", sh.Site, st.Sites)
+		}
+		if names := sh.F.TB.SiteNames(); len(names) != 1 || names[0] != sh.Site {
+			t.Fatalf("shard %q testbed claims sites %v", sh.Site, names)
+		}
+		if prev, dup := seeds[sh.Seed]; dup {
+			t.Fatalf("shards %q and %q derived the same seed %d", prev, sh.Site, sh.Seed)
+		}
+		seeds[sh.Seed] = sh.Site
+		if sh.Seed != ShardSeed(1, sh.Site) {
+			t.Fatalf("shard %q seed %d is not ShardSeed(1, site)", sh.Site, sh.Seed)
+		}
+	}
+	// The shard union covers the whole paper-scale testbed.
+	var nodes, cores int
+	for _, sh := range fed.Shards() {
+		st := sh.F.TB.Stats()
+		nodes += st.Nodes
+		cores += st.Cores
+	}
+	if nodes != 894 || cores != 8490 {
+		t.Fatalf("shard union = %d nodes, %d cores; want 894, 8490", nodes, cores)
+	}
+	if fed.Shard("nancy") == nil || fed.Shard("atlantis") != nil {
+		t.Fatal("Shard lookup broken")
+	}
+}
+
+func TestShardSeedIsPure(t *testing.T) {
+	if ShardSeed(42, "nancy") != ShardSeed(42, "nancy") {
+		t.Fatal("ShardSeed not deterministic")
+	}
+	if ShardSeed(42, "nancy") == ShardSeed(42, "lyon") {
+		t.Fatal("ShardSeed does not separate sites")
+	}
+	if ShardSeed(42, "nancy") == ShardSeed(43, "nancy") {
+		t.Fatal("ShardSeed does not separate campaign seeds")
+	}
+}
+
+// runFederated simulates a federated campaign at the given worker count
+// and returns its outcome.
+func runFederated(t *testing.T, workers int) (Summary, []core.WeekCounts) {
+	t.Helper()
+	fed := New(Config{
+		Seed:    77,
+		Spec:    subSpec("luxembourg", "nantes", "lyon", "sophia"),
+		Workers: workers,
+		Configure: func(site string, seed int64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.InitialFaults = 10
+			return cfg
+		},
+	})
+	fed.Start()
+	fed.Advance(2 * simclock.Week)
+	if fed.Now() != 2*simclock.Week {
+		t.Fatalf("federated clock = %v, want 2 weeks", fed.Now())
+	}
+	for _, sh := range fed.Shards() {
+		if sh.F.Clock.Now() != 2*simclock.Week {
+			t.Fatalf("shard %q clock = %v, out of lockstep", sh.Site, sh.F.Clock.Now())
+		}
+	}
+	return fed.Summary(), fed.WeeklyReport()
+}
+
+// TestFederationSerialParallelDeterminism is the load-bearing property of
+// the whole layer: stepping the shards serially or across 4 goroutines
+// must produce bit-identical campaign summaries, per site and merged.
+// CI also runs this under -race (make fed-check).
+func TestFederationSerialParallelDeterminism(t *testing.T) {
+	serial, serialWeekly := runFederated(t, 1)
+	parallel, parallelWeekly := runFederated(t, 4)
+
+	if len(serial.Sites) != len(parallel.Sites) {
+		t.Fatalf("site counts diverged: %d vs %d", len(serial.Sites), len(parallel.Sites))
+	}
+	for i := range serial.Sites {
+		if serial.Sites[i] != parallel.Sites[i] {
+			t.Fatalf("site %s diverged between serial and parallel stepping:\nserial:   %+v\nparallel: %+v",
+				serial.Sites[i].Site, serial.Sites[i].Summary, parallel.Sites[i].Summary)
+		}
+	}
+	if serial.Merged != parallel.Merged {
+		t.Fatalf("merged summary diverged:\nserial:   %+v\nparallel: %+v", serial.Merged, parallel.Merged)
+	}
+	if !reflect.DeepEqual(serialWeekly, parallelWeekly) {
+		t.Fatalf("merged weekly reports diverged:\nserial:   %+v\nparallel: %+v", serialWeekly, parallelWeekly)
+	}
+	// Sanity: the campaign actually did something on every site.
+	if serial.Merged.Builds == 0 {
+		t.Fatal("federated campaign completed no builds")
+	}
+	for _, s := range serial.Sites {
+		if s.Summary.Builds == 0 {
+			t.Fatalf("site %s completed no builds", s.Site)
+		}
+	}
+}
+
+func TestMergeWeekly(t *testing.T) {
+	a := []core.WeekCounts{{Week: 0, Success: 10, Failure: 2}, {Week: 2, Success: 5, Unstable: 1}}
+	b := []core.WeekCounts{{Week: 0, Success: 3, Failure: 1}, {Week: 1, Success: 7}}
+	got := MergeWeekly(a, b)
+	want := []core.WeekCounts{
+		{Week: 0, Success: 13, Failure: 3},
+		{Week: 1, Success: 7},
+		{Week: 2, Success: 5, Unstable: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeWeekly = %+v, want %+v", got, want)
+	}
+	if out := MergeWeekly(); len(out) != 0 {
+		t.Fatalf("MergeWeekly() = %+v, want empty", out)
+	}
+}
+
+func TestSpecSites(t *testing.T) {
+	got := SpecSites(nil)
+	want := []string{"grenoble", "lille", "luxembourg", "lyon", "nancy", "nantes", "rennes", "sophia"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SpecSites(nil) = %v, want %v", got, want)
+	}
+}

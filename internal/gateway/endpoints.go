@@ -1,18 +1,25 @@
 package gateway
 
-// The OAR, monitoring, bug-tracker and status-view endpoints.
+// The OAR, monitoring, bug-tracker and status-view endpoints. Each handler
+// follows the scatter-gather shape: parse parameters lock-free, snapshot
+// the shard(s) involved under their own read gates, merge and write the
+// answer outside any lock. On a single-shard gateway the "merge" is the
+// identity and the wire shapes match the pre-federation gateway exactly.
 
 import (
 	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 
+	"repro/internal/ci"
 	"repro/internal/monitor"
 	"repro/internal/oar"
 	"repro/internal/simclock"
 	"repro/internal/status"
+	"repro/internal/testbed"
 )
 
 // secondsToSim converts a wire-level seconds value to simulated time.
@@ -28,17 +35,74 @@ type OARResourcesJSON struct {
 	Nodes   []oar.ResourceInfo `json:"nodes"`
 }
 
+// oarShards returns the shards carrying an OAR server.
+func (g *Gateway) oarShards() []*shard {
+	var out []*shard
+	for _, s := range g.shards {
+		if s.cfg.OAR != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// resourcesScoped snapshots one shard's resource states under its gate.
+func (s *shard) resourcesScoped(cluster, site string) []oar.ResourceInfo {
+	var out []oar.ResourceInfo
+	s.rlocked(func() { out = s.cfg.OAR.ResourcesIn(cluster, site) })
+	return out
+}
+
 func (g *Gateway) handleOARResources(w http.ResponseWriter, r *http.Request) {
-	srv := g.cfg.OAR
-	if srv == nil {
+	g.serveOARResources(w, r, "")
+}
+
+// serveOARResources implements /oar/resources and its site-scoped variant
+// (fixedSite != "" pins the site from the URL path).
+func (g *Gateway) serveOARResources(w http.ResponseWriter, r *http.Request, fixedSite string) {
+	shards := g.oarShards()
+	if len(shards) == 0 {
 		notConfigured(w, "oar")
 		return
 	}
-	cluster := r.URL.Query().Get("cluster")
-	nodes := srv.Resources(cluster)
-	if cluster != "" && len(nodes) == 0 {
-		httpError(w, http.StatusNotFound, fmt.Sprintf("no cluster %q", cluster))
-		return
+	q := r.URL.Query()
+	cluster := q.Get("cluster")
+	site := fixedSite
+	if site == "" {
+		site = q.Get("site")
+	}
+
+	var nodes []oar.ResourceInfo
+	switch {
+	case site != "":
+		s := g.siteOf[site]
+		if s == nil || s.cfg.OAR == nil {
+			// The ?site= filter contract: unknown sites are a client error.
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown site %q", site))
+			return
+		}
+		nodes = s.resourcesScoped(cluster, site)
+		if cluster != "" && len(nodes) == 0 {
+			httpError(w, http.StatusNotFound,
+				fmt.Sprintf("no cluster %q at site %q", cluster, site))
+			return
+		}
+	case cluster != "":
+		s := g.shardForCluster(cluster)
+		if s == nil || s.cfg.OAR == nil {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("no cluster %q", cluster))
+			return
+		}
+		nodes = s.resourcesScoped(cluster, "")
+		if len(nodes) == 0 {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("no cluster %q", cluster))
+			return
+		}
+	default:
+		// Scatter-gather over every shard, shard order (= site order).
+		for _, s := range shards {
+			nodes = append(nodes, s.resourcesScoped("", "")...)
+		}
 	}
 	summary := map[string]int{}
 	for _, n := range nodes {
@@ -55,24 +119,129 @@ type OARJobsJSON struct {
 	Jobs      []oar.JobInfo `json:"jobs"`
 }
 
-func (g *Gateway) handleOARJobs(w http.ResponseWriter, r *http.Request) {
-	srv := g.cfg.OAR
-	if srv == nil {
-		notConfigured(w, "oar")
-		return
-	}
+func parseLimit(r *http.Request) (int, error) {
 	limit := 500
 	if q := r.URL.Query().Get("limit"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 0 {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad limit %q", q))
-			return
+			return 0, fmt.Errorf("bad limit %q", q)
 		}
 		limit = v
 	}
-	out := OARJobsJSON{Jobs: srv.JobsInfo(limit)}
-	out.Submitted, out.Started, out.Canceled = srv.Stats()
+	return limit, nil
+}
+
+// jobsScoped snapshots one shard's job list and counters under its gate.
+func (s *shard) jobsScoped(limit int) (jobs []oar.JobInfo, submitted, started, canceled int) {
+	s.rlocked(func() {
+		jobs = s.cfg.OAR.JobsInfo(limit)
+		submitted, started, canceled = s.cfg.OAR.Stats()
+	})
+	return jobs, submitted, started, canceled
+}
+
+func (g *Gateway) handleOARJobs(w http.ResponseWriter, r *http.Request) {
+	g.serveOARJobs(w, r, nil, "")
+}
+
+// serveOARJobs implements /oar/jobs; a non-nil only pins one shard (the
+// site-scoped route, with site naming the requested site). When the
+// pinned shard spans several sites (monolithic assembly), the job list is
+// narrowed to jobs tied to the site — allocated there, or anchored there
+// while waiting; the submitted/started/canceled counters stay shard-wide
+// (OAR does not attribute submissions to sites).
+func (g *Gateway) serveOARJobs(w http.ResponseWriter, r *http.Request, only *shard, site string) {
+	shards := g.oarShards()
+	if only != nil {
+		shards = []*shard{only}
+	}
+	if len(shards) == 0 || (only != nil && only.cfg.OAR == nil) {
+		notConfigured(w, "oar")
+		return
+	}
+	limit, err := parseLimit(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	narrow := only != nil && shardSpansSites(only, site)
+	var out OARJobsJSON
+	for _, s := range shards {
+		fetch := limit
+		if narrow {
+			fetch = 0 // filter first, truncate after
+		}
+		jobs, sub, st, can := s.jobsScoped(fetch)
+		out.Jobs = append(out.Jobs, jobs...)
+		out.Submitted += sub
+		out.Started += st
+		out.Canceled += can
+	}
+	if narrow {
+		kept := out.Jobs[:0]
+		for _, j := range out.Jobs {
+			if jobTouchesSite(j, site, only.cfg.TB) {
+				kept = append(kept, j)
+			}
+		}
+		out.Jobs = kept
+		if limit > 0 && len(out.Jobs) > limit {
+			out.Jobs = out.Jobs[:limit]
+		}
+	}
+	if len(shards) > 1 {
+		// Merge the per-shard newest-first lists into one newest-first
+		// view; ties on submission time keep shard order (stable sort).
+		sort.SliceStable(out.Jobs, func(i, j int) bool {
+			return out.Jobs[i].SubmittedAtSec > out.Jobs[j].SubmittedAtSec
+		})
+		if limit > 0 && len(out.Jobs) > limit {
+			out.Jobs = out.Jobs[:limit]
+		}
+	}
 	writeJSON(w, out)
+}
+
+// shardSpansSites reports whether a shard's testbed covers more than the
+// named site — true only for monolithic assemblies, where site-scoped
+// views must narrow explicitly.
+func shardSpansSites(s *shard, site string) bool {
+	return site != "" && s.cfg.TB != nil && len(s.cfg.TB.Sites) > 1
+}
+
+// jobTouchesSite reports whether a job is tied to the site: any allocated
+// node lives there, or (still unallocated) a segment anchors there.
+func jobTouchesSite(j oar.JobInfo, site string, tb *testbed.Testbed) bool {
+	for _, name := range j.Nodes {
+		if n := tb.Node(name); n != nil && n.Site == site {
+			return true
+		}
+	}
+	if len(j.Nodes) > 0 {
+		return false
+	}
+	parsed, err := oar.ParseRequest(j.Request)
+	if err != nil {
+		return false
+	}
+	for _, seg := range parsed.Segments {
+		key, val := seg.Anchor()
+		switch key {
+		case "site":
+			if val == site {
+				return true
+			}
+		case "cluster":
+			if cl := tb.Cluster(val); cl != nil && cl.Site == site {
+				return true
+			}
+		case "host":
+			if n := tb.Node(val); n != nil && n.Site == site {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // SubmitRequest is the body of POST /oar/submit.
@@ -87,13 +256,85 @@ type SubmitRequest struct {
 
 // SubmitResponse is the reply of POST /oar/submit.
 type SubmitResponse struct {
+	Site        string       `json:"site,omitempty"` // shard that took the job (federated)
 	CanStartNow *bool        `json:"can_start_now,omitempty"`
 	Job         *oar.JobInfo `json:"job,omitempty"`
 }
 
+// shardForOARRequest routes a parsed resource request to the single shard
+// owning every anchored site/cluster/host. Federated submissions must be
+// anchored — an unanchored segment could be satisfied anywhere, and
+// Grid'5000's API requires picking a site too.
+func (g *Gateway) shardForOARRequest(req oar.Request) (*shard, error) {
+	var target *shard
+	for i, seg := range req.Segments {
+		key, val := seg.Anchor()
+		var s *shard
+		switch key {
+		case "cluster":
+			s = g.shardForCluster(val)
+		case "site":
+			s = g.siteOf[val]
+		case "host":
+			s = g.shardForNode(val)
+		default:
+			return nil, fmt.Errorf("federated submit: segment %d is not anchored to a site, cluster or host", i+1)
+		}
+		if s == nil {
+			return nil, fmt.Errorf("federated submit: segment %d anchors to unknown %s %q", i+1, key, val)
+		}
+		if target != nil && s != target {
+			return nil, fmt.Errorf("federated submit: request spans more than one site")
+		}
+		target = s
+	}
+	if target == nil || target.cfg.OAR == nil {
+		return nil, fmt.Errorf("federated submit: no shard serves this request")
+	}
+	return target, nil
+}
+
 func (g *Gateway) handleOARSubmit(w http.ResponseWriter, r *http.Request) {
-	srv := g.cfg.OAR
-	if srv == nil {
+	g.serveOARSubmit(w, r, nil, "")
+}
+
+// anchorsWithinSite verifies that every anchored segment of a request
+// falls inside the named site (a cluster at the site, a host at the site,
+// or the site itself). Unanchored segments pass — the caller pins them
+// with Request.PinnedToSite.
+func anchorsWithinSite(req oar.Request, site string, tb *testbed.Testbed) error {
+	for i, seg := range req.Segments {
+		key, val := seg.Anchor()
+		switch key {
+		case "site":
+			if val != site {
+				return fmt.Errorf("segment %d anchors to site %q, not %q", i+1, val, site)
+			}
+		case "cluster":
+			if tb != nil {
+				if cl := tb.Cluster(val); cl == nil || cl.Site != site {
+					return fmt.Errorf("segment %d anchors to cluster %q, which is not at site %q", i+1, val, site)
+				}
+			}
+		case "host":
+			if tb != nil {
+				if n := tb.Node(val); n == nil || n.Site != site {
+					return fmt.Errorf("segment %d anchors to host %q, which is not at site %q", i+1, val, site)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// serveOARSubmit implements POST /oar/submit; a non-nil only pins the
+// shard (the site-scoped route, with site naming the requested site).
+// Site-scoped submissions are validated against the site — anchors
+// elsewhere are 400 — and unanchored segments are pinned to it, so
+// /sites/X/oar/submit can never allocate outside X, monolithic or not.
+func (g *Gateway) serveOARSubmit(w http.ResponseWriter, r *http.Request, only *shard, site string) {
+	shards := g.oarShards()
+	if len(shards) == 0 || (only != nil && only.cfg.OAR == nil) {
 		notConfigured(w, "oar")
 		return
 	}
@@ -106,26 +347,81 @@ func (g *Gateway) handleOARSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing request")
 		return
 	}
-	if req.DryRun {
-		ok, err := srv.CanStartNow(req.Request)
+	target := only
+	var pinned *oar.Request
+	if target != nil {
+		parsed, err := oar.ParseRequest(req.Request)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		writeJSON(w, SubmitResponse{CanStartNow: &ok})
+		if err := anchorsWithinSite(parsed, site, target.cfg.TB); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		p := parsed.PinnedToSite(site)
+		pinned = &p
+	} else if len(shards) == 1 {
+		target = shards[0]
+	} else {
+		parsed, err := oar.ParseRequest(req.Request)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		target, err = g.shardForOARRequest(parsed)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	srv := target.cfg.OAR
+	respSite := site
+	if respSite == "" && g.federated() {
+		respSite = target.site
+	}
+	if req.DryRun {
+		var ok bool
+		var err error
+		target.rlocked(func() {
+			if pinned != nil {
+				ok = srv.CanStartNowReq(*pinned)
+			} else {
+				ok, err = srv.CanStartNow(req.Request)
+			}
+		})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, SubmitResponse{Site: respSite, CanStartNow: &ok})
 		return
 	}
 	user := req.User
 	if user == "" {
 		user = "api"
 	}
-	j, err := srv.Submit(req.Request, oar.SubmitOptions{User: user})
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+	var info oar.JobInfo
+	var submitErr error
+	target.rlocked(func() {
+		var j *oar.Job
+		if pinned != nil {
+			j = srv.SubmitReq(*pinned, oar.SubmitOptions{User: user})
+		} else {
+			var err error
+			j, err = srv.Submit(req.Request, oar.SubmitOptions{User: user})
+			if err != nil {
+				submitErr = err
+				return
+			}
+		}
+		info, _ = srv.JobInfoByID(j.ID)
+	})
+	if submitErr != nil {
+		httpError(w, http.StatusBadRequest, submitErr.Error())
 		return
 	}
-	info, _ := srv.JobInfoByID(j.ID)
-	writeJSONStatus(w, http.StatusCreated, SubmitResponse{Job: &info})
+	writeJSONStatus(w, http.StatusCreated, SubmitResponse{Site: respSite, Job: &info})
 }
 
 // ---- monitoring ------------------------------------------------------------
@@ -134,6 +430,7 @@ func (g *Gateway) handleOARSubmit(w http.ResponseWriter, r *http.Request) {
 type MonitorJSON struct {
 	Metric  string       `json:"metric"`
 	Node    string       `json:"node"`
+	Site    string       `json:"site,omitempty"`
 	FromSec float64      `json:"from_sec"`
 	ToSec   float64      `json:"to_sec"`
 	Mean    float64      `json:"mean"`
@@ -147,11 +444,13 @@ type SampleJSON struct {
 }
 
 func (g *Gateway) handleMonitorMetrics(w http.ResponseWriter, r *http.Request) {
-	col := g.cfg.Monitor
-	if col == nil || g.cfg.Clock == nil {
-		notConfigured(w, "monitoring")
-		return
-	}
+	g.serveMonitorMetrics(w, r, "")
+}
+
+// serveMonitorMetrics implements /monitor/metrics and its site-scoped
+// variant. The ?site= filter (or the path site) must name a known site —
+// unknown sites are 400 — and the queried node must live there.
+func (g *Gateway) serveMonitorMetrics(w http.ResponseWriter, r *http.Request, fixedSite string) {
 	q := r.URL.Query()
 	metric := q.Get("metric")
 	if metric == "" {
@@ -168,11 +467,40 @@ func (g *Gateway) handleMonitorMetrics(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing node")
 		return
 	}
-	if g.cfg.TB != nil && g.cfg.TB.Node(node) == nil {
-		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown node %q", node))
+	site := fixedSite
+	if site == "" {
+		site = q.Get("site")
+	}
+	var s *shard
+	if site != "" {
+		s = g.siteOf[site]
+		if s == nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown site %q", site))
+			return
+		}
+		if s.cfg.TB != nil {
+			tbNode := s.cfg.TB.Node(node)
+			if tbNode == nil || tbNode.Site != site {
+				httpError(w, http.StatusBadRequest,
+					fmt.Sprintf("node %q is not at site %q", node, site))
+				return
+			}
+		}
+	} else if s = g.shardForNode(node); s == nil {
+		if g.federated() || g.shards[0].cfg.TB != nil {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown node %q", node))
+			return
+		}
+		// Partial assembly without a testbed: skip node validation, like
+		// the pre-federation gateway did.
+		s = g.shards[0]
+	}
+	col := s.cfg.Monitor
+	if col == nil || s.cfg.Clock == nil {
+		notConfigured(w, "monitoring")
 		return
 	}
-	now := g.cfg.Clock.Now().Seconds()
+	now := s.cfg.Clock.Now().Seconds()
 	defFrom := now - 60
 	if defFrom < 0 {
 		defFrom = 0 // a campaign younger than the default window
@@ -194,27 +522,32 @@ func (g *Gateway) handleMonitorMetrics(w http.ResponseWriter, r *http.Request) {
 	fromT := secondsToSim(from)
 	toT := secondsToSim(to)
 
-	// The collector shares the campaign RNG on flaky-kwapi rolls; serialize
-	// queries so concurrent scrapes never race on it.
-	g.monMu.Lock()
-	samples, err := col.Query(metric, node, fromT, toT)
-	g.monMu.Unlock()
-	if err != nil {
+	// The collector shares the shard campaign's RNG on flaky-kwapi rolls;
+	// serialize queries per shard so concurrent scrapes never race on it.
+	var samples []monitor.Sample
+	var qerr error
+	s.rlocked(func() {
+		s.monMu.Lock()
+		samples, qerr = col.Query(metric, node, fromT, toT)
+		s.monMu.Unlock()
+	})
+	if qerr != nil {
 		// Inputs were validated above; what remains is the monitoring
 		// service itself failing (the paper's flaky kwapi).
-		httpError(w, http.StatusBadGateway, err.Error())
+		httpError(w, http.StatusBadGateway, qerr.Error())
 		return
 	}
 	out := MonitorJSON{
 		Metric:  metric,
 		Node:    node,
+		Site:    site,
 		FromSec: from,
 		ToSec:   to,
 		Mean:    monitor.Mean(samples),
 		Samples: make([]SampleJSON, len(samples)),
 	}
-	for i, s := range samples {
-		out.Samples[i] = SampleJSON{TSec: s.T.Seconds(), V: s.V}
+	for i, smp := range samples {
+		out.Samples[i] = SampleJSON{TSec: smp.T.Seconds(), V: smp.V}
 	}
 	writeJSON(w, out)
 }
@@ -224,6 +557,7 @@ func (g *Gateway) handleMonitorMetrics(w http.ResponseWriter, r *http.Request) {
 // BugJSON is the wire form of one bug report.
 type BugJSON struct {
 	ID          int     `json:"id"`
+	Site        string  `json:"site,omitempty"` // owning shard (federated)
 	Signature   string  `json:"signature"`
 	Title       string  `json:"title,omitempty"`
 	Family      string  `json:"family,omitempty"`
@@ -244,8 +578,13 @@ type BugsJSON struct {
 }
 
 func (g *Gateway) handleBugs(w http.ResponseWriter, r *http.Request) {
-	tr := g.cfg.Bugs
-	if tr == nil {
+	var shards []*shard
+	for _, s := range g.shards {
+		if s.cfg.Bugs != nil {
+			shards = append(shards, s)
+		}
+	}
+	if len(shards) == 0 {
 		notConfigured(w, "bug tracker")
 		return
 	}
@@ -259,27 +598,40 @@ func (g *Gateway) handleBugs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	family := q.Get("family")
-	st := tr.Stats()
-	out := BugsJSON{Filed: st.Filed, Fixed: st.Fixed, Open: st.Open}
-	list := tr.OpenBugs()
-	if state == "all" {
-		list = tr.All()
-	}
-	for _, b := range list {
-		if family != "" && b.Family != family {
-			continue
+	var out BugsJSON
+	for _, s := range shards {
+		site := ""
+		if g.federated() {
+			site = s.site
 		}
-		out.Bugs = append(out.Bugs, BugJSON{
-			ID:          b.ID,
-			Signature:   b.Signature,
-			Title:       b.Title,
-			Family:      b.Family,
-			Target:      b.Target,
-			State:       b.State.String(),
-			FiledAtSec:  b.FiledAt.Seconds(),
-			FixedAtSec:  b.FixedAt.Seconds(),
-			Occurrences: b.Occurrences,
-			Reopens:     b.Reopens,
+		s.rlocked(func() {
+			tr := s.cfg.Bugs
+			st := tr.Stats()
+			out.Filed += st.Filed
+			out.Fixed += st.Fixed
+			out.Open += st.Open
+			list := tr.OpenBugs()
+			if state == "all" {
+				list = tr.All()
+			}
+			for _, b := range list {
+				if family != "" && b.Family != family {
+					continue
+				}
+				out.Bugs = append(out.Bugs, BugJSON{
+					ID:          b.ID,
+					Site:        site,
+					Signature:   b.Signature,
+					Title:       b.Title,
+					Family:      b.Family,
+					Target:      b.Target,
+					State:       b.State.String(),
+					FiledAtSec:  b.FiledAt.Seconds(),
+					FixedAtSec:  b.FixedAt.Seconds(),
+					Occurrences: b.Occurrences,
+					Reopens:     b.Reopens,
+				})
+			}
 		})
 	}
 	if out.Bugs == nil {
@@ -305,23 +657,68 @@ type GridCellJSON struct {
 	AtSec  float64 `json:"at_sec"`
 }
 
+// statusShards returns the shards with a status client.
+func (g *Gateway) statusShards() []*shard {
+	var out []*shard
+	for _, s := range g.shards {
+		if s.statusClient != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 func (g *Gateway) handleStatusGrid(w http.ResponseWriter, r *http.Request) {
-	if g.statusClient == nil {
+	shards := g.statusShards()
+	if len(shards) == 0 {
 		notConfigured(w, "status views")
 		return
 	}
-	grid, err := g.statusClient.BuildGrid()
-	if err != nil {
-		httpError(w, http.StatusBadGateway, err.Error())
-		return
+	// Scatter: one grid per shard, each under its own gate; gather into a
+	// merged grid. Family/target spaces are disjoint across shards (each
+	// site owns its clusters), so the merge is a union.
+	merged := &status.Grid{Cells: map[string]map[string]status.CellStatus{}}
+	famSet := map[string]bool{}
+	tgtSet := map[string]bool{}
+	for _, s := range shards {
+		var grid *status.Grid
+		var err error
+		s.rlocked(func() { grid, err = s.statusClient.BuildGrid() })
+		if err != nil {
+			httpError(w, http.StatusBadGateway, err.Error())
+			return
+		}
+		for fam, row := range grid.Cells {
+			famSet[fam] = true
+			m := merged.Cells[fam]
+			if m == nil {
+				m = map[string]status.CellStatus{}
+				merged.Cells[fam] = m
+			}
+			for tgt, st := range row {
+				tgtSet[tgt] = true
+				if prev, ok := m[tgt]; !ok || st.AtSec > prev.AtSec {
+					m[tgt] = st
+				}
+			}
+		}
 	}
+	for fam := range famSet {
+		merged.Families = append(merged.Families, fam)
+	}
+	for tgt := range tgtSet {
+		merged.Targets = append(merged.Targets, tgt)
+	}
+	sort.Strings(merged.Families)
+	sort.Strings(merged.Targets)
+
 	out := GridJSON{
-		Families:  grid.Families,
-		Targets:   grid.Targets,
-		OKRatePct: 100 * grid.OKRate(),
-		Cells:     make(map[string]map[string]GridCellJSON, len(grid.Cells)),
+		Families:  merged.Families,
+		Targets:   merged.Targets,
+		OKRatePct: 100 * merged.OKRate(),
+		Cells:     make(map[string]map[string]GridCellJSON, len(merged.Cells)),
 	}
-	for fam, row := range grid.Cells {
+	for fam, row := range merged.Cells {
 		m := make(map[string]GridCellJSON, len(row))
 		for tgt, st := range row {
 			m[tgt] = GridCellJSON{Result: st.Result, Build: st.Build, AtSec: st.AtSec}
@@ -338,7 +735,8 @@ type TrendJSON struct {
 }
 
 func (g *Gateway) handleStatusTrend(w http.ResponseWriter, r *http.Request) {
-	if g.statusClient == nil {
+	shards := g.statusShards()
+	if len(shards) == 0 {
 		notConfigured(w, "status views")
 		return
 	}
@@ -347,10 +745,16 @@ func (g *Gateway) handleStatusTrend(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad bucket_sec")
 		return
 	}
-	builds, err := g.statusClient.AllBuilds()
-	if err != nil {
-		httpError(w, http.StatusBadGateway, err.Error())
-		return
+	var builds []ci.BuildJSON
+	for _, s := range shards {
+		var part []ci.BuildJSON
+		var gerr error
+		s.rlocked(func() { part, gerr = s.statusClient.AllBuilds() })
+		if gerr != nil {
+			httpError(w, http.StatusBadGateway, gerr.Error())
+			return
+		}
+		builds = append(builds, part...)
 	}
 	points := status.Trend(builds, bucket)
 	if points == nil {

@@ -1,0 +1,37 @@
+package gateway
+
+// Assembly over a federated campaign. Kept in its own file so the
+// federation dependency stays out of the core gateway machinery.
+
+import (
+	"repro/internal/federation"
+)
+
+// ForFederation mounts one gateway shard per federation shard: each site's
+// OAR, Reference API store, monitor, bug tracker and CI server is served
+// behind that site's own lock, with the shard's Advance hook stepping only
+// its own framework. Gateway.Advance therefore steps the sites
+// concurrently under per-shard write locks, and Gateway.AdvanceSite steps
+// exactly one — reads against every other site keep flowing.
+func ForFederation(fed *federation.Federation) *Gateway {
+	var shards []ShardConfig
+	for _, sh := range fed.Shards() {
+		f := sh.F
+		shards = append(shards, ShardConfig{
+			Site: sh.Site,
+			Config: Config{
+				Clock:   f.Clock,
+				TB:      f.TB,
+				OAR:     f.OAR,
+				Ref:     f.Ref,
+				Monitor: f.Monitor,
+				Bugs:    f.Bugs,
+				CI:      f.CI,
+				Advance: f.RunFor,
+			},
+		})
+	}
+	gw := NewFederated(shards)
+	gw.SetAdvanceWorkers(fed.Workers())
+	return gw
+}

@@ -12,35 +12,53 @@
 // Endpoints (all JSON):
 //
 //	GET  /                 endpoint index
-//	GET  /oar/resources    node allocation states (?cluster=X narrows)
+//	GET  /sites            the federation layout: one entry per site
+//	GET  /oar/resources    node allocation states (?cluster=X, ?site=Y narrow)
 //	GET  /oar/jobs         recent jobs, newest first (?limit=N, 0 = all)
 //	POST /oar/submit       submit a resource request (or dry-run probe)
 //	GET  /ref/inventory    testbed description (?version=N; ETag/304)
 //	GET  /ref/diff         drift between two versions (?from=&to=; ETag/304)
-//	GET  /monitor/metrics  1 Hz samples (?metric=&node=&from_sec=&to_sec=)
+//	GET  /monitor/metrics  1 Hz samples (?metric=&node=&site=&from_sec=&to_sec=)
 //	GET  /bugs             bug reports (?state=open|all, ?family=F)
 //	GET  /status/grid      family × target status matrix
 //	GET  /status/trend     historical success rate (?bucket_sec=S)
 //	GET  /metrics          per-endpoint request/error/latency counters
 //	     /ci/...           the CI REST API, proxied to ci.Handler
+//	     /sites/{site}/... site-scoped views of the shard owning the site:
+//	                       oar/resources, oar/jobs, oar/submit,
+//	                       monitor/metrics, ref/inventory, ref/diff, ci/...
 //
-// Concurrency: request handlers hold the read side of one RWMutex and any
-// number of them run in parallel; Advance — which steps the simulated
-// campaign — holds the write side, so no request ever observes the
-// simulation mid-event. Subsystems guard their own state with their own
-// mutexes; the gate only serializes requests against campaign progress.
-// Monitoring queries additionally share one mutex because a flaky-kwapi
-// site draws from the campaign's RNG, which is single-threaded.
+// # Sharding and concurrency
+//
+// The gateway serves one or more *shards*. A monolithic campaign
+// (ForFramework / New) is the single-shard case: one subsystem set covering
+// every site. A federated campaign (ForFederation / NewFederated) mounts
+// one shard per site, each with its own OAR, monitor, Reference API store,
+// CI server and bug tracker — internal/federation builds exactly that.
+//
+// Each shard carries its own RWMutex: request handlers hold the read side
+// of only the shard(s) they touch, and Advance — which steps the simulated
+// campaign — holds a shard's write side only while that shard steps. A
+// site-scoped read (/sites/A/oar/resources) therefore never waits on an
+// Advance that is busy stepping site B; that read-availability property is
+// asserted by BenchmarkE17_FederatedAdvance. Federated endpoints
+// (/oar/resources and friends) scatter over the shards, snapshotting each
+// under its own read lock, and gather the merged answer outside any lock.
+// Subsystems guard their own state with their own mutexes; the shard gates
+// only serialize requests against campaign progress. Monitoring queries
+// additionally serialize per shard because a flaky-kwapi roll draws from
+// that shard's campaign RNG.
 //
 // The /ref endpoints are read-optimized: responses carry a strong ETag
-// derived from the store's version counter, conditional requests short-cut
-// to 304 before any snapshot is materialized or marshaled, and rendered
-// bodies are cached per version — hot reads cost two atomic counters and a
-// map hit.
+// derived from the store's version counter (federated: the joined counters
+// of every shard), conditional requests short-cut to 304 before any
+// snapshot is materialized or marshaled, and rendered bodies are cached
+// per version — hot reads cost two atomic counters and a map hit.
 package gateway
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sort"
 	"strings"
@@ -59,7 +77,7 @@ import (
 	"repro/internal/testbed"
 )
 
-// Config wires the subsystems a Gateway serves. Nil fields disable their
+// Config wires the subsystems one shard serves. Nil fields disable their
 // endpoints (they answer 503), so partial assemblies are valid.
 type Config struct {
 	Clock   *simclock.Clock
@@ -70,30 +88,40 @@ type Config struct {
 	Bugs    *bugs.Tracker
 	CI      *ci.Server
 
-	// Advance, when set, lets Gateway.Advance drive the campaign forward
-	// (typically core.Framework.RunFor). It always runs under the write
-	// side of the request gate.
+	// Advance, when set, lets Gateway.Advance drive the shard's campaign
+	// forward (typically core.Framework.RunFor). It always runs under the
+	// write side of the shard's request gate.
 	Advance func(simclock.Time)
 }
 
-// Gateway is the front door. It implements http.Handler.
-type Gateway struct {
-	cfg     Config
-	mux     *http.ServeMux
-	started time.Time
+// ShardConfig names one shard of a federated assembly. Site labels the
+// shard; its TB decides which site names route to it (a monolithic shard
+// whose testbed spans many sites serves them all).
+type ShardConfig struct {
+	Site string
+	Config
+}
 
-	// sim is the campaign gate (see the package comment).
+// shard is one site's serving state: its subsystem set, its campaign gate,
+// and its rendered-body caches for the hot /ref reads.
+type shard struct {
+	site string
+	cfg  Config
+
+	// sites is the shard's precomputed site topology (names, clusters,
+	// node lists, core counts) — immutable after assembly, so the /sites
+	// listing never takes the shard gate (see handleSites).
+	sites []siteTopo
+
+	// sim is the shard's campaign gate (see the package comment).
 	sim sync.RWMutex
 
-	// monMu serializes monitoring queries (campaign RNG, see above).
+	// monMu serializes this shard's monitoring queries (campaign RNG).
 	monMu sync.Mutex
 
-	// statusClient reads the CI REST API in process to assemble the
-	// /status views, the same code path the external status page uses.
+	// statusClient reads the shard CI's REST API in process to assemble
+	// the /status views, the same code path the external status page uses.
 	statusClient *status.Client
-
-	// metrics is keyed by mux pattern; read-only after New.
-	metrics map[string]*endpointMetrics
 
 	// Rendered-body caches for the hot /ref endpoints.
 	invMu    sync.Mutex
@@ -104,20 +132,86 @@ type Gateway struct {
 	diffBody []byte
 }
 
-// New assembles a gateway over the configured subsystems.
+// rlocked runs fn under the shard's read gate.
+func (s *shard) rlocked(fn func()) {
+	s.sim.RLock()
+	defer s.sim.RUnlock()
+	fn()
+}
+
+// Gateway is the front door. It implements http.Handler.
+type Gateway struct {
+	mux     *http.ServeMux
+	started time.Time
+
+	shards []*shard
+	// siteOf routes a site name to the shard serving it. A monolithic
+	// shard claims every site of its testbed.
+	siteOf map[string]*shard
+
+	// metrics is keyed by mux pattern; read-only after assembly.
+	metrics map[string]*endpointMetrics
+
+	// advanceWorkers bounds how many shards Advance steps concurrently
+	// (0 = all at once). ForFederation sets it from the federation's own
+	// worker cap so live serving honours the same bound as the engine.
+	advanceWorkers int
+
+	// Federated /ref rendered-body caches, keyed by the joined version
+	// string of all shards (see ref.go).
+	fedMu       sync.Mutex
+	fedInvKey   string
+	fedInvBody  []byte
+	fedDiffKey  string
+	fedDiffBody []byte
+}
+
+// New assembles a single-shard gateway over the configured subsystems —
+// the monolithic campaign layout.
 func New(cfg Config) *Gateway {
-	g := &Gateway{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		started:  time.Now(),
-		metrics:  map[string]*endpointMetrics{},
-		invCache: map[int][]byte{},
+	return NewFederated([]ShardConfig{{Config: cfg}})
+}
+
+// NewFederated assembles a gateway over one shard per entry. Site names
+// are claimed from each shard's testbed (plus its explicit Site label);
+// claiming a site twice panics — that is a wiring bug, not a request-time
+// condition.
+func NewFederated(shardCfgs []ShardConfig) *Gateway {
+	if len(shardCfgs) == 0 {
+		panic("gateway: no shards")
 	}
-	if cfg.CI != nil {
-		g.statusClient = status.NewLocalClient(cfg.CI.Handler())
+	g := &Gateway{
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		metrics: map[string]*endpointMetrics{},
+		siteOf:  map[string]*shard{},
+	}
+	for _, sc := range shardCfgs {
+		s := &shard{site: sc.Site, cfg: sc.Config, invCache: map[int][]byte{}}
+		if sc.CI != nil {
+			s.statusClient = status.NewLocalClient(sc.CI.Handler())
+		}
+		s.sites = siteTopology(sc.Site, sc.TB)
+		g.shards = append(g.shards, s)
+		claim := func(site string) {
+			if prev, ok := g.siteOf[site]; ok && prev != s {
+				panic(fmt.Sprintf("gateway: site %q claimed by two shards", site))
+			}
+			g.siteOf[site] = s
+		}
+		if sc.TB != nil {
+			for _, name := range sc.TB.SiteNames() {
+				claim(name)
+			}
+		}
+		if sc.Site != "" {
+			claim(sc.Site)
+		}
 	}
 
 	g.handle("/", http.MethodGet, g.handleIndex)
+	g.handle("/sites", http.MethodGet, g.handleSites)
+	g.handle("/sites/", "", g.handleSiteScoped)
 	g.handle("/oar/resources", http.MethodGet, g.handleOARResources)
 	g.handle("/oar/jobs", http.MethodGet, g.handleOARJobs)
 	g.handle("/oar/submit", http.MethodPost, g.handleOARSubmit)
@@ -128,18 +222,12 @@ func New(cfg Config) *Gateway {
 	g.handle("/status/grid", http.MethodGet, g.handleStatusGrid)
 	g.handle("/status/trend", http.MethodGet, g.handleStatusTrend)
 	g.handle("/metrics", http.MethodGet, g.handleMetrics)
-	if cfg.CI != nil {
-		// The CI API enforces its own methods (GET reads, POST trigger);
-		// the gateway only instruments it.
-		proxy := http.StripPrefix("/ci", cfg.CI.Handler())
-		g.handle("/ci/", "", func(w http.ResponseWriter, r *http.Request) {
-			proxy.ServeHTTP(w, r)
-		})
-	}
+	g.handle("/ci/", "", g.handleCIProxy)
 	return g
 }
 
-// ForFramework is the one-call assembly over a complete campaign.
+// ForFramework is the one-call assembly over a complete monolithic
+// campaign.
 func ForFramework(f *core.Framework) *Gateway {
 	return New(Config{
 		Clock:   f.Clock,
@@ -158,21 +246,105 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	g.mux.ServeHTTP(w, r)
 }
 
-// Advance steps the campaign by d of simulated time while holding every
-// request handler out. A no-op when the gateway was assembled without an
-// Advance hook.
+// SetAdvanceWorkers bounds how many shards Advance steps concurrently
+// (n <= 0 restores the default: all shards at once). Call before serving.
+func (g *Gateway) SetAdvanceWorkers(n int) { g.advanceWorkers = n }
+
+// Advance steps every shard's campaign by d of simulated time. Each shard
+// steps under its own write lock, so requests against one shard proceed
+// while another is still advancing; a multi-shard advance fans the shards
+// out across up to SetAdvanceWorkers goroutines (they share no simulation
+// state). A no-op for shards assembled without an Advance hook.
 func (g *Gateway) Advance(d simclock.Time) {
-	if g.cfg.Advance == nil {
+	if len(g.shards) == 1 {
+		g.advanceShard(g.shards[0], d)
 		return
 	}
-	g.sim.Lock()
-	defer g.sim.Unlock()
-	g.cfg.Advance(d)
+	workers := g.advanceWorkers
+	if workers <= 0 || workers > len(g.shards) {
+		workers = len(g.shards)
+	}
+	jobs := make(chan *shard)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				g.advanceShard(s, d)
+			}
+		}()
+	}
+	for _, s := range g.shards {
+		if s.cfg.Advance != nil {
+			jobs <- s
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// AdvanceSite steps only the shard owning the named site, holding only
+// that shard's write lock — reads against every other site proceed
+// untouched. On a monolithic (single-shard) gateway the one shard owns
+// every site, so this advances the whole campaign.
+func (g *Gateway) AdvanceSite(site string, d simclock.Time) error {
+	s := g.siteOf[site]
+	if s == nil {
+		return fmt.Errorf("gateway: unknown site %q", site)
+	}
+	if s.cfg.Advance == nil {
+		return fmt.Errorf("gateway: site %q has no advance hook", site)
+	}
+	g.advanceShard(s, d)
+	return nil
+}
+
+func (g *Gateway) advanceShard(s *shard, d simclock.Time) {
+	if s.cfg.Advance == nil {
+		return
+	}
+	s.sim.Lock()
+	defer s.sim.Unlock()
+	s.cfg.Advance(d)
+}
+
+// Sites returns the site names the gateway routes, sorted.
+func (g *Gateway) Sites() []string {
+	out := make([]string, 0, len(g.siteOf))
+	for name := range g.siteOf {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// federated reports whether this gateway fronts more than one shard.
+func (g *Gateway) federated() bool { return len(g.shards) > 1 }
+
+// shardForCluster finds the shard whose testbed owns the named cluster.
+func (g *Gateway) shardForCluster(name string) *shard {
+	for _, s := range g.shards {
+		if s.cfg.TB != nil && s.cfg.TB.Cluster(name) != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// shardForNode finds the shard whose testbed owns the named node.
+func (g *Gateway) shardForNode(name string) *shard {
+	for _, s := range g.shards {
+		if s.cfg.TB != nil && s.cfg.TB.Node(name) != nil {
+			return s
+		}
+	}
+	return nil
 }
 
 // handle registers an instrumented endpoint. allow is the accepted method
 // ("" lets the wrapped handler enforce methods itself, used by the CI
-// proxy).
+// proxy and the /sites/ subtree).
 func (g *Gateway) handle(pattern, allow string, fn http.HandlerFunc) {
 	m := &endpointMetrics{}
 	g.metrics[pattern] = m
@@ -188,12 +360,35 @@ func (g *Gateway) handle(pattern, allow string, fn http.HandlerFunc) {
 			sw.Header().Set("Allow", allow)
 			http.Error(sw, "method not allowed", http.StatusMethodNotAllowed)
 		default:
-			g.sim.RLock()
 			fn(sw, r)
-			g.sim.RUnlock()
 		}
 		m.record(sw.Code(), time.Since(start))
 	})
+}
+
+// handleCIProxy forwards /ci/... to a shard CI REST API under that shard's
+// read gate. On a federated gateway the per-site trees live under
+// /sites/{site}/ci/; the unscoped path answers only when a single shard
+// carries a CI server, to stay unambiguous.
+func (g *Gateway) handleCIProxy(w http.ResponseWriter, r *http.Request) {
+	var target *shard
+	for _, s := range g.shards {
+		if s.cfg.CI == nil {
+			continue
+		}
+		if target != nil {
+			httpError(w, http.StatusMisdirectedRequest,
+				"federated gateway: use /sites/{site}/ci/...")
+			return
+		}
+		target = s
+	}
+	if target == nil {
+		notConfigured(w, "ci")
+		return
+	}
+	proxy := http.StripPrefix("/ci", target.cfg.CI.Handler())
+	target.rlocked(func() { proxy.ServeHTTP(w, r) })
 }
 
 // ---- instrumentation --------------------------------------------------------
@@ -267,6 +462,7 @@ type EndpointMetrics struct {
 type MetricsReport struct {
 	UptimeSec float64                    `json:"uptime_sec"`
 	SimNowSec float64                    `json:"sim_now_sec,omitempty"`
+	Shards    int                        `json:"shards,omitempty"`
 	Requests  int64                      `json:"requests"`
 	Errors    int64                      `json:"errors"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
@@ -278,8 +474,11 @@ func (g *Gateway) Metrics() MetricsReport {
 		UptimeSec: time.Since(g.started).Seconds(),
 		Endpoints: make(map[string]EndpointMetrics, len(g.metrics)),
 	}
-	if g.cfg.Clock != nil {
-		rep.SimNowSec = g.cfg.Clock.Now().Seconds()
+	if g.federated() {
+		rep.Shards = len(g.shards)
+	}
+	if clock := g.shards[0].cfg.Clock; clock != nil {
+		rep.SimNowSec = clock.Now().Seconds()
 	}
 	for pattern, m := range g.metrics {
 		em := EndpointMetrics{
@@ -312,8 +511,9 @@ func (g *Gateway) handleIndex(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(patterns)
 	writeJSON(w, struct {
 		Service   string   `json:"service"`
+		Shards    int      `json:"shards"`
 		Endpoints []string `json:"endpoints"`
-	}{"testbed API gateway", patterns})
+	}{"testbed API gateway", len(g.shards), patterns})
 }
 
 // ---- shared helpers ---------------------------------------------------------

@@ -333,9 +333,10 @@ func TestInventoryCacheBound(t *testing.T) {
 			t.Fatalf("version %d status = %d", v, resp.StatusCode)
 		}
 	}
-	gw.invMu.Lock()
-	size := len(gw.invCache)
-	gw.invMu.Unlock()
+	s := gw.shards[0]
+	s.invMu.Lock()
+	size := len(s.invCache)
+	s.invMu.Unlock()
 	if size > 8 {
 		t.Fatalf("inventory cache grew to %d entries (bound is 8)", size)
 	}
@@ -618,6 +619,10 @@ func TestStress(t *testing.T) {
 		"/monitor/metrics?metric=cpu_load&node=" + node + "&from_sec=0&to_sec=30",
 		"/ci/api/json",
 		"/metrics",
+		// The gate-free federation layout and a site-narrowed view, racing
+		// the node-state flips of the advancing campaign.
+		"/sites",
+		"/sites/nancy/oar/resources",
 	}
 
 	done := make(chan struct{})

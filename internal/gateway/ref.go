@@ -10,11 +10,19 @@ package gateway
 //     snapshot is materialized or marshaled;
 //   - rendered bodies are cached per version, so even non-conditional hot
 //     reads marshal each version once.
+//
+// On a federated gateway the unscoped paths scatter-gather: the ETag joins
+// every shard's version counter ("v3.1.7"), a conditional hit answers 304
+// without touching any store, and the merged body nests one per-site
+// section per shard. Archived-version queries (?version=, ?from=, ?to=)
+// are per-site by nature and live on /sites/{site}/ref/...; the federated
+// paths reject them with a pointer there.
 
 import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/refapi"
 )
@@ -35,13 +43,35 @@ func parseVersion(r *http.Request, key string) (int, error) {
 	return v, nil
 }
 
-func (g *Gateway) handleRefInventory(w http.ResponseWriter, r *http.Request) {
-	st := g.cfg.Ref
-	if st == nil {
-		notConfigured(w, "reference API")
-		return
+// refShards returns the shards carrying a Reference API store.
+func (g *Gateway) refShards() []*shard {
+	var out []*shard
+	for _, s := range g.shards {
+		if s.cfg.Ref != nil {
+			out = append(out, s)
+		}
 	}
-	cur := st.VersionCount()
+	return out
+}
+
+func (g *Gateway) handleRefInventory(w http.ResponseWriter, r *http.Request) {
+	shards := g.refShards()
+	switch len(shards) {
+	case 0:
+		notConfigured(w, "reference API")
+	case 1:
+		g.serveShardInventory(shards[0], w, r)
+	default:
+		g.serveFederatedInventory(shards, w, r)
+	}
+}
+
+// serveShardInventory is the single-store path: full ?version= archive
+// access with per-version ETags.
+func (g *Gateway) serveShardInventory(s *shard, w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Ref
+	var cur int
+	s.rlocked(func() { cur = st.VersionCount() })
 	ver, err := parseVersion(r, "version")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -64,7 +94,7 @@ func (g *Gateway) handleRefInventory(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	body, err := g.inventoryBody(st, ver)
+	body, err := s.inventoryBody(ver)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -79,14 +109,15 @@ func (g *Gateway) handleRefInventory(w http.ResponseWriter, r *http.Request) {
 // render happens outside invMu — cache hits (the hot path) must never
 // queue behind a cache miss marshaling a multi-thousand-node snapshot; a
 // duplicate render per version under contention is the cheaper price.
-func (g *Gateway) inventoryBody(st *refapi.Store, ver int) ([]byte, error) {
-	g.invMu.Lock()
-	body, ok := g.invCache[ver]
-	g.invMu.Unlock()
+func (s *shard) inventoryBody(ver int) ([]byte, error) {
+	s.invMu.Lock()
+	body, ok := s.invCache[ver]
+	s.invMu.Unlock()
 	if ok {
 		return body, nil
 	}
-	snap := st.Version(ver)
+	var snap *refapi.Snapshot
+	s.rlocked(func() { snap = s.cfg.Ref.Version(ver) })
 	if snap == nil {
 		return nil, fmt.Errorf("version %d vanished", ver)
 	}
@@ -94,18 +125,18 @@ func (g *Gateway) inventoryBody(st *refapi.Store, ver int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	g.invMu.Lock()
-	defer g.invMu.Unlock()
-	if cached, ok := g.invCache[ver]; ok {
+	s.invMu.Lock()
+	defer s.invMu.Unlock()
+	if cached, ok := s.invCache[ver]; ok {
 		return cached, nil // raced with another renderer; keep its copy
 	}
 	// Bounded: evict oldest versions first, never the one just rendered —
 	// under churn the hot current version must stay cached. When every
 	// cached entry is newer (a client scraping history oldest-ward), skip
 	// caching entirely rather than grow past the bound.
-	for len(g.invCache) >= 8 {
+	for len(s.invCache) >= 8 {
 		oldest := ver
-		for v := range g.invCache {
+		for v := range s.invCache {
 			if v < oldest {
 				oldest = v
 			}
@@ -113,27 +144,116 @@ func (g *Gateway) inventoryBody(st *refapi.Store, ver int) ([]byte, error) {
 		if oldest == ver {
 			return body, nil
 		}
-		delete(g.invCache, oldest)
+		delete(s.invCache, oldest)
 	}
-	g.invCache[ver] = body
+	s.invCache[ver] = body
 	return body, nil
+}
+
+// SiteInventoryJSON is one shard's slice of a federated inventory.
+type SiteInventoryJSON struct {
+	Site      string           `json:"site"`
+	Version   int              `json:"version"`
+	Inventory *refapi.Snapshot `json:"inventory"`
+}
+
+// FederatedInventoryJSON is the wire form of GET /ref/inventory on a
+// federated gateway: one per-site section per shard, in shard order.
+type FederatedInventoryJSON struct {
+	Sites []SiteInventoryJSON `json:"sites"`
+}
+
+// joinedVersions snapshots every shard's version counter (each under its
+// own gate) and renders the combined ETag payload, e.g. "v3.1.7".
+func joinedVersions(shards []*shard) (string, []int) {
+	vers := make([]int, len(shards))
+	var sb strings.Builder
+	sb.WriteByte('v')
+	for i, s := range shards {
+		s.rlocked(func() { vers[i] = s.cfg.Ref.VersionCount() })
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(strconv.Itoa(vers[i]))
+	}
+	return sb.String(), vers
+}
+
+func (g *Gateway) serveFederatedInventory(shards []*shard, w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("version") != "" {
+		httpError(w, http.StatusBadRequest,
+			"archived versions are per-site; use /sites/{site}/ref/inventory?version=N")
+		return
+	}
+	key, vers := joinedVersions(shards)
+	etag := `"` + key + `"`
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	g.fedMu.Lock()
+	body := g.fedInvBody
+	hit := g.fedInvKey == key && body != nil
+	g.fedMu.Unlock()
+	if !hit {
+		out := FederatedInventoryJSON{Sites: make([]SiteInventoryJSON, len(shards))}
+		for i, s := range shards {
+			var snap *refapi.Snapshot
+			s.rlocked(func() { snap = s.cfg.Ref.Version(vers[i]) })
+			if snap == nil {
+				httpError(w, http.StatusInternalServerError,
+					fmt.Sprintf("site %q version %d vanished", s.site, vers[i]))
+				return
+			}
+			out.Sites[i] = SiteInventoryJSON{Site: s.site, Version: vers[i], Inventory: snap}
+		}
+		var err error
+		body, err = marshalIndent(out)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		g.fedMu.Lock()
+		g.fedInvKey, g.fedInvBody = key, body
+		g.fedMu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body) //nolint:errcheck
 }
 
 // RefDiffJSON is the wire form of GET /ref/diff.
 type RefDiffJSON struct {
+	Site        string              `json:"site,omitempty"` // set in federated sections
 	From        int                 `json:"from"`
 	To          int                 `json:"to"`
 	Count       int                 `json:"count"`
 	Differences []refapi.Difference `json:"differences"`
 }
 
+// FederatedDiffJSON is the wire form of GET /ref/diff on a federated
+// gateway: each shard's latest-step diff, in shard order.
+type FederatedDiffJSON struct {
+	Count int           `json:"count"`
+	Sites []RefDiffJSON `json:"sites"`
+}
+
 func (g *Gateway) handleRefDiff(w http.ResponseWriter, r *http.Request) {
-	st := g.cfg.Ref
-	if st == nil {
+	shards := g.refShards()
+	switch len(shards) {
+	case 0:
 		notConfigured(w, "reference API")
-		return
+	case 1:
+		g.serveShardDiff(shards[0], w, r)
+	default:
+		g.serveFederatedDiff(shards, w, r)
 	}
-	cur := st.VersionCount()
+}
+
+func (g *Gateway) serveShardDiff(s *shard, w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Ref
+	var cur int
+	s.rlocked(func() { cur = st.VersionCount() })
 	from, err := parseVersion(r, "from")
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -171,7 +291,7 @@ func (g *Gateway) handleRefDiff(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	body, err := g.refDiffBody(st, from, to)
+	body, err := s.refDiffBody(from, to)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -183,13 +303,30 @@ func (g *Gateway) handleRefDiff(w http.ResponseWriter, r *http.Request) {
 // refDiffBody renders (and memoizes) the diff between two archived
 // versions. A single-entry cache suffices: traffic overwhelmingly asks for
 // the same (latest-1, latest) pair until the store moves on.
-func (g *Gateway) refDiffBody(st *refapi.Store, from, to int) ([]byte, error) {
-	g.diffMu.Lock()
-	defer g.diffMu.Unlock()
-	if g.diffBody != nil && g.diffFrom == from && g.diffTo == to {
-		return g.diffBody, nil
+func (s *shard) refDiffBody(from, to int) ([]byte, error) {
+	s.diffMu.Lock()
+	defer s.diffMu.Unlock()
+	if s.diffBody != nil && s.diffFrom == from && s.diffTo == to {
+		return s.diffBody, nil
 	}
-	a, b := st.Version(from), st.Version(to)
+	diffs, err := s.diffSlice(from, to)
+	if err != nil {
+		return nil, err
+	}
+	out := RefDiffJSON{From: from, To: to, Count: len(diffs), Differences: diffs}
+	body, err := marshalIndent(out)
+	if err != nil {
+		return nil, err
+	}
+	s.diffFrom, s.diffTo, s.diffBody = from, to, body
+	return body, nil
+}
+
+// diffSlice computes the differences between two archived versions under
+// the shard gate.
+func (s *shard) diffSlice(from, to int) ([]refapi.Difference, error) {
+	var a, b *refapi.Snapshot
+	s.rlocked(func() { a, b = s.cfg.Ref.Version(from), s.cfg.Ref.Version(to) })
 	if a == nil || b == nil {
 		return nil, fmt.Errorf("version range %d..%d vanished", from, to)
 	}
@@ -197,11 +334,54 @@ func (g *Gateway) refDiffBody(st *refapi.Store, from, to int) ([]byte, error) {
 	if diffs == nil {
 		diffs = []refapi.Difference{}
 	}
-	out := RefDiffJSON{From: from, To: to, Count: len(diffs), Differences: diffs}
-	body, err := marshalIndent(out)
-	if err != nil {
-		return nil, err
+	return diffs, nil
+}
+
+func (g *Gateway) serveFederatedDiff(shards []*shard, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("from") != "" || q.Get("to") != "" {
+		httpError(w, http.StatusBadRequest,
+			"version ranges are per-site; use /sites/{site}/ref/diff?from=&to=")
+		return
 	}
-	g.diffFrom, g.diffTo, g.diffBody = from, to, body
-	return body, nil
+	key, vers := joinedVersions(shards)
+	etag := `"d` + key + `"`
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	g.fedMu.Lock()
+	body := g.fedDiffBody
+	hit := g.fedDiffKey == key && body != nil
+	g.fedMu.Unlock()
+	if !hit {
+		out := FederatedDiffJSON{Sites: make([]RefDiffJSON, len(shards))}
+		for i, s := range shards {
+			to := vers[i]
+			from := to - 1
+			if from < 1 {
+				from = 1
+			}
+			diffs, err := s.diffSlice(from, to)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			out.Sites[i] = RefDiffJSON{Site: s.site, From: from, To: to,
+				Count: len(diffs), Differences: diffs}
+			out.Count += len(diffs)
+		}
+		var err error
+		body, err = marshalIndent(out)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		g.fedMu.Lock()
+		g.fedDiffKey, g.fedDiffBody = key, body
+		g.fedMu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body) //nolint:errcheck
 }

@@ -1,0 +1,163 @@
+package gateway
+
+// The site-scoped routes: /sites lists the federation layout, and
+// /sites/{site}/... exposes the shard owning the site — narrowed to that
+// site even when one monolithic shard serves the whole grid. These are
+// the endpoints whose latency is immune to other sites' campaign
+// progress: /sites/{site}/... takes exactly one shard's read gate, and
+// /sites takes none at all (topology is precomputed at assembly; node
+// states are read through the testbed's own mutex). (The mux predates
+// Go 1.22 pattern wildcards, so the subtree is dispatched by hand; every
+// route under /sites/ shares one metrics bucket.)
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/testbed"
+)
+
+// SiteJSON is one entry of GET /sites.
+type SiteJSON struct {
+	Name     string         `json:"name"`
+	Shard    int            `json:"shard"`
+	Clusters []string       `json:"clusters,omitempty"`
+	Nodes    int            `json:"nodes,omitempty"`
+	Cores    int            `json:"cores,omitempty"`
+	States   map[string]int `json:"states,omitempty"`
+}
+
+// SitesJSON is the wire form of GET /sites.
+type SitesJSON struct {
+	Shards int        `json:"shards"`
+	Sites  []SiteJSON `json:"sites"`
+}
+
+// siteTopo is one site's precomputed layout: everything except node
+// states, which are live.
+type siteTopo struct {
+	entry SiteJSON // States left nil; filled per request
+	nodes []string
+}
+
+// siteTopology snapshots a shard's site layout at assembly time, when no
+// campaign is advancing — the topology (names, clusters, core counts)
+// never changes afterwards.
+func siteTopology(label string, tb *testbed.Testbed) []siteTopo {
+	if tb == nil {
+		if label == "" {
+			return nil
+		}
+		return []siteTopo{{entry: SiteJSON{Name: label}}}
+	}
+	var out []siteTopo
+	for _, site := range tb.Sites {
+		st := siteTopo{entry: SiteJSON{Name: site.Name}}
+		for _, cl := range site.Clusters {
+			st.entry.Clusters = append(st.entry.Clusters, cl.Name)
+			st.entry.Cores += cl.Cores()
+		}
+		for _, n := range site.Nodes() {
+			st.nodes = append(st.nodes, n.Name)
+			st.entry.Nodes++
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// handleSites lists the federation layout. Deliberately gate-free: the
+// topology is the assembly-time snapshot and node states go through the
+// testbed's own mutex, so this listing never queues behind any shard's
+// Advance — the property the site-pinned loadgen scenarios lean on.
+func (g *Gateway) handleSites(w http.ResponseWriter, r *http.Request) {
+	out := SitesJSON{Shards: len(g.shards)}
+	for i, s := range g.shards {
+		for _, st := range s.sites {
+			entry := st.entry
+			entry.Shard = i
+			if s.cfg.TB != nil && len(st.nodes) > 0 {
+				entry.States = make(map[string]int, 2)
+				for _, name := range st.nodes {
+					state, _ := s.cfg.TB.NodeState(name)
+					entry.States[state.String()]++
+				}
+			}
+			out.Sites = append(out.Sites, entry)
+		}
+	}
+	writeJSON(w, out)
+}
+
+// handleSiteScoped dispatches /sites/{site}/... to the shard owning the
+// site. Monolithic gateways serve these too: the single shard owns every
+// site and each view narrows to the requested one (resources and
+// monitoring filter by site; jobs list only jobs tied to the site;
+// submissions are validated against — and pinned to — the site).
+func (g *Gateway) handleSiteScoped(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/sites/")
+	site, sub, _ := strings.Cut(rest, "/")
+	if site == "" {
+		http.NotFound(w, r)
+		return
+	}
+	s := g.siteOf[site]
+	if s == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown site %q", site))
+		return
+	}
+	requireMethod := func(m string) bool {
+		if r.Method == m {
+			return true
+		}
+		w.Header().Set("Allow", m)
+		httpError(w, http.StatusMethodNotAllowed, "method not allowed")
+		return false
+	}
+	switch sub {
+	case "oar/resources":
+		if requireMethod(http.MethodGet) {
+			g.serveOARResources(w, r, site)
+		}
+	case "oar/jobs":
+		if requireMethod(http.MethodGet) {
+			g.serveOARJobs(w, r, s, site)
+		}
+	case "oar/submit":
+		if requireMethod(http.MethodPost) {
+			g.serveOARSubmit(w, r, s, site)
+		}
+	case "monitor/metrics":
+		if requireMethod(http.MethodGet) {
+			g.serveMonitorMetrics(w, r, site)
+		}
+	case "ref/inventory":
+		if requireMethod(http.MethodGet) {
+			if s.cfg.Ref == nil {
+				notConfigured(w, "reference API")
+				return
+			}
+			g.serveShardInventory(s, w, r)
+		}
+	case "ref/diff":
+		if requireMethod(http.MethodGet) {
+			if s.cfg.Ref == nil {
+				notConfigured(w, "reference API")
+				return
+			}
+			g.serveShardDiff(s, w, r)
+		}
+	default:
+		if sub == "ci" || strings.HasPrefix(sub, "ci/") {
+			if s.cfg.CI == nil {
+				notConfigured(w, "ci")
+				return
+			}
+			proxy := http.StripPrefix("/sites/"+site+"/ci", s.cfg.CI.Handler())
+			s.rlocked(func() { proxy.ServeHTTP(w, r) })
+			return
+		}
+		http.NotFound(w, r)
+	}
+}

@@ -106,6 +106,26 @@ func (c *Ctx) GetConditional(path string) error {
 	return drain(resp, path)
 }
 
+// GetAccept performs a GET and drains the body, treating the listed
+// statuses as acceptable alongside the usual < 400 rule. Site-pinned
+// monitor scrapes use it: a flaky kwapi site legitimately answers 502, and
+// that is signal to the consumer, not a workload failure.
+func (c *Ctx) GetAccept(path string, accept ...int) error {
+	c.httpCount++
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	for _, code := range accept {
+		if resp.StatusCode == code {
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			return nil
+		}
+	}
+	return drain(resp, path)
+}
+
 // PostJSON performs a POST with a JSON body. 2xx statuses pass.
 func (c *Ctx) PostJSON(path, body string) error {
 	c.httpCount++

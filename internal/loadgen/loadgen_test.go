@@ -210,3 +210,93 @@ func TestDefaultMixShapes(t *testing.T) {
 	}()
 	SubmitHeavy(nil)
 }
+
+// TestSitePinnedScenarios drives the federated scenario variants against a
+// stub of the gateway's /sites routes, including a monitor endpoint that
+// always answers 502 — acceptable to the scraper by contract.
+func TestSitePinnedScenarios(t *testing.T) {
+	mux := http.NewServeMux()
+	ok := func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]int{"ok": 1}) //nolint:errcheck
+	}
+	mux.HandleFunc("/sites", ok)
+	mux.HandleFunc("/sites/lyon/oar/resources", ok)
+	mux.HandleFunc("/sites/lyon/oar/jobs", ok)
+	mux.HandleFunc("/sites/lyon/ref/inventory", func(w http.ResponseWriter, r *http.Request) {
+		const etag = `"v1"`
+		w.Header().Set("ETag", etag)
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		ok(w, r)
+	})
+	mux.HandleFunc("/sites/lyon/monitor/metrics", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "kwapi service error", http.StatusBadGateway)
+	})
+	var submits atomic.Int64
+	mux.HandleFunc("/sites/lyon/oar/submit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+			return
+		}
+		submits.Add(1)
+		w.WriteHeader(http.StatusCreated)
+	})
+
+	tgt := SiteTarget{Site: "lyon", Clusters: []string{"taurus"}, Nodes: []string{"taurus-1.lyon"}}
+	rep, err := Run(Config{
+		Workers:  2,
+		Requests: 40,
+		Seed:     7,
+		Mix:      []Scenario{SiteScraper(tgt), SiteSubmitter(tgt)},
+		NewClient: func(int) (*http.Client, string) {
+			return inproc.Client(mux), "http://fed.local"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("site-pinned mix errors = %d:\n%s", rep.Errors, rep)
+	}
+	for _, s := range rep.Scenarios {
+		if s.Iterations == 0 {
+			t.Fatalf("scenario %s never ran", s.Name)
+		}
+	}
+	if submits.Load() == 0 {
+		t.Fatal("site submitter never posted")
+	}
+	if rep.NotModified == 0 {
+		t.Fatal("conditional site inventory reads never hit 304")
+	}
+}
+
+func TestFederatedMixShape(t *testing.T) {
+	mix := FederatedMix([]SiteTarget{
+		{Site: "lyon", Clusters: []string{"taurus"}},
+		{Site: "nancy", Clusters: []string{"graphene"}},
+	})
+	if len(mix) != 5 {
+		t.Fatalf("federated mix has %d scenarios, want 5 (dashboard + 2 per site)", len(mix))
+	}
+	names := map[string]bool{}
+	for _, s := range mix {
+		if s.Weight <= 0 || s.Run == nil {
+			t.Fatalf("scenario %q malformed", s.Name)
+		}
+		names[s.Name] = true
+	}
+	for _, want := range []string{"operator-dashboard", "site-scraper:lyon", "site-submit:nancy"} {
+		if !names[want] {
+			t.Fatalf("federated mix misses %q (have %v)", want, names)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SiteSubmitter with no clusters should panic")
+		}
+	}()
+	SiteSubmitter(SiteTarget{Site: "lyon"})
+}

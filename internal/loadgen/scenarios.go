@@ -8,7 +8,10 @@ package loadgen
 //   - api-scraper: scripted consumers re-reading the Reference API and the
 //     resource states; they use conditional requests, so a quiet testbed
 //     answers them almost entirely from the 304 path;
-//   - submit-heavy: tooling probing and submitting OAR jobs.
+//   - submit-heavy: tooling probing and submitting OAR jobs;
+//   - site-scraper / site-submit: the site-pinned variants of the above
+//     for federated gateways — they talk only to /sites/{site}/... routes,
+//     so one site's traffic never queues behind another site's Advance.
 
 import "fmt"
 
@@ -98,4 +101,92 @@ func ScrapeOnlyMix(clusters []string) []Scenario {
 	s := APIScraper(clusters)
 	s.Weight = 1
 	return []Scenario{s}
+}
+
+// ---- site-pinned scenarios (federated gateways) -----------------------------
+
+// SiteTarget names one site of a federated gateway for the site-pinned
+// scenario variants: the consumers that live at a site and talk only to
+// its shard, so their latency never rides on another site's campaign
+// progress.
+type SiteTarget struct {
+	Site     string
+	Clusters []string // clusters at the site (resource filters, submits)
+	Nodes    []string // optional: node names enabling monitor scrapes
+}
+
+// SiteScraper returns the site-pinned scripted consumer: it reads only
+// /sites/{site}/... routes (plus the cheap /sites index), the way a
+// site-local dashboard scopes its queries.
+func SiteScraper(tgt SiteTarget) Scenario {
+	base := "/sites/" + tgt.Site
+	return Scenario{
+		Name:   "site-scraper:" + tgt.Site,
+		Weight: 5,
+		Run: func(c *Ctx) error {
+			if err := c.Get("/sites"); err != nil {
+				return err
+			}
+			path := base + "/oar/resources"
+			if len(tgt.Clusters) > 0 && c.Rand.Intn(2) == 0 {
+				path += "?cluster=" + tgt.Clusters[c.Rand.Intn(len(tgt.Clusters))]
+			}
+			if err := c.Get(path); err != nil {
+				return err
+			}
+			if err := c.GetConditional(base + "/ref/inventory"); err != nil {
+				return err
+			}
+			if len(tgt.Nodes) > 0 {
+				node := tgt.Nodes[c.Rand.Intn(len(tgt.Nodes))]
+				// Monitoring may answer 502 when the site's kwapi is flaky
+				// (the paper's running example) — that is data, not failure.
+				mon := base + "/monitor/metrics?metric=power_w&node=" + node + "&from_sec=0&to_sec=30"
+				if err := c.GetAccept(mon, 502); err != nil {
+					return err
+				}
+			}
+			return c.Get(base + "/oar/jobs?limit=25")
+		},
+	}
+}
+
+// SiteSubmitter returns the site-pinned submission tooling: dry-run probes
+// and a short job against one site's shard, skipping the federated anchor
+// routing entirely.
+func SiteSubmitter(tgt SiteTarget) Scenario {
+	if len(tgt.Clusters) == 0 {
+		panic("loadgen: SiteSubmitter needs at least one cluster")
+	}
+	base := "/sites/" + tgt.Site
+	return Scenario{
+		Name:   "site-submit:" + tgt.Site,
+		Weight: 2,
+		Run: func(c *Ctx) error {
+			cl := tgt.Clusters[c.Rand.Intn(len(tgt.Clusters))]
+			probe := fmt.Sprintf(`{"request":"cluster='%s'/nodes=%d,walltime=0:30:00","dry_run":true}`,
+				cl, 1+c.Rand.Intn(4))
+			for i := 0; i < 2; i++ {
+				if err := c.PostJSON(base+"/oar/submit", probe); err != nil {
+					return err
+				}
+			}
+			submit := fmt.Sprintf(`{"request":"cluster='%s'/nodes=1,walltime=0:10:00","user":"loadgen"}`, cl)
+			if err := c.PostJSON(base+"/oar/submit", submit); err != nil {
+				return err
+			}
+			return c.Get(base + "/oar/jobs?limit=10")
+		},
+	}
+}
+
+// FederatedMix is the production-style workload for a federated gateway:
+// one site-pinned scraper and submitter per site, plus the global
+// operator dashboard riding the scatter-gather endpoints.
+func FederatedMix(targets []SiteTarget) []Scenario {
+	out := []Scenario{OperatorDashboard()}
+	for _, tgt := range targets {
+		out = append(out, SiteScraper(tgt), SiteSubmitter(tgt))
+	}
+	return out
 }

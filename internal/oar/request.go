@@ -25,6 +25,14 @@ type Segment struct {
 	anchorKey, anchorVal string
 }
 
+// Anchor returns the segment's parse-time narrowing constraint: a
+// ("cluster"|"site"|"host", value) pair every matching node must satisfy,
+// or ("", "") when the expression carries none. The allocator uses it to
+// scan one cluster or site instead of the whole testbed; the federated
+// gateway uses it to route a submission to the shard owning the anchored
+// site.
+func (s Segment) Anchor() (key, val string) { return s.anchorKey, s.anchorVal }
+
 func (s Segment) String() string {
 	n := "ALL"
 	if s.Nodes != AllNodes {
@@ -82,6 +90,32 @@ func ParseRequest(s string) (Request, error) {
 		req.Segments = append(req.Segments, seg)
 	}
 	return req, nil
+}
+
+// PinnedToSite returns a copy of the request in which every unanchored
+// segment is additionally constrained to the named site (site='X' AND
+// expr) and re-anchored, so the allocator scans only that site's nodes.
+// Already-anchored segments pass through unchanged — callers are expected
+// to have validated that those anchors fall within the site (the
+// federated gateway's site-scoped submit route does exactly that).
+func (r Request) PinnedToSite(site string) Request {
+	out := Request{Walltime: r.Walltime, Segments: append([]Segment(nil), r.Segments...)}
+	for i, seg := range out.Segments {
+		if seg.anchorKey != "" {
+			continue
+		}
+		pin := cmpExpr{key: "site", op: "=", val: site}
+		e := Expr(pin)
+		raw := pin.String()
+		if _, always := seg.Expr.(trueExpr); !always {
+			// Parenthesize the original expression: it may contain OR.
+			e = andExpr{pin, seg.Expr}
+			raw = raw + " and (" + seg.raw + ")"
+		}
+		out.Segments[i] = Segment{Expr: e, Nodes: seg.Nodes, raw: raw,
+			anchorKey: "site", anchorVal: site}
+	}
+	return out
 }
 
 // MustParseRequest is ParseRequest for requests known valid at compile time.

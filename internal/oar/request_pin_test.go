@@ -1,0 +1,65 @@
+package oar
+
+import (
+	"testing"
+
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+// TestPinnedToSite: unanchored segments gain a site anchor (and keep their
+// expression, parenthesized), anchored segments pass through untouched.
+func TestPinnedToSite(t *testing.T) {
+	clock := simclock.New(3)
+	tb := testbed.Default()
+	s := NewServer(clock, tb)
+
+	req := MustParseRequest("nodes=2,walltime=1").PinnedToSite("lyon")
+	if key, val := req.Segments[0].Anchor(); key != "site" || val != "lyon" {
+		t.Fatalf("pinned anchor = (%q, %q)", key, val)
+	}
+	j := s.SubmitReq(req, SubmitOptions{User: "a"})
+	if j.State != Running || len(j.Nodes) != 2 {
+		t.Fatalf("pinned submit = %s with %d nodes", j.State, len(j.Nodes))
+	}
+	for _, name := range j.Nodes {
+		if n := tb.Node(name); n == nil || n.Site != "lyon" {
+			t.Fatalf("pinned allocation picked %s outside lyon", name)
+		}
+	}
+
+	// An OR expression (no anchor of its own) is parenthesized under the
+	// pin, so the site constraint distributes over both branches.
+	req = MustParseRequest("gpu='YES' or ib='YES'/nodes=ALL,walltime=1").PinnedToSite("lyon")
+	j = s.SubmitReq(req, SubmitOptions{User: "b"})
+	if j.State != Running {
+		t.Fatalf("pinned OR submit = %s", j.State)
+	}
+	for _, name := range j.Nodes {
+		n := tb.Node(name)
+		if n == nil || n.Site != "lyon" || (!n.Inv.HasGPU() && !n.Inv.HasIB()) {
+			t.Fatalf("pinned OR allocation picked %s", name)
+		}
+	}
+	// lyon's GPU/IB nodes: orion (16, GPU) + taurus (30, IB).
+	if len(j.Nodes) != 46 {
+		t.Fatalf("pinned OR matched %d nodes, want 46", len(j.Nodes))
+	}
+
+	// Already-anchored segments are untouched.
+	orig := MustParseRequest("cluster='taurus'/nodes=1,walltime=1")
+	pinned := orig.PinnedToSite("nancy")
+	if pinned.String() != orig.String() {
+		t.Fatalf("anchored segment rewritten: %q -> %q", orig, pinned)
+	}
+
+	// The pinned request round-trips through its own String form.
+	src := MustParseRequest("ram_gb>='16'/nodes=1,walltime=1").PinnedToSite("rennes")
+	re, err := ParseRequest(src.String())
+	if err != nil {
+		t.Fatalf("pinned request %q does not re-parse: %v", src, err)
+	}
+	if key, val := re.Segments[0].Anchor(); key != "site" || val != "rennes" {
+		t.Fatalf("re-parsed anchor = (%q, %q)", key, val)
+	}
+}

@@ -191,10 +191,18 @@ type SubmitOptions struct {
 func (s *Server) Submit(request string, opts SubmitOptions) (*Job, error) {
 	s.mu.Lock()
 	req, err := s.parseRequestCachedLocked(request)
+	s.mu.Unlock()
 	if err != nil {
-		s.mu.Unlock()
 		return nil, err
 	}
+	return s.SubmitReq(req, opts), nil
+}
+
+// SubmitReq is Submit for a pre-parsed request — nothing can fail. The
+// federated gateway submits through it after pinning site constraints
+// onto the parsed form (Request.PinnedToSite).
+func (s *Server) SubmitReq(req Request, opts SubmitOptions) *Job {
+	s.mu.Lock()
 	s.nextID++
 	j := &Job{
 		ID:          s.nextID,
@@ -219,7 +227,7 @@ func (s *Server) Submit(request string, opts SubmitOptions) (*Job, error) {
 	if started && j.OnStart != nil {
 		j.OnStart(j)
 	}
-	return j, nil
+	return j
 }
 
 // Job returns the job with the given ID, or nil.
@@ -612,14 +620,28 @@ type ResourceInfo struct {
 // optionally narrowed to one cluster (empty = all). The copy is taken under
 // the server mutex, so it is consistent with a single scheduling instant.
 func (s *Server) Resources(cluster string) []ResourceInfo {
+	return s.ResourcesIn(cluster, "")
+}
+
+// ResourcesIn is Resources narrowed by cluster and/or site (empty = any).
+// When both are given the filters intersect: a cluster that lives at a
+// different site yields nothing. Unknown names simply select the empty
+// subset — the gateway turns that into its 404/400 answers.
+func (s *Server) ResourcesIn(cluster, site string) []ResourceInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	nodes := s.nodeList
-	if cluster != "" {
+	switch {
+	case cluster != "":
 		nodes = s.byCluster[cluster]
+	case site != "":
+		nodes = s.bySite[site]
 	}
 	out := make([]ResourceInfo, 0, len(nodes))
 	for _, n := range nodes {
+		if site != "" && n.Site != site {
+			continue
+		}
 		out = append(out, ResourceInfo{
 			Name:    n.Name,
 			Cluster: n.Cluster,

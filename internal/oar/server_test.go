@@ -336,3 +336,96 @@ func TestJobStateString(t *testing.T) {
 		t.Error("unknown state formatting")
 	}
 }
+
+// TestAnchoredNarrowingUnknownNames covers the nil-slice paths of
+// segmentCandidates: requests anchored on a site, cluster or host that
+// does not exist select the empty candidate set (s.bySite[v] and friends
+// return nil), so they queue instead of panicking or matching anything.
+func TestAnchoredNarrowingUnknownNames(t *testing.T) {
+	_, _, s := newServer()
+	for _, req := range []string{
+		"site='atlantis'/nodes=2,walltime=1",
+		"cluster='unobtainium'/nodes=1,walltime=1",
+		"host='ghost-1.atlantis'/nodes=1,walltime=1",
+		"site='atlantis'/nodes=ALL,walltime=1",
+	} {
+		ok, err := s.CanStartNow(req)
+		if err != nil {
+			t.Fatalf("CanStartNow(%q): %v", req, err)
+		}
+		if ok {
+			t.Fatalf("CanStartNow(%q) = true for an unknown anchor", req)
+		}
+		j, err := s.Submit(req, SubmitOptions{User: "alice"})
+		if err != nil {
+			t.Fatalf("Submit(%q): %v", req, err)
+		}
+		if j.State != Waiting {
+			t.Fatalf("Submit(%q) = %s, want Waiting (unsatisfiable)", req, j.State)
+		}
+	}
+	if sub, started, _ := s.Stats(); sub != 4 || started != 0 {
+		t.Fatalf("stats after unknown-anchor submits: submitted=%d started=%d", sub, started)
+	}
+}
+
+// TestAnchoredNarrowingEmptyValues: an anchor with an empty value
+// (site=”/...) must behave like any other unknown name — bySite[""] is a
+// nil slice, not the whole testbed.
+func TestAnchoredNarrowingEmptyValues(t *testing.T) {
+	_, _, s := newServer()
+	for _, req := range []string{
+		"site=''/nodes=1,walltime=1",
+		"cluster=''/nodes=2,walltime=1",
+		"host=''/nodes=1,walltime=1",
+	} {
+		parsed, err := ParseRequest(req)
+		if err != nil {
+			t.Fatalf("ParseRequest(%q): %v", req, err)
+		}
+		key, val := parsed.Segments[0].Anchor()
+		if key == "" || val != "" {
+			t.Fatalf("anchor of %q = (%q, %q), want a keyed empty value", req, key, val)
+		}
+		if cands := s.segmentCandidates(parsed.Segments[0]); len(cands) != 0 {
+			t.Fatalf("segmentCandidates(%q) = %d nodes, want 0", req, len(cands))
+		}
+		if s.CanStartNowReq(parsed) {
+			t.Fatalf("CanStartNowReq(%q) = true on an empty anchor", req)
+		}
+	}
+}
+
+// TestAnchoredNarrowingMatchesFullScan: for every anchored request shape,
+// the narrowed allocation must agree with what the un-anchored expression
+// would select — the anchor is an optimization, not a semantic change.
+func TestAnchoredNarrowingMatchesFullScan(t *testing.T) {
+	_, tb, s := newServer()
+	// An AND chain anchored on site narrows to the site but still applies
+	// the rest of the expression.
+	j, err := s.Submit("site='lyon' and gpu='YES'/nodes=ALL,walltime=1", SubmitOptions{User: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Running {
+		t.Fatalf("gpu-at-lyon request = %s, want Running", j.State)
+	}
+	orion := tb.Cluster("orion") // lyon's only GPU cluster
+	if len(j.Nodes) != len(orion.Nodes) {
+		t.Fatalf("allocated %d nodes, want orion's %d", len(j.Nodes), len(orion.Nodes))
+	}
+	for _, n := range j.Nodes {
+		if node := tb.Node(n); node == nil || node.Cluster != "orion" {
+			t.Fatalf("node %s is not in orion", n)
+		}
+	}
+	// Under OR the site constraint is no longer necessary: no anchor, full
+	// scan, and nodes outside lyon may match.
+	parsed := MustParseRequest("site='lyon' or site='nancy'/nodes=1,walltime=1")
+	if key, val := parsed.Segments[0].Anchor(); key != "" || val != "" {
+		t.Fatalf("OR expression anchored to (%q, %q)", key, val)
+	}
+	if got := len(s.segmentCandidates(parsed.Segments[0])); got != tb.TotalNodes() {
+		t.Fatalf("OR candidates = %d, want full scan %d", got, tb.TotalNodes())
+	}
+}
