@@ -3,7 +3,7 @@ GO ?= go
 # Benchmarks whose ns_per_op / allocs_per_op are gated by bench-check.
 TRACKED_BENCHES = BenchmarkE2_,BenchmarkE9_,BenchmarkE12_,BenchmarkE13_,BenchmarkE14_,BenchmarkE15_,BenchmarkE16_,BenchmarkE17_
 
-.PHONY: all build vet fmt-check test race stress fed-check bench bench-check check
+.PHONY: all build vet lint fmt-check test race stress fed-check bench bench-check check
 
 all: check
 
@@ -12,6 +12,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repository's own static-analysis suite (cmd/g5kvet): five
+# analyzers enforcing the simulator's determinism and concurrency
+# invariants — walltime, globalrand, maporder, atomicfield, baregoroutine —
+# over every non-test source. A finding fails the build unless a
+# //g5k:allow <analyzer> <reason> directive suppresses it; reasonless or
+# mistargeted directives are findings themselves.
+lint:
+	$(GO) run ./cmd/g5kvet ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -50,4 +59,4 @@ bench-check:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	$(GO) run ./cmd/benchjson -o bench-check.json -compare BENCH_results.json -max-regress 20% -track $(TRACKED_BENCHES) < bench.out; st=$$?; rm -f bench.out; exit $$st
 
-check: build vet fmt-check race
+check: build vet lint fmt-check race

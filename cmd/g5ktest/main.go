@@ -28,11 +28,9 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/federation"
-	"repro/internal/sched"
 	"repro/internal/simclock"
 	"repro/internal/status"
 )
@@ -83,14 +81,8 @@ func main() {
 	fmt.Print(indent(f.Bugs.Report()))
 
 	fmt.Println("scheduler decisions:")
-	counts := f.Sched.DecisionCounts()
-	actions := make([]string, 0, len(counts))
-	for action := range counts {
-		actions = append(actions, string(action))
-	}
-	sort.Strings(actions)
-	for _, action := range actions {
-		fmt.Printf("  %-24s %d\n", action, counts[sched.Action(action)])
+	for _, ac := range f.Sched.DecisionCountsSorted() {
+		fmt.Printf("  %-24s %d\n", ac.Action, ac.Count)
 	}
 
 	// Serve the CI REST API on a loopback listener and render the status

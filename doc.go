@@ -50,6 +50,17 @@
 //   - internal/ci — the Jenkins-like automation server
 //   - internal/testbed, refapi, oar, kadeploy, kavlan, monitor, checks,
 //     faults, bugs — the simulated substrate
+//   - internal/lint — the custom static-analysis suite (cmd/g5kvet is
+//     the driver, `make lint` the entry point): five analyzers on a
+//     dependency-free go/analysis-style framework that statically
+//     enforce the determinism and concurrency invariants everything
+//     above relies on — walltime (no wall-clock reads in simulation
+//     packages), globalrand (no process-global math/rand), maporder (no
+//     map-iteration order leaking into slices or emitted output),
+//     atomicfield (all-or-nothing sync/atomic per struct field) and
+//     baregoroutine (in-sim goroutines go through the simclock run
+//     token). Findings are suppressed only by a //g5k:allow <analyzer>
+//     <reason> directive; the reason is mandatory
 //
 // bench_test.go at the repository root regenerates every quantitative
 // claim of the paper (E1–E10, plus E11–E17 added by this reproduction:

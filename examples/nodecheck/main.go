@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/checks"
 	"repro/internal/faults"
@@ -52,8 +53,13 @@ func main() {
 		return inv.Disks[0].Firmware
 	})
 	fmt.Printf("\ndisk firmware homogeneity on griffon: %d distinct versions\n", len(byFW))
-	for fw, nodes := range byFW {
-		fmt.Printf("  %-14s %d node(s)\n", fw, len(nodes))
+	firmwares := make([]string, 0, len(byFW))
+	for fw := range byFW {
+		firmwares = append(firmwares, fw)
+	}
+	sort.Strings(firmwares)
+	for _, fw := range firmwares {
+		fmt.Printf("  %-14s %d node(s)\n", fw, len(byFW[fw]))
 	}
 
 	// Archive: fix the RAM, re-capture, and ask for the old state.

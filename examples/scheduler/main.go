@@ -58,8 +58,8 @@ func main() {
 		fmt.Printf("  %-12s %-10s %s%s\n", d.At, d.Spec, d.Action, extra)
 	}
 	fmt.Println("\ndecision totals:")
-	for action, n := range scheduler.DecisionCounts() {
-		fmt.Printf("  %-24s %d\n", action, n)
+	for _, ac := range scheduler.DecisionCountsSorted() {
+		fmt.Printf("  %-24s %d\n", ac.Action, ac.Count)
 	}
 	for _, st := range scheduler.Stats() {
 		fmt.Printf("\nspec %s: %d triggers, %d completed runs, %d unstable, backoff now %v\n",

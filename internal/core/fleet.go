@@ -169,6 +169,7 @@ func RunFleet(cfg FleetConfig) *FleetResult {
 	var wg sync.WaitGroup
 	for w := 0; w < parallel; w++ {
 		wg.Add(1)
+		//g5k:allow baregoroutine fleet workers run whole campaigns that share nothing; each outcome is a pure function of its seed (E14 gate)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {

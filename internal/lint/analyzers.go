@@ -1,0 +1,22 @@
+package lint
+
+// All returns the full analyzer suite, in the order g5kvet runs it.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WallTime,
+		GlobalRand,
+		MapOrder,
+		AtomicField,
+		BareGoroutine,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity per struct field: a field
+// passed to a sync/atomic function anywhere in the package must be
+// accessed through sync/atomic everywhere in the package. A single plain
+// read of the gateway's per-endpoint counters would race with the atomic
+// writers — a data race the race detector only catches on schedules that
+// exercise it, while this check catches it on every make lint. Fields of
+// the typed atomic.Int64/Bool/... kinds are safe by construction and need
+// no analysis; this protects the plain-integer-plus-atomic-calls style.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a struct field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run: func(pass *Pass) {
+		// Pass 1: collect fields that appear as &x.f arguments to
+		// sync/atomic calls, and remember those exact selector nodes as
+		// sanctioned.
+		atomicFields := map[*types.Var]token.Position{}
+		sanctioned := map[*ast.SelectorExpr]bool{}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[callee.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if sel, field := pass.fieldAddr(arg); field != nil {
+						if _, seen := atomicFields[field]; !seen {
+							atomicFields[field] = pass.Fset.Position(sel.Pos())
+						}
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+		if len(atomicFields) == 0 {
+			return
+		}
+		// Pass 2: any other access to those fields is a racy mixed access.
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				field := pass.fieldOf(sel)
+				if field == nil {
+					return true
+				}
+				first, ok := atomicFields[field]
+				if !ok {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"non-atomic access to field %s, which is accessed via sync/atomic at %s; mixed access races",
+					field.Name(), first)
+				return true
+			})
+		}
+	},
+}
+
+// fieldAddr unwraps &x.f (with any parenthesization) and returns the
+// selector and the struct field it addresses, or nil when arg is not an
+// address of a field selection.
+func (p *Pass) fieldAddr(arg ast.Expr) (*ast.SelectorExpr, *types.Var) {
+	arg = ast.Unparen(arg)
+	unary, ok := arg.(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	return sel, p.fieldOf(sel)
+}
+
+// fieldOf returns the struct field a selector expression selects, or nil.
+func (p *Pass) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

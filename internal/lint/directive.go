@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment, in the standard Go
+// directive form (no space after //):
+//
+//	//g5k:allow <analyzer> <reason...>
+//
+// The directive suppresses findings of the named analyzer on its own line
+// and on the line directly below it (so it can trail the offending
+// statement or sit on the line above). The reason is mandatory.
+const directivePrefix = "//g5k:allow"
+
+// A Directive is one parsed //g5k:allow comment.
+type Directive struct {
+	Pos      token.Position
+	Analyzer string // "" when the directive names no analyzer
+	Reason   string // "" when no reason was given
+
+	// Trailing records that the directive shares its line with code; a
+	// trailing directive covers only that line, while a standalone one
+	// covers the line below it.
+	Trailing bool
+}
+
+// Valid reports whether the directive can suppress anything at all: it
+// must name an analyzer and carry a reason.
+func (d Directive) Valid() bool { return d.Analyzer != "" && d.Reason != "" }
+
+// Directives extracts every //g5k:allow comment from the files.
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		code := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue // e.g. //g5k:allowance — not our directive
+				}
+				d := Directive{Pos: fset.Position(c.Pos())}
+				d.Trailing = code[d.Pos.Line]
+				fields := strings.Fields(text)
+				if len(fields) > 0 {
+					d.Analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// codeLines reports which lines of the file carry non-comment tokens, by
+// marking the start and end line of every syntax node. Comments (including
+// doc comments) are skipped, so a directive on its own line stays
+// standalone even when the parser attaches it to the declaration below.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return false
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// Suppress drops the diagnostics covered by a valid matching directive: an
+// allow for the same analyzer, in the same file, on the diagnostic's line
+// or the line above. Invalid directives (missing reason, wrong analyzer)
+// suppress nothing, so the finding survives.
+func Suppress(diags []Diagnostic, directives []Directive) []Diagnostic {
+	if len(directives) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range directives {
+			if dir.Valid() && dir.Analyzer == d.Analyzer &&
+				dir.Pos.Filename == d.Pos.Filename &&
+				(dir.Pos.Line == d.Pos.Line ||
+					(!dir.Trailing && dir.Pos.Line == d.Pos.Line-1)) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CheckDirectives reports malformed //g5k:allow directives: a missing
+// reason (suppression must be accountable) or an analyzer name that no
+// registered analyzer carries (most likely a typo silently suppressing
+// nothing). Names are checked against the union of the passed analyzers
+// and the full registry, so running a subset (g5kvet -analyzers) does not
+// misreport directives aimed at valid but unselected analyzers.
+func CheckDirectives(analyzers []*Analyzer, pkg *Package) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, dir := range Directives(pkg.Fset, pkg.Files) {
+		switch {
+		case dir.Analyzer == "":
+			out = append(out, Diagnostic{Pos: dir.Pos, Analyzer: "directive",
+				Message: "//g5k:allow names no analyzer (want //g5k:allow <analyzer> <reason>)"})
+		case !known[dir.Analyzer]:
+			out = append(out, Diagnostic{Pos: dir.Pos, Analyzer: "directive",
+				Message: "//g5k:allow names unknown analyzer " + dir.Analyzer})
+		case dir.Reason == "":
+			out = append(out, Diagnostic{Pos: dir.Pos, Analyzer: "directive",
+				Message: "//g5k:allow " + dir.Analyzer + " has no reason; suppressions must say why"})
+		}
+	}
+	return out
+}

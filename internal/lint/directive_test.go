@@ -1,0 +1,150 @@
+package lint_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wallSrcWith builds a one-violation fixture with an arbitrary comment
+// line directly above the offending statement.
+func wallSrcWith(directive string) string {
+	return fmt.Sprintf(`package fixture
+
+import "time"
+
+func f() {
+	%s
+	_ = time.Now()
+}
+`, directive)
+}
+
+func loadSrc(t *testing.T, src string) *lint.Package {
+	t.Helper()
+	pkg, err := lint.LoadFixtureSource(src, simPkgPath)
+	if err != nil {
+		t.Fatalf("loading source: %v", err)
+	}
+	return pkg
+}
+
+// The suppression contract: a directive suppresses only with the right
+// analyzer name AND a reason; anything less leaves the finding reported.
+func TestAllowDirectiveSuppression(t *testing.T) {
+	cases := []struct {
+		name      string
+		directive string
+		findings  int
+	}{
+		{"accepted with reason", "//g5k:allow walltime startup banner, not sim time", 0},
+		{"reason missing", "//g5k:allow walltime", 1},
+		{"analyzer mismatch", "//g5k:allow maporder reason aimed at the wrong analyzer", 1},
+		{"analyzer missing", "//g5k:allow", 1},
+		{"unknown analyzer", "//g5k:allow walltimer close but no", 1},
+		{"not a directive", "// g5k:allow walltime a space disarms the directive form", 1},
+		{"unrelated comment", "// plain comment", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := loadSrc(t, wallSrcWith(tc.directive))
+			diags := lint.Run(lint.WallTime, pkg)
+			if len(diags) != tc.findings {
+				t.Errorf("%d findings, want %d: %v", len(diags), tc.findings, diags)
+			}
+		})
+	}
+}
+
+// A trailing directive on the offending line suppresses too, and the
+// suppression does not bleed past the next line.
+func TestAllowDirectivePlacement(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func f() {
+	_ = time.Now() //g5k:allow walltime trailing form
+	_ = time.Now()
+}
+`
+	pkg := loadSrc(t, src)
+	diags := lint.Run(lint.WallTime, pkg)
+	if len(diags) != 1 {
+		t.Fatalf("%d findings, want exactly the unsuppressed second line: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 7 {
+		t.Errorf("finding at line %d, want line 7", diags[0].Pos.Line)
+	}
+}
+
+// Malformed directives are findings in their own right: a missing reason
+// or an unknown analyzer name is a suppression that silently does
+// nothing, which is exactly what must not merge.
+func TestCheckDirectives(t *testing.T) {
+	src := `package fixture
+
+//g5k:allow walltime a good reason
+//g5k:allow walltime
+//g5k:allow walltimer typo in the analyzer name
+//g5k:allow
+func f() {}
+`
+	pkg := loadSrc(t, src)
+	diags := lint.CheckDirectives(lint.All(), pkg)
+	if len(diags) != 3 {
+		t.Fatalf("%d directive findings, want 3: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "directive" {
+			t.Errorf("finding %v should come from the directive checker", d)
+		}
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{"has no reason", "unknown analyzer walltimer", "names no analyzer"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("directive findings missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// Running a subset of analyzers (g5kvet -analyzers) must not misreport a
+// directive aimed at a registered but unselected analyzer: the known-name
+// set is the full registry, not the run set.
+func TestCheckDirectivesAgainstFullRegistry(t *testing.T) {
+	src := `package fixture
+
+//g5k:allow baregoroutine sanctioned elsewhere; maporder-only run must not flag this
+func f() {}
+`
+	pkg := loadSrc(t, src)
+	if diags := lint.CheckDirectives([]*lint.Analyzer{lint.MapOrder}, pkg); len(diags) != 0 {
+		t.Errorf("subset run misreported a registry-known analyzer: %v", diags)
+	}
+}
+
+// RunAll folds analyzer findings and directive findings together, sorted
+// by position.
+func TestRunAllMergesDirectiveFindings(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+//g5k:allow walltime
+func f() { _ = time.Now() }
+`
+	pkg := loadSrc(t, src)
+	diags := lint.RunAll(lint.All(), []*lint.Package{pkg})
+	if len(diags) != 2 {
+		t.Fatalf("%d findings, want walltime + malformed directive: %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "directive" || diags[1].Analyzer != "walltime" {
+		t.Errorf("unexpected finding order/identity: %v", diags)
+	}
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/oar"
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList invokes `go list -export -deps -json` in dir. -export compiles
+// the listed packages (and their dependencies) into the build cache and
+// reports each one's export-data file, which is what lets the analyzers
+// type-check offline with the pure standard library: imports resolve from
+// compiler export data exactly as x/tools' go/packages would, but without
+// the dependency.
+func goList(dir string, patterns ...string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from a path → export-data file index.
+// One instance caches the *types.Package per import path, so loading many
+// packages reads each dependency's export data once.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load parses and type-checks the module packages matching patterns
+// (relative to dir), in the order `go list` reports them. Only non-test
+// sources are analyzed: the determinism invariants protect shipped
+// simulation code, while tests routinely measure wall time and spawn raw
+// goroutines as part of exercising it.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:  p.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}
+
+// Fixture loading: analyzer tests type-check testdata packages (and
+// inline source strings) against the standard library only. The export
+// index for std dependencies is built once per process and grown on
+// demand.
+var fixtures struct {
+	mu      sync.Mutex
+	fset    *token.FileSet
+	exports map[string]string
+	imp     types.Importer
+}
+
+// checkFixtureFiles type-checks already-parsed fixture files under the
+// given import path, resolving their (standard-library) imports via
+// `go list -export`.
+func checkFixtureFiles(fset *token.FileSet, files []*ast.File, pkgPath string) (*Package, error) {
+	fixtures.mu.Lock()
+	defer fixtures.mu.Unlock()
+	if fixtures.exports == nil {
+		fixtures.exports = map[string]string{}
+	}
+	var missing []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path := importPathOf(spec)
+			if path == "" || path == "unsafe" {
+				continue
+			}
+			if _, ok := fixtures.exports[path]; !ok {
+				missing = append(missing, path)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		listed, err := goList(".", missing...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				fixtures.exports[p.ImportPath] = p.Export
+			}
+		}
+		// The importer caches by path against one FileSet; invalidate it so
+		// the next check sees the grown index.
+		fixtures.imp = nil
+	}
+	if fixtures.imp == nil || fixtures.fset != fset {
+		fixtures.fset = fset
+		fixtures.imp = exportImporter(fset, fixtures.exports)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: fixtures.imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %v", pkgPath, err)
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadFixtureDir parses and type-checks every .go file in dir as one
+// package with the given import path. Fixtures live under testdata/, which
+// the go tool ignores, so violations seeded there never break the build.
+func LoadFixtureDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no fixture files in %s", dir)
+	}
+	return checkFixtureFiles(fset, files, pkgPath)
+}
+
+// LoadFixtureSource parses and type-checks one in-memory source file as a
+// package with the given import path.
+func LoadFixtureSource(src, pkgPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return checkFixtureFiles(fset, []*ast.File{f}, pkgPath)
+}
+
+func importPathOf(spec *ast.ImportSpec) string {
+	path := spec.Path.Value
+	if len(path) >= 2 {
+		return path[1 : len(path)-1]
+	}
+	return ""
+}

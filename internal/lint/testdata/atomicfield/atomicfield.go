@@ -1,0 +1,44 @@
+// Seeded violations for the atomicfield analyzer: a field touched through
+// sync/atomic anywhere must be touched atomically everywhere; typed
+// atomics and plain-only fields stay silent.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	cold int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	c.cold++ // plain-only field: not flagged
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.hits // want `non-atomic access to field hits`
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want `non-atomic access to field hits`
+}
+
+func leak(c *counter) *int64 {
+	return &c.hits // want `non-atomic access to field hits`
+}
+
+func swap(c *counter) int64 {
+	return atomic.SwapInt64(&c.hits, 0)
+}
+
+// Typed atomics are safe by construction and need no analysis.
+type typed struct{ n atomic.Int64 }
+
+func (t *typed) ok() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}

@@ -1,0 +1,26 @@
+// Seeded violations for the baregoroutine analyzer: raw go statements in
+// a simulation package, with the //g5k:allow escape hatch for the
+// sanctioned share-nothing pools.
+package fixture
+
+import "sync"
+
+func spawn(work func()) {
+	go work() // want `bare go statement in a simulation package`
+}
+
+func pool(jobs []func()) {
+	var wg sync.WaitGroup
+	for range jobs {
+		wg.Add(1)
+		go func() { // want `bare go statement in a simulation package`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func sanctionedPool(work func()) {
+	//g5k:allow baregoroutine fixture: share-nothing worker, outcome independent of schedule
+	go work()
+}

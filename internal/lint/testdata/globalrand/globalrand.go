@@ -1,0 +1,32 @@
+// Seeded violations for the globalrand analyzer: package-level math/rand
+// draws (v1 and v2) are flagged everywhere; seeded *rand.Rand streams and
+// the constructors that build them are the sanctioned path.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func roll() int {
+	return rand.Intn(6) // want `math/rand\.Intn draws from the process-global random source`
+}
+
+func noise() float64 {
+	x := rand.Float64()                // want `math/rand\.Float64 draws from the process-global random source`
+	rand.Shuffle(1, func(i, j int) {}) // want `math/rand\.Shuffle draws from the process-global random source`
+	return x
+}
+
+func v2roll() int {
+	return randv2.IntN(6) // want `math/rand/v2\.IntN draws from the process-global random source`
+}
+
+// pick references a global draw as a function value; still a violation.
+var pick = rand.Int63 // want `math/rand\.Int63 draws from the process-global random source`
+
+// seeded streams and their constructors are the sanctioned path.
+func sanctioned(stream *rand.Rand) int {
+	fresh := rand.New(rand.NewSource(42))
+	return stream.Intn(6) + fresh.Intn(6)
+}

@@ -1,0 +1,101 @@
+// Seeded violations for the maporder analyzer: map-iteration order
+// leaking into slices and emitted output, next to the collect-sort-emit
+// shapes that must stay legal.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys accumulates in map-iteration order`
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf emits output while ranging over a map`
+	}
+}
+
+func buildReport(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `strings\.Builder\.WriteString emits output while ranging over a map`
+	}
+	return sb.String()
+}
+
+type merged struct{ families []string }
+
+func intoStruct(famSet map[string]bool, out *merged) {
+	for fam := range famSet {
+		out.families = append(out.families, fam) // want `out\.families accumulates in map-iteration order`
+	}
+}
+
+func intoStructSorted(famSet map[string]bool, out *merged) {
+	for fam := range famSet {
+		out.families = append(out.families, fam)
+	}
+	sort.Strings(out.families)
+}
+
+type byLen []string
+
+func (b byLen) Len() int           { return len(b) }
+func (b byLen) Swap(i, j int)      { b[i], b[j] = b[j], b[i] }
+func (b byLen) Less(i, j int) bool { return len(b[i]) < len(b[j]) }
+
+func sortedViaWrapper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Sort(byLen(keys))
+	return keys
+}
+
+// Order-independent aggregation is not flagged.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A slice born and sorted inside the iteration is per-iteration state;
+// only the outer accumulation in map order is flagged.
+func perIteration(m map[string][]string) [][]string {
+	var rows [][]string
+	for _, vs := range m {
+		row := append([]string(nil), vs...)
+		sort.Strings(row)
+		rows = append(rows, row) // want `rows accumulates in map-iteration order`
+	}
+	return rows
+}
+
+// Map-to-map rebuilds are order-independent and not flagged.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+// Seeded violations for the walltime analyzer: every wall-clock read a
+// simulation package could smuggle in, plus the clock-free time APIs that
+// must stay legal and the //g5k:allow forms that must (and must not)
+// suppress.
+package fixture
+
+import "time"
+
+var bootAt = time.Now() // want `time\.Now reads the wall clock`
+
+func tick() time.Duration {
+	time.Sleep(time.Millisecond)      // want `time\.Sleep reads the wall clock`
+	elapsed := time.Since(bootAt)     // want `time\.Since reads the wall clock`
+	<-time.After(time.Microsecond)    // want `time\.After reads the wall clock`
+	t := time.NewTimer(time.Second)   // want `time\.NewTimer reads the wall clock`
+	k := time.NewTicker(time.Second)  // want `time\.NewTicker reads the wall clock`
+	_ = time.Until(time.Time{})       // want `time\.Until reads the wall clock`
+	a := time.AfterFunc(0, func() {}) // want `time\.AfterFunc reads the wall clock`
+	a.Stop()
+	t.Stop()
+	k.Stop()
+	return elapsed
+}
+
+// Conversions and explicit constructions carry no hidden clock.
+func clockFree() time.Time {
+	d := 3 * time.Second
+	_ = d.Seconds()
+	return time.Date(2017, 5, 29, 0, 0, 0, 0, time.UTC)
+}
+
+func suppressed() {
+	//g5k:allow walltime fixture: sanctioned wall-clock read with a reason
+	_ = time.Now()
+	_ = time.Now() //g5k:allow walltime fixture: trailing directive form
+}
+
+func notSuppressed() {
+	//g5k:allow walltime
+	_ = time.Now() // want `time\.Now reads the wall clock`
+	//g5k:allow globalrand reason names the wrong analyzer
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}

@@ -426,6 +426,27 @@ func (s *Scheduler) DecisionCounts() map[Action]int {
 	return out
 }
 
+// ActionCount pairs an action with its total decision count.
+type ActionCount struct {
+	Action Action
+	Count  int
+}
+
+// DecisionCountsSorted returns the aggregate ordered by action name: the
+// stable form for reports and emitted summaries, where ranging over the
+// DecisionCounts map would leak nondeterministic iteration order into the
+// output.
+func (s *Scheduler) DecisionCountsSorted() []ActionCount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ActionCount, 0, len(s.counts))
+	for a, n := range s.counts {
+		out = append(out, ActionCount{Action: a, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Action < out[j].Action })
+	return out
+}
+
 // SpecStats reports per-spec counters for analysis.
 type SpecStats struct {
 	Name      string

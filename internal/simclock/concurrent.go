@@ -40,6 +40,7 @@ func (c *Clock) Go(fn func()) {
 	c.runnable = append(c.runnable, start)
 	c.idle.Broadcast()
 	c.mu.Unlock()
+	//g5k:allow baregoroutine this IS the run-token implementation: the goroutine starts parked and only ever runs while holding the token
 	go func() {
 		<-start
 		fn()
