@@ -2,8 +2,13 @@ GO ?= go
 
 # Benchmarks whose ns_per_op / allocs_per_op are gated by bench-check.
 TRACKED_BENCHES = BenchmarkE2_,BenchmarkE9_,BenchmarkE12_,BenchmarkE13_,BenchmarkE14_,BenchmarkE15_,BenchmarkE16_,BenchmarkE17_
+# Benchmarks gated on allocs_per_op only: E18 spends its time in real
+# concurrent load generation, so its ns/op varies ±25% between runs even on
+# one machine — allocs/op is its reproducible axis (its correctness gates —
+# determinism, availability, recovery — run inside the benchmark itself).
+TRACKED_ALLOCS_BENCHES = BenchmarkE18_
 
-.PHONY: all build vet lint fmt-check test race stress fed-check bench bench-check check
+.PHONY: all build vet lint fmt-check test race stress fed-check chaos-check bench bench-check check
 
 all: check
 
@@ -44,6 +49,14 @@ stress:
 fed-check:
 	$(GO) test -race -count=1 -run 'TestFederationSerialParallelDeterminism' ./internal/federation
 
+# chaos-check runs the site-scale disaster drills under the race detector:
+# degraded-mode stepping (outage freeze, heal catch-up, partition merge
+# exclusion, serial ≡ parallel determinism mid-disaster) and the gateway's
+# degraded routing (lost sites 503 with Retry-After, merges carry the
+# degraded marker, /chaos inject/heal round trips).
+chaos-check:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/federation ./internal/gateway
+
 # bench runs the full experiment suite once and records every number
 # (ns/op, allocs/op, reproduced sim metrics) in BENCH_results.json via
 # cmd/benchjson, so perf regressions show up as reviewable diffs.
@@ -53,10 +66,12 @@ bench:
 
 # bench-check re-runs the suite and fails when a tracked benchmark's
 # ns_per_op or allocs_per_op regressed >20% against the committed
-# BENCH_results.json. It also writes the fresh numbers to bench-check.json
+# BENCH_results.json. Benchmarks whose baseline runs under 1ms skip the
+# ns gate (a single sub-ms sample at -benchtime=1x is scheduling noise;
+# allocs stay gated). It also writes the fresh numbers to bench-check.json
 # (not the committed baseline) so CI can archive them.
 bench-check:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	$(GO) run ./cmd/benchjson -o bench-check.json -compare BENCH_results.json -max-regress 20% -track $(TRACKED_BENCHES) < bench.out; st=$$?; rm -f bench.out; exit $$st
+	$(GO) run ./cmd/benchjson -o bench-check.json -compare BENCH_results.json -max-regress 20% -track $(TRACKED_BENCHES) -track-allocs $(TRACKED_ALLOCS_BENCHES) -ns-floor 1ms < bench.out; st=$$?; rm -f bench.out; exit $$st
 
 check: build vet lint fmt-check race

@@ -861,3 +861,172 @@ func BenchmarkE17_FederatedAdvance(b *testing.B) {
 	b.ReportMetric(100*merged.Merged.FirstWeek.Rate(), "first_week_pct")
 	b.ReportMetric(100*merged.Merged.LastWeek.Rate(), "last_week_pct")
 }
+
+// ---- E18: disaster availability (site-scale chaos) --------------------------
+//
+// The robustness gate over the chaos layer: a deterministic disaster
+// schedule (site outage + WAN partition) must leave serial and parallel
+// federated advances bit-identical, a live outage must cost the surviving
+// sites no availability (merged and surviving routes keep serving; only the
+// lost site answers 503-by-design with Retry-After), and healing must
+// restore full service with the lost shard caught back up to lockstep.
+
+func BenchmarkE18_DisasterAvailability(b *testing.B) {
+	chaosSites := []string{"luxembourg", "nantes", "lyon", "sophia"}
+	spec := func() []testbed.ClusterSpec {
+		want := map[string]bool{}
+		for _, s := range chaosSites {
+			want[s] = true
+		}
+		var out []testbed.ClusterSpec
+		for _, cs := range testbed.DefaultSpec {
+			if want[cs.Site] {
+				out = append(out, cs)
+			}
+		}
+		return out
+	}()
+	shardProfile := func(site string, seed int64) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.InitialFaults = 10
+		cfg.EnvMatrixPeriod = 0
+		return cfg
+	}
+	schedule := []faults.ScheduleEntry{
+		{Kind: faults.SiteOutage, Sites: []string{"lyon"}, At: simclock.Week, Duration: simclock.Week},
+		{Kind: faults.WANPartition, Sites: []string{"nantes"}, At: simclock.Week, Duration: 2 * simclock.Week},
+	}
+	runDisaster := func(workers int) *federation.Federation {
+		fed := federation.New(federation.Config{
+			Seed: 18, Workers: workers, Spec: spec, Configure: shardProfile,
+		})
+		fed.Start()
+		if err := fed.ScheduleChaos(schedule...); err != nil {
+			b.Fatalf("schedule: %v", err)
+		}
+		fed.Advance(3 * simclock.Week)
+		return fed
+	}
+
+	var surviving, lost float64
+	var tolerated int64
+	for i := 0; i < b.N; i++ {
+		// Phase 1 — fault-schedule determinism: the same disaster campaign,
+		// stepped serially and on 4 shard workers, must be bit-identical
+		// (frozen weeks, catch-up ticks, grid tickets and all).
+		fedS, fedP := runDisaster(1), runDisaster(4)
+		sumS, sumP := fedS.Summary(), fedP.Summary()
+		for k := range sumS.Sites {
+			if sumS.Sites[k] != sumP.Sites[k] {
+				b.Fatalf("site %s diverged through the disaster:\nserial:   %+v\nparallel: %+v",
+					sumS.Sites[k].Site, sumS.Sites[k], sumP.Sites[k])
+			}
+		}
+		if sumS.Merged != sumP.Merged {
+			b.Fatalf("merged summary diverged:\nserial:   %+v\nparallel: %+v", sumS.Merged, sumP.Merged)
+		}
+		if !reflect.DeepEqual(fedS.WeeklyReport(), fedP.WeeklyReport()) {
+			b.Fatal("merged weekly reports diverged through the disaster")
+		}
+		for _, sh := range fedP.Shards() {
+			if got := sh.F.Clock.Now(); got != 3*simclock.Week {
+				b.Fatalf("site %s clock = %v after heal + catch-up, want %v", sh.Site, got, 3*simclock.Week)
+			}
+		}
+
+		// Phase 2 — availability under a live outage: front a fresh
+		// federation with the gateway, take lyon down, and drive the
+		// disaster mix. Tolerated 503s (the lost site's by-design answers)
+		// are split from real errors; surviving sites must serve ≥99%
+		// without a single 503.
+		fed := federation.New(federation.Config{
+			Seed: 18, Workers: 4, Spec: spec, Configure: shardProfile,
+		})
+		fed.Start()
+		gw := gateway.ForFederation(fed)
+		gw.Advance(simclock.Week)
+		ev, err := fed.InjectGrid(faults.SiteOutage, []string{"lyon"}, 0, 0)
+		if err != nil {
+			b.Fatalf("inject: %v", err)
+		}
+		var targets []loadgen.SiteTarget
+		for _, sh := range fed.Shards() {
+			tgt := loadgen.SiteTarget{Site: sh.Site}
+			for _, cl := range sh.F.TB.Clusters() {
+				tgt.Clusters = append(tgt.Clusters, cl.Name)
+			}
+			if nodes := sh.F.TB.Nodes(); len(nodes) > 0 {
+				tgt.Nodes = []string{nodes[0].Name}
+			}
+			targets = append(targets, tgt)
+		}
+		newClient := func(int) (*http.Client, string) { return inproc.Client(gw), "http://gw.local" }
+		rep, err := loadgen.Run(loadgen.Config{
+			Workers: 4, Requests: 400, Seed: 18,
+			Mix: loadgen.DisasterMix(targets), NewClient: newClient,
+		})
+		if err != nil {
+			b.Fatalf("loadgen: %v", err)
+		}
+		if rep.Errors != 0 {
+			b.Fatalf("disaster run produced %d real errors (503-by-design should be tolerated)", rep.Errors)
+		}
+		av := rep.Availability()
+		tolerated = av.Tolerated503
+		if tolerated == 0 {
+			b.Fatal("no tolerated 503s: the outage never reached the wire")
+		}
+		surviving, lost = 1, 0
+		for _, site := range av.Sites {
+			if site.Site == "lyon" {
+				lost = site.Availability
+				if site.Tolerated503 == 0 {
+					b.Fatalf("lost site saw no 503s: %+v", site)
+				}
+				continue
+			}
+			if site.Availability < surviving {
+				surviving = site.Availability
+			}
+			if site.Tolerated503 != 0 {
+				b.Fatalf("surviving site %s answered %d × 503", site.Site, site.Tolerated503)
+			}
+		}
+		if surviving < 0.99 {
+			b.Fatalf("surviving-site availability %.4f, gate needs ≥0.99", surviving)
+		}
+		if lost < 0.99 {
+			b.Fatalf("lost-site availability %.4f (503-by-design must not count as errors)", lost)
+		}
+
+		// Phase 3 — heal and full recovery: the lost shard catches up to
+		// lockstep and a second run sees zero 503s anywhere.
+		if _, err := fed.HealGrid(ev.ID); err != nil {
+			b.Fatalf("heal: %v", err)
+		}
+		gw.Advance(simclock.Week)
+		for _, sh := range fed.Shards() {
+			if got := sh.F.Clock.Now(); got != 2*simclock.Week {
+				b.Fatalf("site %s clock = %v after heal, want %v", sh.Site, got, 2*simclock.Week)
+			}
+		}
+		rep, err = loadgen.Run(loadgen.Config{
+			Workers: 4, Requests: 200, Seed: 19,
+			Mix: loadgen.DisasterMix(targets), NewClient: newClient,
+		})
+		if err != nil {
+			b.Fatalf("recovery loadgen: %v", err)
+		}
+		if rep.Errors != 0 || rep.Tolerated503 != 0 {
+			b.Fatalf("recovery run: %d errors, %d × 503 (want 0, 0)", rep.Errors, rep.Tolerated503)
+		}
+		if fed.Degraded() {
+			b.Fatal("federation still degraded after heal")
+		}
+	}
+	b.ReportMetric(100*surviving, "surviving_availability_pct")
+	b.ReportMetric(100*lost, "lost_site_availability_pct")
+	b.ReportMetric(float64(tolerated), "tolerated_503")
+	b.ReportMetric(float64(len(chaosSites)), "sites")
+	b.ReportMetric(float64(len(schedule)), "grid_events")
+}

@@ -46,6 +46,8 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON to gate regressions against")
 	maxRegress := flag.String("max-regress", "20%", "maximum allowed ns_per_op / allocs_per_op regression vs the baseline")
 	track := flag.String("track", "", "comma-separated benchmark name prefixes to gate (default: every benchmark present in both)")
+	trackAllocs := flag.String("track-allocs", "", "benchmark name prefixes gated on allocs_per_op only (wall-clock-dominated benchmarks whose ns/op is not reproducible)")
+	nsFloor := flag.Duration("ns-floor", 0, "skip ns_per_op gating for benchmarks whose baseline is below this duration (single-iteration sub-floor samples are scheduling noise); allocs_per_op stays gated")
 	flag.Parse()
 
 	results := map[string]*Result{}
@@ -119,7 +121,7 @@ func main() {
 	}
 
 	if *compare != "" {
-		if err := compareBaseline(results, *compare, *maxRegress, *track); err != nil {
+		if err := compareBaseline(results, *compare, *maxRegress, *track, *trackAllocs, float64(*nsFloor)); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -131,8 +133,14 @@ func main() {
 // allowed fraction fails. Improvements (and new benchmarks absent from the
 // baseline) pass. allocs_per_op is deterministic; ns_per_op is wall-clock,
 // so the gate assumes baseline and run happen on comparable hardware (CI
-// regenerates both on the same runner class).
-func compareBaseline(results map[string]*Result, path, maxRegress, track string) error {
+// regenerates both on the same runner class). Benchmarks matching
+// trackAllocs gate allocs_per_op only — their ns/op is dominated by real
+// concurrent wall-clock work (load generation) and is not reproducible
+// even on one machine. Benchmarks whose baseline ns_per_op is below
+// nsFloor also skip the ns gate: at -benchtime=1x they are a single
+// sub-floor sample, and one scheduler preemption swings them far past any
+// sane regression threshold. Their allocs_per_op stays gated.
+func compareBaseline(results map[string]*Result, path, maxRegress, track, trackAllocs string, nsFloor float64) error {
 	frac, err := parsePercent(maxRegress)
 	if err != nil {
 		return err
@@ -145,24 +153,30 @@ func compareBaseline(results map[string]*Result, path, maxRegress, track string)
 	if err := json.Unmarshal(raw, &baseline); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
-	var prefixes []string
-	if track != "" {
-		for _, p := range strings.Split(track, ",") {
+	splitPrefixes := func(list string) []string {
+		var out []string
+		for _, p := range strings.Split(list, ",") {
 			if p = strings.TrimSpace(p); p != "" {
-				prefixes = append(prefixes, p)
+				out = append(out, p)
 			}
 		}
+		return out
 	}
-	tracked := func(name string) bool {
-		if len(prefixes) == 0 {
-			return true
-		}
+	matches := func(name string, prefixes []string) bool {
 		for _, p := range prefixes {
 			if strings.HasPrefix(name, p) {
 				return true
 			}
 		}
 		return false
+	}
+	prefixes := splitPrefixes(track)
+	allocPrefixes := splitPrefixes(trackAllocs)
+	tracked := func(name string) bool {
+		if len(prefixes) == 0 && len(allocPrefixes) == 0 {
+			return true
+		}
+		return matches(name, prefixes) || matches(name, allocPrefixes)
 	}
 
 	names := make([]string, 0, len(baseline))
@@ -183,13 +197,17 @@ func compareBaseline(results map[string]*Result, path, maxRegress, track string)
 		}
 		checked++
 		old := baseline[name]
-		for _, m := range []struct {
+		gated := []struct {
 			what     string
 			old, cur float64
 		}{
 			{"ns_per_op", old.NsPerOp, cur.NsPerOp},
 			{"allocs_per_op", old.AllocsPerOp, cur.AllocsPerOp},
-		} {
+		}
+		if matches(name, allocPrefixes) || old.NsPerOp < nsFloor {
+			gated = gated[1:]
+		}
+		for _, m := range gated {
 			if m.old <= 0 {
 				continue
 			}

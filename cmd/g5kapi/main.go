@@ -24,6 +24,19 @@
 //
 //	g5kapi -loadgen [-workers 4] [-requests 20000] [-mix default|scrape|submit]
 //	g5kapi -loadgen -shards    # site-pinned federated mix
+//
+// With -shards, -chaos arms a deterministic disaster schedule against the
+// federated campaign (internal/faults.ParseSchedule syntax):
+//
+//	g5kapi -shards -chaos "outage:lyon@1w+1w,partition:nantes@2w+1w"
+//	g5kapi -shards -chaos "outage:lyon@1w" -loadgen   # disaster mix + availability report
+//
+// Scheduled events fire as the pre-serve campaign advances: downed sites
+// freeze at the federation barrier (their routes answer 503 with
+// Retry-After), partitioned sites drop out of merged views, and heals
+// replay the missed time deterministically. In -loadgen mode the scenario
+// mix switches to the disaster mix and an availability report (overall and
+// per site, 503-by-design split from real errors) is printed.
 package main
 
 import (
@@ -35,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/federation"
 	"repro/internal/gateway"
 	"repro/internal/inproc"
@@ -51,6 +65,7 @@ func main() {
 	step := flag.Duration("step", 10*time.Minute, "simulated time advanced per wall second in -live mode")
 	shards := flag.Bool("shards", false, "federate the campaign: one per-site shard behind per-shard gateway locks")
 	fedWorkers := flag.Int("shard-workers", 0, "shards advanced concurrently (0 = GOMAXPROCS; -shards only)")
+	chaos := flag.String("chaos", "", `disaster schedule, e.g. "outage:lyon@1w+1w,maintenance:nancy+rennes@2w+1w" (-shards only)`)
 	runLoad := flag.Bool("loadgen", false, "run the load generator against an in-process gateway and exit")
 	workers := flag.Int("workers", 4, "loadgen: concurrent client workers")
 	requests := flag.Int("requests", 20000, "loadgen: total scenario iterations")
@@ -63,20 +78,48 @@ func main() {
 	if *shards {
 		fed := federation.New(federation.Config{Seed: *seed, Workers: *fedWorkers})
 		fed.Start()
+		if *chaos != "" {
+			entries, err := faults.ParseSchedule(*chaos)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "g5kapi: -chaos: %v\n", err)
+				os.Exit(1)
+			}
+			if err := fed.ScheduleChaos(entries...); err != nil {
+				fmt.Fprintf(os.Stderr, "g5kapi: -chaos: %v\n", err)
+				os.Exit(1)
+			}
+			log.Printf("chaos schedule armed: %d grid event(s)", len(entries))
+		}
+		// The gateway is assembled before the pre-serve advance so barrier
+		// ticks run under the per-shard gateway locks from the first week.
+		gw = gateway.ForFederation(fed)
 		log.Printf("running %d simulated weeks on %d federated site shards...",
 			*weeks, len(fed.Shards()))
-		fed.Advance(simclock.Time(*weeks) * simclock.Week)
+		gw.Advance(simclock.Time(*weeks) * simclock.Week)
 		sum := fed.Summary()
 		for _, s := range sum.Sites {
-			log.Printf("  site %-12s %s", s.Site, s.Summary)
+			marker := ""
+			if s.Down {
+				marker = "  [down]"
+			} else if s.Unreachable {
+				marker = "  [unreachable]"
+			}
+			log.Printf("  site %-12s %s%s", s.Site, s.Summary, marker)
 		}
 		log.Printf("campaign done: %s", sum)
-		gw = gateway.ForFederation(fed)
 		if *runLoad {
 			mix = loadgen.FederatedMix(federatedTargets(fed))
 			*mixName = "federated"
+			if *chaos != "" {
+				mix = loadgen.DisasterMix(federatedTargets(fed))
+				*mixName = "disaster"
+			}
 		}
 	} else {
+		if *chaos != "" {
+			fmt.Fprintln(os.Stderr, "g5kapi: -chaos requires -shards")
+			os.Exit(1)
+		}
 		cfg := core.DefaultConfig()
 		cfg.Seed = *seed
 		f := core.New(cfg)
@@ -170,6 +213,10 @@ func loadTest(gw *gateway.Gateway, mix []loadgen.Scenario, workers, requests int
 	}
 	fmt.Println()
 	fmt.Print(rep.String())
+	if mixName == "disaster" {
+		fmt.Println()
+		fmt.Print(rep.Availability().String())
+	}
 
 	fmt.Println("\ngateway metrics:")
 	m := gw.Metrics()

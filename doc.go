@@ -23,7 +23,13 @@
 //     lockstep weekly barriers — serially or across GOMAXPROCS
 //     goroutines with bit-identical per-site and merged summaries
 //     (g5ktest -federated is the CLI form; make fed-check races the
-//     determinism proof)
+//     determinism proof). Site-scale grid events (internal/faults:
+//     site-outage, wan-partition, rolling-maintenance) inject and heal
+//     deterministically off the simulated clock: downed shards freeze
+//     at the barrier and replay missed ticks on heal, partitioned
+//     shards drop out of merged reporting, and serial ≡ parallel stays
+//     bit-identical through the whole disaster (g5kapi -chaos arms a
+//     schedule; make chaos-check races the drills)
 //   - internal/gateway — the unified testbed API gateway: one
 //     http.Handler mounting read-optimized JSON endpoints over every
 //     subsystem (OAR resources/jobs/submission, the Reference API with
@@ -36,11 +42,16 @@
 //     shard, the classic paths scatter-gather federated merges, and
 //     Gateway.Advance steps each shard under its own write lock, so live
 //     serving stays coherent and one site's reads never queue behind
-//     another site's progress (g5kapi -live, -shards)
+//     another site's progress (g5kapi -live, -shards). Under grid
+//     events the gateway degrades instead of failing: routes touching a
+//     down site answer 503 with Retry-After, merges exclude lost sites
+//     behind a degraded marker (absent when healthy), and POST
+//     /chaos/inject | /chaos/heal drive events live
 //   - internal/loadgen — the workload engine: N client workers replay
 //     weighted scenario mixes (operator-dashboard, api-scraper,
-//     submit-heavy) and report throughput plus latency percentiles
-//     (g5kapi -loadgen is the CLI form)
+//     submit-heavy) and report throughput plus latency percentiles;
+//     the disaster mix splits by-design 503s from real errors and
+//     reports per-site availability (g5kapi -loadgen is the CLI form)
 //   - internal/inproc — in-process http.RoundTripper used by the status
 //     page, the gateway's internal status client and the load generator
 //     to consume HTTP APIs without a listener
@@ -63,10 +74,11 @@
 //     <reason> directive; the reason is mandatory
 //
 // bench_test.go at the repository root regenerates every quantitative
-// claim of the paper (E1–E10, plus E11–E17 added by this reproduction:
+// claim of the paper (E1–E10, plus E11–E18 added by this reproduction:
 // executor-pool scaling, parallel verification sweeps, Reference API
 // version churn, campaign-fleet scaling, API-gateway throughput scaling,
-// the mixed gateway workload, and the federated per-site shard advance —
+// the mixed gateway workload, the federated per-site shard advance, and
+// disaster availability under site-scale chaos —
 // E12/E13 exercised against deterministic k×-scale testbeds from
 // testbed.Scaled), smoke_test.go
 // runs the same experiments at reduced scale as plain tests, and

@@ -1,0 +1,68 @@
+package bugs
+
+import (
+	"sort"
+
+	"repro/internal/simclock"
+)
+
+// RollupEntry aggregates the bug reports sharing one signature across many
+// per-site trackers: the federated view of a root cause. One site outage
+// files a ticket on every surviving shard; the rollup folds that burst back
+// into a single row.
+type RollupEntry struct {
+	Signature    string
+	Title        string
+	Family       string
+	Sites        []string // sites carrying a ticket, in rollup-insertion order
+	Tickets      int      // total tickets across sites
+	Open         int      // tickets still open
+	Occurrences  int      // summed occurrence counters
+	FirstFiledAt simclock.Time
+}
+
+// RollupInto folds one site's bug list into the accumulator keyed by
+// signature. The caller aggregates across trackers by calling it once per
+// site — each call under that site's own lock — then sorts with
+// RollupSorted.
+func RollupInto(m map[string]*RollupEntry, site string, list []*Bug) {
+	for _, b := range list {
+		e := m[b.Signature]
+		if e == nil {
+			e = &RollupEntry{
+				Signature:    b.Signature,
+				Title:        b.Title,
+				Family:       b.Family,
+				FirstFiledAt: b.FiledAt,
+			}
+			m[b.Signature] = e
+		}
+		if b.FiledAt < e.FirstFiledAt {
+			e.FirstFiledAt = b.FiledAt
+		}
+		if len(e.Sites) == 0 || e.Sites[len(e.Sites)-1] != site {
+			e.Sites = append(e.Sites, site)
+		}
+		e.Tickets++
+		e.Occurrences += b.Occurrences
+		if b.State == Open {
+			e.Open++
+		}
+	}
+}
+
+// RollupSorted flattens the accumulator into a deterministic slice: widest
+// bursts first (ticket count descending), signature as the tie-break.
+func RollupSorted(m map[string]*RollupEntry) []RollupEntry {
+	out := make([]RollupEntry, 0, len(m))
+	for _, e := range m {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tickets != out[j].Tickets {
+			return out[i].Tickets > out[j].Tickets
+		}
+		return out[i].Signature < out[j].Signature
+	})
+	return out
+}

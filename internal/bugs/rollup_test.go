@@ -1,0 +1,58 @@
+package bugs
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func TestRollupFoldsBurstToOneRoot(t *testing.T) {
+	// Three per-site trackers, as a site outage produces them: the same
+	// grid signature filed on every surviving site, plus one local bug.
+	mkTracker := func(at simclock.Time, sigs ...string) *Tracker {
+		c := simclock.New(1)
+		c.RunFor(at)
+		tr := NewTracker(c)
+		for _, sig := range sigs {
+			tr.File(sig, "title for "+sig, "grid", "lyon")
+		}
+		return tr
+	}
+	a := mkTracker(simclock.Week, "site-outage:lyon")
+	b := mkTracker(2*simclock.Week, "site-outage:lyon", "site-outage:lyon") // dup = occurrence bump
+	c := mkTracker(3*simclock.Week, "disk-dying:node-7")
+	if bug := a.BySignature("site-outage:lyon"); bug != nil {
+		a.Fix(bug.ID)
+	}
+
+	m := map[string]*RollupEntry{}
+	RollupInto(m, "nancy", a.All())
+	RollupInto(m, "nantes", b.All())
+	RollupInto(m, "lyon", c.All())
+
+	out := RollupSorted(m)
+	if len(out) != 2 {
+		t.Fatalf("rollup rows = %d, want 2", len(out))
+	}
+	// Widest burst first.
+	top := out[0]
+	if top.Signature != "site-outage:lyon" || top.Tickets != 2 {
+		t.Fatalf("top row = %+v", top)
+	}
+	if !reflect.DeepEqual(top.Sites, []string{"nancy", "nantes"}) {
+		t.Fatalf("top sites = %v", top.Sites)
+	}
+	if top.Open != 1 {
+		t.Fatalf("top open = %d, want 1 (nancy's ticket fixed)", top.Open)
+	}
+	if top.Occurrences != 3 {
+		t.Fatalf("top occurrences = %d, want 3 (nantes re-filed once)", top.Occurrences)
+	}
+	if top.FirstFiledAt != simclock.Week {
+		t.Fatalf("FirstFiledAt = %v, want 1w", top.FirstFiledAt)
+	}
+	if out[1].Signature != "disk-dying:node-7" || out[1].Tickets != 1 {
+		t.Fatalf("second row = %+v", out[1])
+	}
+}

@@ -29,9 +29,12 @@ package federation
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
+	"repro/internal/bugs"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/simclock"
 	"repro/internal/testbed"
 )
@@ -77,10 +80,43 @@ type Federation struct {
 	cfg     Config
 	shards  []*Shard
 	bySite  map[string]*Shard
+	indexOf map[string]int
 	workers int
 	barrier simclock.Time
-	now     simclock.Time
 	started bool
+
+	// mu guards the federated clock and all chaos state below. Shard
+	// frameworks are never touched under mu: Advance plans a tick under the
+	// lock and executes it outside, so injecting or healing a grid event
+	// from another goroutine (the gateway's /chaos endpoints) never blocks
+	// behind a stepping shard.
+	mu  sync.Mutex
+	now simclock.Time
+
+	// behind[i] is how far shard i's clock lags the federated clock: a
+	// downed shard accrues debt each tick it sits frozen at the barrier,
+	// and repays it with catch-up ticks on heal. Negative values mean the
+	// shard ran ahead (Gateway.AdvanceSite).
+	behind []simclock.Time
+
+	// grid owns the active site-scale events; pending/pendingHeals hold
+	// the not-yet-due schedule. announced/healAnnounced track which events
+	// already had their bug tickets filed/closed in the shard trackers.
+	grid          *faults.GridInjector
+	pending       []faults.ScheduleEntry
+	pendingHeals  []pendingHeal
+	announced     map[int]bool
+	healAnnounced map[int]bool
+
+	// stepGate, when set, wraps every shard step so an embedder (the
+	// gateway) can interleave its own locking with the barrier ticks.
+	stepGate func(site string, step func())
+}
+
+// pendingHeal schedules the heal of an injected event.
+type pendingHeal struct {
+	id int
+	at simclock.Time
 }
 
 // ShardSeed derives a shard's RNG seed from the campaign seed and its site
@@ -118,10 +154,14 @@ func New(cfg Config) *Federation {
 	}
 
 	fed := &Federation{
-		cfg:     cfg,
-		bySite:  make(map[string]*Shard, len(sites)),
-		workers: cfg.Workers,
-		barrier: cfg.Barrier,
+		cfg:           cfg,
+		bySite:        make(map[string]*Shard, len(sites)),
+		indexOf:       make(map[string]int, len(sites)),
+		workers:       cfg.Workers,
+		barrier:       cfg.Barrier,
+		grid:          faults.NewGridInjector(),
+		announced:     map[int]bool{},
+		healAnnounced: map[int]bool{},
 	}
 	if fed.workers <= 0 {
 		fed.workers = runtime.GOMAXPROCS(0)
@@ -129,7 +169,7 @@ func New(cfg Config) *Federation {
 	if fed.barrier <= 0 {
 		fed.barrier = simclock.Week
 	}
-	for _, site := range sites {
+	for i, site := range sites {
 		seed := ShardSeed(cfg.Seed, site)
 		c := configure(site, seed)
 		c.Seed = seed
@@ -137,7 +177,9 @@ func New(cfg Config) *Federation {
 		sh := &Shard{Site: site, Seed: seed, F: core.New(c)}
 		fed.shards = append(fed.shards, sh)
 		fed.bySite[site] = sh
+		fed.indexOf[site] = i
 	}
+	fed.behind = make([]simclock.Time, len(fed.shards))
 	return fed
 }
 
@@ -159,9 +201,14 @@ func (fed *Federation) Sites() []string {
 	return out
 }
 
-// Now returns the federated clock: the simulated time every shard has been
-// advanced to (they finish every Advance in lockstep).
-func (fed *Federation) Now() simclock.Time { return fed.now }
+// Now returns the federated clock: the simulated time every healthy shard
+// has been advanced to (they finish every Advance in lockstep; a downed
+// shard lags by its accrued debt until it heals and catches up).
+func (fed *Federation) Now() simclock.Time {
+	fed.mu.Lock()
+	defer fed.mu.Unlock()
+	return fed.now
+}
 
 // Start arms every shard's processes (CI jobs, schedulers, faults,
 // operators, user load). Idempotent, like Framework.Start.
@@ -179,47 +226,215 @@ func (fed *Federation) Start() {
 // shards complete tick k before any shard begins tick k+1. Within a tick
 // shards step on up to Workers goroutines; because they share no state,
 // the outcome is bit-identical to the serial order.
+//
+// Chaos events interleave deterministically with the barriers: before each
+// tick the due part of the disaster schedule is applied, a shard downed by
+// an active event is frozen for the tick (it accrues clock debt instead of
+// stepping), and a healed shard repays its debt with catch-up ticks before
+// rejoining the lockstep. Because the plan for a tick is computed once
+// under the federation lock and the shards share nothing, serial and
+// parallel advances stay bit-identical even mid-disaster.
 func (fed *Federation) Advance(d simclock.Time) {
 	for d > 0 {
+		fed.mu.Lock()
 		tick := fed.barrier
 		if tick > d {
 			tick = d
 		}
-		fed.stepTick(tick)
+		plan := fed.planTickLocked(tick)
+		fed.mu.Unlock()
+		fed.runPlan(plan)
 		d -= tick
-		fed.now += tick
 	}
+	// Apply schedule entries landing exactly on the new clock so an event
+	// due at the end of this Advance is visible (down routes, degraded
+	// markers) as soon as Advance returns.
+	fed.mu.Lock()
+	fed.applyDueLocked()
+	fed.mu.Unlock()
 }
 
-// stepTick advances every shard by one tick and waits on the barrier.
-func (fed *Federation) stepTick(tick simclock.Time) {
+// shardWork is one shard's slice of a tick plan: how far to step and which
+// grid-event tickets to file or close in the shard's bug tracker first.
+type shardWork struct {
+	idx  int
+	step simclock.Time
+	file []gridTicket
+	fix  []string
+}
+
+// gridTicket is the bug-report form of a grid event, captured as plain
+// strings under the federation lock so the stepping goroutines never touch
+// live event state.
+type gridTicket struct {
+	sig, title, target string
+}
+
+// planTickLocked applies the due chaos schedule, plans every shard's work
+// for one tick and advances the federated clock. Caller holds fed.mu.
+func (fed *Federation) planTickLocked(tick simclock.Time) []shardWork {
+	fed.applyDueLocked()
+
+	// Grid events announce themselves to the shard bug trackers exactly
+	// once: a fresh event files one ticket per reachable shard (one root
+	// cause, not N node tickets), a fresh heal closes them.
+	var file []gridTicket
+	var fix []string
+	for _, e := range fed.grid.Active() {
+		if fed.announced[e.ID] {
+			continue
+		}
+		fed.announced[e.ID] = true
+		file = append(file, gridTicket{
+			sig:    e.Signature(),
+			title:  e.Title(),
+			target: strings.Join(e.Sites, "+"),
+		})
+	}
+	for _, e := range fed.grid.History() {
+		if !e.Healed || fed.healAnnounced[e.ID] {
+			continue
+		}
+		fed.healAnnounced[e.ID] = true
+		if !fed.announced[e.ID] {
+			// Healed before any shard heard of it: nothing to close.
+			fed.announced[e.ID] = true
+			continue
+		}
+		fix = append(fix, e.Signature())
+	}
+
+	plan := make([]shardWork, 0, len(fed.shards))
+	for i, sh := range fed.shards {
+		w := shardWork{idx: i}
+		if fed.grid.SiteDownAt(sh.Site, fed.now) {
+			// Frozen at the barrier: the shard skips the tick and accrues
+			// clock debt to repay on heal.
+			fed.behind[i] += tick
+		} else {
+			due := fed.behind[i] + tick
+			if due > 0 {
+				w.step = due
+				fed.behind[i] = 0
+			} else {
+				// The shard ran ahead via Gateway.AdvanceSite; let the
+				// federation clock catch up to it instead.
+				fed.behind[i] = due
+			}
+			w.file = file
+			w.fix = fix
+		}
+		if w.step > 0 || len(w.file) > 0 || len(w.fix) > 0 {
+			plan = append(plan, w)
+		}
+	}
+	fed.now += tick
+	return plan
+}
+
+// applyDueLocked injects schedule entries and heals whose time has come,
+// and self-heals exhausted rolling maintenances. Caller holds fed.mu.
+func (fed *Federation) applyDueLocked() {
+	rest := fed.pending[:0]
+	for _, e := range fed.pending {
+		if e.At > fed.now {
+			rest = append(rest, e)
+			continue
+		}
+		window := simclock.Time(0)
+		if e.Kind == faults.RollingMaintenance {
+			window = e.Duration
+		}
+		ev, err := fed.grid.Inject(e.Kind, e.Sites, e.At, window)
+		if err != nil {
+			// Entries are validated in ScheduleChaos; an error here means a
+			// site list raced a spec change, which cannot happen — drop it.
+			continue
+		}
+		if e.Kind != faults.RollingMaintenance && e.Duration > 0 {
+			fed.pendingHeals = append(fed.pendingHeals, pendingHeal{id: ev.ID, at: e.At + e.Duration})
+		}
+	}
+	fed.pending = rest
+
+	heals := fed.pendingHeals[:0]
+	for _, h := range fed.pendingHeals {
+		if h.at > fed.now {
+			heals = append(heals, h)
+			continue
+		}
+		// Ignore "not active": the event may have been healed by hand via
+		// HealGrid before its scheduled heal came due.
+		_ = fed.grid.Heal(h.id, h.at)
+	}
+	fed.pendingHeals = heals
+	fed.grid.AutoHeal(fed.now)
+}
+
+// runPlan executes one tick's plan: every planned shard files/closes its
+// grid tickets and steps its campaign, on up to Workers goroutines. Shards
+// share nothing and the plan is fixed, so worker count cannot change the
+// outcome.
+func (fed *Federation) runPlan(plan []shardWork) {
 	workers := fed.workers
-	if workers > len(fed.shards) {
-		workers = len(fed.shards)
+	if workers > len(plan) {
+		workers = len(plan)
 	}
 	if workers <= 1 {
-		for _, sh := range fed.shards {
-			sh.F.RunFor(tick)
+		for _, w := range plan {
+			fed.runShardWork(w)
 		}
 		return
 	}
-	jobs := make(chan int)
+	jobs := make(chan shardWork)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		//g5k:allow baregoroutine barrier workers step share-nothing shards; serial and parallel schedules are bit-identical (E17 gate)
+		//g5k:allow baregoroutine barrier workers step share-nothing shards; serial and parallel schedules are bit-identical (E17/E18 gates)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				fed.shards[i].F.RunFor(tick)
+			for w := range jobs {
+				fed.runShardWork(w)
 			}
 		}()
 	}
-	for i := range fed.shards {
-		jobs <- i
+	for _, w := range plan {
+		jobs <- w
 	}
 	close(jobs)
 	wg.Wait()
+}
+
+// runShardWork applies one shard's slice of a tick plan. Ticket work and
+// each catch-up chunk pass through the step gate separately, so an embedder
+// holding per-shard locks (the gateway) never blocks readers for longer
+// than one barrier tick.
+func (fed *Federation) runShardWork(w shardWork) {
+	sh := fed.shards[w.idx]
+	gate := fed.stepGate
+	if gate == nil {
+		gate = func(_ string, step func()) { step() }
+	}
+	if len(w.file) > 0 || len(w.fix) > 0 {
+		gate(sh.Site, func() {
+			for _, t := range w.file {
+				sh.F.Bugs.File(t.sig, t.title, "grid", t.target)
+			}
+			for _, sig := range w.fix {
+				if b := sh.F.Bugs.BySignature(sig); b != nil && b.State == bugs.Open {
+					sh.F.Bugs.Fix(b.ID)
+				}
+			}
+		})
+	}
+	for rest := w.step; rest > 0; {
+		chunk := fed.barrier
+		if chunk > rest {
+			chunk = rest
+		}
+		gate(sh.Site, func() { sh.F.RunFor(chunk) })
+		rest -= chunk
+	}
 }
 
 // MergeWeekly sums per-site weekly reports into one federated report:
@@ -260,40 +475,90 @@ func (fed *Federation) WeeklyReport() []core.WeekCounts {
 	return MergeWeekly(reports...)
 }
 
-// SiteSummary is one shard's slice of a federated summary.
+// SiteSummary is one shard's slice of a federated summary. The struct stays
+// comparable (==) on purpose: the determinism gates compare serial and
+// parallel site summaries with plain equality.
 type SiteSummary struct {
 	Site    string
 	Summary core.CampaignSummary
+	// Down marks a site frozen by an active outage or maintenance window;
+	// Unreachable marks one isolated by a WAN partition (still stepping,
+	// excluded from the merge until heal).
+	Down        bool
+	Unreachable bool
 }
 
 // Summary is the outcome of a federated campaign: the cross-site merge
-// plus every site's own summary (in shard order).
+// plus every site's own summary (in shard order). While the federation is
+// degraded, Merged covers only the reachable sites — the partitioned
+// groups' numbers reconcile into the merge once the events heal.
 type Summary struct {
-	Merged core.CampaignSummary
-	Sites  []SiteSummary
+	Merged           core.CampaignSummary
+	Sites            []SiteSummary
+	Degraded         bool
+	DownSites        []string
+	UnreachableSites []string
 }
 
 func (s Summary) String() string {
+	if s.Degraded {
+		return fmt.Sprintf("federation of %d sites (degraded: %d down, %d unreachable), %s",
+			len(s.Sites), len(s.DownSites), len(s.UnreachableSites), s.Merged)
+	}
 	return fmt.Sprintf("federation of %d sites, %s", len(s.Sites), s.Merged)
 }
 
 // Summary merges the shard campaigns: counters sum across sites, the
 // trend endpoints are re-selected from the merged weekly report with the
-// monolithic volume rule, and Duration is the federated clock.
+// monolithic volume rule, and Duration is the federated clock. Sites downed
+// or isolated by an active grid event are excluded from the merge (their
+// own SiteSummary still reports their numbers) until the event heals.
 func (fed *Federation) Summary() Summary {
-	out := Summary{Sites: make([]SiteSummary, len(fed.shards))}
-	out.Merged.Duration = fed.now
+	fed.mu.Lock()
+	now := fed.now
+	down := fed.downSitesLocked()
+	unreachable := fed.unreachableSitesLocked()
+	fed.mu.Unlock()
+
+	out := Summary{
+		Sites:            make([]SiteSummary, len(fed.shards)),
+		Degraded:         len(down)+len(unreachable) > 0,
+		DownSites:        down,
+		UnreachableSites: unreachable,
+	}
+	isDown := sliceSet(down)
+	isUnreachable := sliceSet(unreachable)
+	out.Merged.Duration = now
+	var mergedReports [][]core.WeekCounts
 	for i, sh := range fed.shards {
 		s := sh.F.Summary()
-		out.Sites[i] = SiteSummary{Site: sh.Site, Summary: s}
+		out.Sites[i] = SiteSummary{
+			Site:        sh.Site,
+			Summary:     s,
+			Down:        isDown[sh.Site],
+			Unreachable: isUnreachable[sh.Site],
+		}
+		if isDown[sh.Site] || isUnreachable[sh.Site] {
+			continue
+		}
 		out.Merged.Builds += s.Builds
 		out.Merged.BugsFiled += s.BugsFiled
 		out.Merged.BugsFixed += s.BugsFixed
 		out.Merged.BugsOpen += s.BugsOpen
 		out.Merged.ActiveFaults += s.ActiveFaults
+		mergedReports = append(mergedReports, sh.F.WeeklyReport())
 	}
-	out.Merged.FirstWeek, out.Merged.LastWeek = core.TrendWeeks(fed.WeeklyReport())
+	out.Merged.FirstWeek, out.Merged.LastWeek = core.TrendWeeks(MergeWeekly(mergedReports...))
 	return out
+}
+
+// sliceSet turns a site list into a membership set.
+func sliceSet(sites []string) map[string]bool {
+	m := make(map[string]bool, len(sites))
+	for _, s := range sites {
+		m[s] = true
+	}
+	return m
 }
 
 // SpecSites returns the distinct site names of a cluster specification in

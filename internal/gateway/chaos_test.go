@@ -1,0 +1,309 @@
+package gateway
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/federation"
+	"repro/internal/inproc"
+	"repro/internal/simclock"
+)
+
+// newChaosCampaign builds a three-site federation fronted by a gateway and
+// runs it one week through the barrier engine (gw.Advance delegates to the
+// federation once ForFederation wires it).
+func newChaosCampaign(t testing.TB) (*federation.Federation, *Gateway) {
+	t.Helper()
+	fed := federation.New(federation.Config{
+		Seed: 11,
+		Spec: fedSpec("luxembourg", "nantes", "lyon"),
+		Configure: func(site string, seed int64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.InitialFaults = 4
+			cfg.EnvMatrixPeriod = 0
+			return cfg
+		},
+	})
+	fed.Start()
+	gw := ForFederation(fed)
+	gw.Advance(simclock.Week)
+	return fed, gw
+}
+
+func postJSON(t *testing.T, c *http.Client, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := c.Post("http://gw.local"+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: reading body: %v", path, err)
+	}
+	return resp, b
+}
+
+// TestChaosOutageDegradedRouting is the HTTP-level disaster drill: inject a
+// site outage through the admin endpoint, prove the lost site's routes
+// answer 503 with Retry-After while surviving and merged routes keep
+// serving (with a degraded marker), then heal and prove full recovery.
+func TestChaosOutageDegradedRouting(t *testing.T) {
+	fed, gw := newChaosCampaign(t)
+	c := inproc.Client(gw)
+
+	nodesAt := map[string]int{}
+	total := 0
+	for _, sh := range fed.Shards() {
+		nodesAt[sh.Site] = sh.F.TB.TotalNodes()
+		total += sh.F.TB.TotalNodes()
+	}
+
+	// Healthy baseline: no degraded marker anywhere, /chaos reports clean.
+	resp, body := get(t, c, "/chaos")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/chaos status = %d", resp.StatusCode)
+	}
+	if st := decode[ChaosJSON](t, body); st.Degraded || len(st.Active) != 0 {
+		t.Fatalf("healthy /chaos = %+v", st)
+	}
+	resp, body = get(t, c, "/ref/inventory")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy inventory status = %d", resp.StatusCode)
+	}
+	healthyETag := resp.Header.Get("ETag")
+	if strings.Contains(healthyETag, "down") {
+		t.Fatalf("healthy ETag carries a down set: %s", healthyETag)
+	}
+
+	// Inject a lyon outage live.
+	resp, body = postJSON(t, c, "/chaos/inject", `{"kind":"outage","sites":["lyon"]}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("inject status = %d: %s", resp.StatusCode, body)
+	}
+	ev := decode[GridEventJSON](t, body)
+	if ev.ID != 1 || ev.Kind != "site-outage" || ev.Signature != "site-outage:lyon" {
+		t.Fatalf("injected event = %+v", ev)
+	}
+	if resp, _ := postJSON(t, c, "/chaos/inject", `{"kind":"outage","sites":["atlantis"]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-site inject status = %d, want 400", resp.StatusCode)
+	}
+
+	// Every site-scoped view of the lost site is 503-by-design with a
+	// Retry-After hint — GETs and the submit POST alike.
+	for _, path := range []string{
+		"/sites/lyon/oar/resources", "/sites/lyon/oar/jobs",
+		"/sites/lyon/monitor/metrics", "/sites/lyon/ref/inventory",
+		"/sites/lyon/ci/api/json",
+	} {
+		resp, _ := get(t, c, path)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s status = %d, want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s: missing Retry-After", path)
+		}
+	}
+	if resp, _ := postJSON(t, c, "/sites/lyon/oar/submit", `{"request":"nodes=1,walltime=1"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit to lost site status = %d, want 503", resp.StatusCode)
+	}
+	// So are the query-parameter spellings and anything routed to lyon.
+	if resp, _ := get(t, c, "/oar/resources?site=lyon"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("?site=lyon status = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := get(t, c, "/oar/resources?cluster=sagittaire"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("?cluster=sagittaire status = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, c, "/oar/submit", `{"request":"cluster='sagittaire'/nodes=1,walltime=1"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit anchored to lost site status = %d, want 503", resp.StatusCode)
+	}
+	lyonNode := fed.Shard("lyon").F.TB.Nodes()[0].Name
+	if resp, _ := get(t, c, "/monitor/metrics?node="+lyonNode); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("monitor on lost node status = %d, want 503", resp.StatusCode)
+	}
+	if err := gw.AdvanceSite("lyon", simclock.Hour); err == nil {
+		t.Fatal("AdvanceSite on a lost site should refuse")
+	}
+
+	// Surviving sites keep serving.
+	resp, body = get(t, c, "/sites/nantes/oar/resources")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("surviving site status = %d", resp.StatusCode)
+	}
+	if got := decode[OARResourcesJSON](t, body); len(got.Nodes) != nodesAt["nantes"] {
+		t.Fatalf("surviving site = %d nodes, want %d", len(got.Nodes), nodesAt["nantes"])
+	}
+
+	// Merged views exclude the lost shard and say so.
+	resp, body = get(t, c, "/oar/resources")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded merge status = %d", resp.StatusCode)
+	}
+	merged := decode[OARResourcesJSON](t, body)
+	if len(merged.Nodes) != total-nodesAt["lyon"] {
+		t.Fatalf("degraded merge = %d nodes, want %d", len(merged.Nodes), total-nodesAt["lyon"])
+	}
+	if merged.Degraded == nil || len(merged.Degraded.DownSites) != 1 || merged.Degraded.DownSites[0] != "lyon" {
+		t.Fatalf("degraded marker = %+v", merged.Degraded)
+	}
+	if len(merged.Degraded.SurvivingSites) != 2 {
+		t.Fatalf("surviving sites = %v", merged.Degraded.SurvivingSites)
+	}
+	resp, body = get(t, c, "/oar/jobs")
+	if resp.StatusCode != http.StatusOK || decode[OARJobsJSON](t, body).Degraded == nil {
+		t.Fatalf("merged jobs should carry the marker (status %d)", resp.StatusCode)
+	}
+	resp, body = get(t, c, "/bugs")
+	if resp.StatusCode != http.StatusOK || decode[BugsJSON](t, body).Degraded == nil {
+		t.Fatalf("merged bugs should carry the marker (status %d)", resp.StatusCode)
+	}
+	resp, body = get(t, c, "/status/grid")
+	if resp.StatusCode != http.StatusOK || decode[GridJSON](t, body).Degraded == nil {
+		t.Fatalf("status grid should carry the marker (status %d)", resp.StatusCode)
+	}
+	resp, body = get(t, c, "/status/trend")
+	if resp.StatusCode != http.StatusOK || decode[TrendJSON](t, body).Degraded == nil {
+		t.Fatalf("status trend should carry the marker (status %d)", resp.StatusCode)
+	}
+
+	// The federated inventory drops the lost section, and its ETag encodes
+	// the down set so conditional requests cannot resurrect a whole-grid
+	// body.
+	resp, body = get(t, c, "/ref/inventory")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded inventory status = %d", resp.StatusCode)
+	}
+	inv := decode[FederatedInventoryJSON](t, body)
+	if len(inv.Sites) != 2 || inv.Degraded == nil {
+		t.Fatalf("degraded inventory = %d sites, marker %+v", len(inv.Sites), inv.Degraded)
+	}
+	degradedETag := resp.Header.Get("ETag")
+	if degradedETag == healthyETag || !strings.Contains(degradedETag, "down:lyon") {
+		t.Fatalf("degraded ETag = %s (healthy %s)", degradedETag, healthyETag)
+	}
+	if resp, _ := get(t, c, "/ref/diff"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded diff status = %d", resp.StatusCode)
+	}
+
+	// The /sites listing flags the lost site.
+	resp, body = get(t, c, "/sites")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/sites status = %d", resp.StatusCode)
+	}
+	sites := decode[SitesJSON](t, body)
+	if sites.Degraded == nil {
+		t.Fatal("/sites missing degraded marker")
+	}
+	for _, s := range sites.Sites {
+		if s.Down != (s.Name == "lyon") {
+			t.Fatalf("site %s down flag = %v", s.Name, s.Down)
+		}
+	}
+
+	// A barrier week mid-outage freezes lyon and files the outage ticket on
+	// every surviving shard; the rollup folds that burst into one row.
+	gw.Advance(simclock.Week)
+	if got := fed.Shard("lyon").F.Clock.Now(); got != simclock.Week {
+		t.Fatalf("lost site clock = %v, want frozen at %v", got, simclock.Week)
+	}
+	resp, body = get(t, c, "/bugs/rollup?state=all")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rollup status = %d", resp.StatusCode)
+	}
+	rollup := decode[BugsRollupJSON](t, body)
+	var outage *BugRollupJSON
+	for i := range rollup.Rollup {
+		if rollup.Rollup[i].Signature == "site-outage:lyon" {
+			outage = &rollup.Rollup[i]
+		}
+	}
+	if outage == nil || outage.Tickets != 2 || len(outage.Sites) != 2 {
+		t.Fatalf("outage rollup row = %+v", outage)
+	}
+
+	// Heal through the admin endpoint: routes recover, the marker clears,
+	// the ETag returns to the healthy form, and the next barrier week
+	// catches the lost shard back up to lockstep.
+	resp, body = postJSON(t, c, "/chaos/heal", `{"id":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heal status = %d: %s", resp.StatusCode, body)
+	}
+	if healed := decode[ChaosHealResponse](t, body); len(healed.Healed) != 1 || !healed.Healed[0].Healed {
+		t.Fatalf("heal reply = %+v", healed)
+	}
+	if resp, _ := get(t, c, "/sites/lyon/oar/resources"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healed site status = %d", resp.StatusCode)
+	}
+	resp, body = get(t, c, "/oar/resources")
+	if merged := decode[OARResourcesJSON](t, body); merged.Degraded != nil || len(merged.Nodes) != total {
+		t.Fatalf("healed merge = %d nodes, marker %+v", len(merged.Nodes), merged.Degraded)
+	}
+	gw.Advance(simclock.Week)
+	for _, sh := range fed.Shards() {
+		if got := sh.F.Clock.Now(); got != 3*simclock.Week {
+			t.Fatalf("site %s clock = %v after heal, want %v", sh.Site, got, 3*simclock.Week)
+		}
+	}
+	resp, body = get(t, c, "/chaos")
+	st := decode[ChaosJSON](t, body)
+	if st.Degraded || len(st.Active) != 0 || len(st.History) != 1 || !st.History[0].Healed {
+		t.Fatalf("post-heal /chaos = %+v", st)
+	}
+}
+
+// TestChaosPartitionKeepsSitesServing: a WAN partition only cuts the merge
+// plane — the isolated site's own routes keep answering while merged views
+// exclude it as unreachable.
+func TestChaosPartitionKeepsSitesServing(t *testing.T) {
+	fed, gw := newChaosCampaign(t)
+	c := inproc.Client(gw)
+
+	if _, err := fed.InjectGrid("wan-partition", []string{"nantes"}, 0, 0); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if resp, _ := get(t, c, "/sites/nantes/oar/resources"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("isolated site-scoped route status = %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := get(t, c, "/oar/resources?site=nantes"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("isolated ?site= route status = %d, want 200", resp.StatusCode)
+	}
+	resp, body := get(t, c, "/oar/resources")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("merge status = %d", resp.StatusCode)
+	}
+	merged := decode[OARResourcesJSON](t, body)
+	if merged.Degraded == nil || len(merged.Degraded.UnreachableSites) != 1 ||
+		merged.Degraded.UnreachableSites[0] != "nantes" || len(merged.Degraded.DownSites) != 0 {
+		t.Fatalf("partition marker = %+v", merged.Degraded)
+	}
+	want := fed.Shard("luxembourg").F.TB.TotalNodes() + fed.Shard("lyon").F.TB.TotalNodes()
+	if len(merged.Nodes) != want {
+		t.Fatalf("partitioned merge = %d nodes, want %d", len(merged.Nodes), want)
+	}
+	resp, body = get(t, c, "/sites")
+	sites := decode[SitesJSON](t, body)
+	for _, s := range sites.Sites {
+		if s.Down {
+			t.Fatalf("site %s flagged down during a partition", s.Name)
+		}
+		if s.Unreachable != (s.Name == "nantes") {
+			t.Fatalf("site %s unreachable flag = %v", s.Name, s.Unreachable)
+		}
+	}
+	// The isolated shard still advances with the grid (partitions do not
+	// freeze clocks), and heal restores the merge.
+	gw.Advance(simclock.Week)
+	if got := fed.Shard("nantes").F.Clock.Now(); got != 2*simclock.Week {
+		t.Fatalf("isolated site clock = %v, want %v", got, 2*simclock.Week)
+	}
+	if resp, _ := postJSON(t, c, "/chaos/heal", `{"all":true}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("heal-all status = %d", resp.StatusCode)
+	}
+	resp, body = get(t, c, "/oar/resources")
+	if merged := decode[OARResourcesJSON](t, body); merged.Degraded != nil {
+		t.Fatalf("marker survived heal: %+v", merged.Degraded)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/bugs"
 	"repro/internal/ci"
 	"repro/internal/monitor"
 	"repro/internal/oar"
@@ -31,8 +32,16 @@ func secondsToSim(s float64) simclock.Time {
 
 // OARResourcesJSON is the wire form of GET /oar/resources.
 type OARResourcesJSON struct {
-	Summary map[string]int     `json:"summary"`
-	Nodes   []oar.ResourceInfo `json:"nodes"`
+	Degraded *DegradedJSON      `json:"degraded,omitempty"`
+	Summary  map[string]int     `json:"summary"`
+	Nodes    []oar.ResourceInfo `json:"nodes"`
+}
+
+// shardDown reports whether a shard's site is lost to an active grid
+// event — its routes answer 503 until heal. Label-less (monolithic) shards
+// are never down.
+func (g *Gateway) shardDown(s *shard) bool {
+	return s.site != "" && !g.siteAvailable(s.site)
 }
 
 // oarShards returns the shards carrying an OAR server.
@@ -73,12 +82,17 @@ func (g *Gateway) serveOARResources(w http.ResponseWriter, r *http.Request, fixe
 	}
 
 	var nodes []oar.ResourceInfo
+	var degraded *DegradedJSON
 	switch {
 	case site != "":
 		s := g.siteOf[site]
 		if s == nil || s.cfg.OAR == nil {
 			// The ?site= filter contract: unknown sites are a client error.
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown site %q", site))
+			return
+		}
+		if g.shardDown(s) {
+			siteUnavailable(w, site)
 			return
 		}
 		nodes = s.resourcesScoped(cluster, site)
@@ -93,14 +107,20 @@ func (g *Gateway) serveOARResources(w http.ResponseWriter, r *http.Request, fixe
 			httpError(w, http.StatusNotFound, fmt.Sprintf("no cluster %q", cluster))
 			return
 		}
+		if g.shardDown(s) {
+			siteUnavailable(w, s.site)
+			return
+		}
 		nodes = s.resourcesScoped(cluster, "")
 		if len(nodes) == 0 {
 			httpError(w, http.StatusNotFound, fmt.Sprintf("no cluster %q", cluster))
 			return
 		}
 	default:
-		// Scatter-gather over every shard, shard order (= site order).
-		for _, s := range shards {
+		// Scatter-gather over the surviving shards, shard order (= site
+		// order); lost shards are excluded and the marker says which.
+		degraded = g.degradedMarker()
+		for _, s := range g.availableShards(shards) {
 			nodes = append(nodes, s.resourcesScoped("", "")...)
 		}
 	}
@@ -108,11 +128,12 @@ func (g *Gateway) serveOARResources(w http.ResponseWriter, r *http.Request, fixe
 	for _, n := range nodes {
 		summary[n.State]++
 	}
-	writeJSON(w, OARResourcesJSON{Summary: summary, Nodes: nodes})
+	writeJSON(w, OARResourcesJSON{Degraded: degraded, Summary: summary, Nodes: nodes})
 }
 
 // OARJobsJSON is the wire form of GET /oar/jobs.
 type OARJobsJSON struct {
+	Degraded  *DegradedJSON `json:"degraded,omitempty"`
 	Submitted int           `json:"submitted"`
 	Started   int           `json:"started"`
 	Canceled  int           `json:"canceled"`
@@ -166,6 +187,10 @@ func (g *Gateway) serveOARJobs(w http.ResponseWriter, r *http.Request, only *sha
 	}
 	narrow := only != nil && shardSpansSites(only, site)
 	var out OARJobsJSON
+	if only == nil {
+		out.Degraded = g.degradedMarker()
+		shards = g.availableShards(shards)
+	}
 	for _, s := range shards {
 		fetch := limit
 		if narrow {
@@ -375,6 +400,12 @@ func (g *Gateway) serveOARSubmit(w http.ResponseWriter, r *http.Request, only *s
 			return
 		}
 	}
+	if g.shardDown(target) {
+		// Submissions routed to a lost site cannot enqueue anywhere; the
+		// client retries after heal.
+		siteUnavailable(w, target.site)
+		return
+	}
 	srv := target.cfg.OAR
 	respSite := site
 	if respSite == "" && g.federated() {
@@ -495,6 +526,10 @@ func (g *Gateway) serveMonitorMetrics(w http.ResponseWriter, r *http.Request, fi
 		// the pre-federation gateway did.
 		s = g.shards[0]
 	}
+	if g.shardDown(s) {
+		siteUnavailable(w, s.site)
+		return
+	}
 	col := s.cfg.Monitor
 	if col == nil || s.cfg.Clock == nil {
 		notConfigured(w, "monitoring")
@@ -571,35 +606,51 @@ type BugJSON struct {
 
 // BugsJSON is the wire form of GET /bugs.
 type BugsJSON struct {
-	Filed int       `json:"filed"`
-	Fixed int       `json:"fixed"`
-	Open  int       `json:"open"`
-	Bugs  []BugJSON `json:"bugs"`
+	Degraded *DegradedJSON `json:"degraded,omitempty"`
+	Filed    int           `json:"filed"`
+	Fixed    int           `json:"fixed"`
+	Open     int           `json:"open"`
+	Bugs     []BugJSON     `json:"bugs"`
 }
 
-func (g *Gateway) handleBugs(w http.ResponseWriter, r *http.Request) {
-	var shards []*shard
+// bugShards returns the shards carrying a bug tracker.
+func (g *Gateway) bugShards() []*shard {
+	var out []*shard
 	for _, s := range g.shards {
 		if s.cfg.Bugs != nil {
-			shards = append(shards, s)
+			out = append(out, s)
 		}
 	}
-	if len(shards) == 0 {
-		notConfigured(w, "bug tracker")
-		return
-	}
-	q := r.URL.Query()
-	state := q.Get("state")
+	return out
+}
+
+// parseBugState validates the ?state= filter (open unless given).
+func parseBugState(r *http.Request) (string, error) {
+	state := r.URL.Query().Get("state")
 	if state == "" {
 		state = "open"
 	}
 	if state != "open" && state != "all" {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad state %q (open|all)", state))
+		return "", fmt.Errorf("bad state %q (open|all)", state)
+	}
+	return state, nil
+}
+
+func (g *Gateway) handleBugs(w http.ResponseWriter, r *http.Request) {
+	shards := g.bugShards()
+	if len(shards) == 0 {
+		notConfigured(w, "bug tracker")
 		return
 	}
-	family := q.Get("family")
+	state, err := parseBugState(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	family := r.URL.Query().Get("family")
 	var out BugsJSON
-	for _, s := range shards {
+	out.Degraded = g.degradedMarker()
+	for _, s := range g.availableShards(shards) {
 		site := ""
 		if g.federated() {
 			site = s.site
@@ -640,10 +691,77 @@ func (g *Gateway) handleBugs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// BugRollupJSON is one row of GET /bugs/rollup: every ticket sharing a
+// signature across the surviving shards, folded into one root cause.
+type BugRollupJSON struct {
+	Signature       string   `json:"signature"`
+	Title           string   `json:"title,omitempty"`
+	Family          string   `json:"family,omitempty"`
+	Sites           []string `json:"sites"`
+	Tickets         int      `json:"tickets"`
+	Open            int      `json:"open"`
+	Occurrences     int      `json:"occurrences"`
+	FirstFiledAtSec float64  `json:"first_filed_at_sec"`
+}
+
+// BugsRollupJSON is the wire form of GET /bugs/rollup.
+type BugsRollupJSON struct {
+	Degraded *DegradedJSON   `json:"degraded,omitempty"`
+	Count    int             `json:"count"`
+	Rollup   []BugRollupJSON `json:"rollup"`
+}
+
+// handleBugsRollup serves the cross-site rollup: a site outage files one
+// ticket per surviving shard; this view folds such bursts back into one row
+// per signature, widest burst first.
+func (g *Gateway) handleBugsRollup(w http.ResponseWriter, r *http.Request) {
+	shards := g.bugShards()
+	if len(shards) == 0 {
+		notConfigured(w, "bug tracker")
+		return
+	}
+	state, err := parseBugState(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	acc := map[string]*bugs.RollupEntry{}
+	out := BugsRollupJSON{Degraded: g.degradedMarker(), Rollup: []BugRollupJSON{}}
+	for _, s := range g.availableShards(shards) {
+		site := s.site
+		if site == "" {
+			site = "local"
+		}
+		s.rlocked(func() {
+			tr := s.cfg.Bugs
+			list := tr.OpenBugs()
+			if state == "all" {
+				list = tr.All()
+			}
+			bugs.RollupInto(acc, site, list)
+		})
+	}
+	for _, e := range bugs.RollupSorted(acc) {
+		out.Rollup = append(out.Rollup, BugRollupJSON{
+			Signature:       e.Signature,
+			Title:           e.Title,
+			Family:          e.Family,
+			Sites:           e.Sites,
+			Tickets:         e.Tickets,
+			Open:            e.Open,
+			Occurrences:     e.Occurrences,
+			FirstFiledAtSec: e.FirstFiledAt.Seconds(),
+		})
+	}
+	out.Count = len(out.Rollup)
+	writeJSON(w, out)
+}
+
 // ---- status views ----------------------------------------------------------
 
 // GridJSON is the wire form of GET /status/grid.
 type GridJSON struct {
+	Degraded  *DegradedJSON                      `json:"degraded,omitempty"`
 	Families  []string                           `json:"families"`
 	Targets   []string                           `json:"targets"`
 	OKRatePct float64                            `json:"ok_rate_pct"`
@@ -674,13 +792,14 @@ func (g *Gateway) handleStatusGrid(w http.ResponseWriter, r *http.Request) {
 		notConfigured(w, "status views")
 		return
 	}
-	// Scatter: one grid per shard, each under its own gate; gather into a
-	// merged grid. Family/target spaces are disjoint across shards (each
-	// site owns its clusters), so the merge is a union.
+	// Scatter: one grid per surviving shard, each under its own gate;
+	// gather into a merged grid. Family/target spaces are disjoint across
+	// shards (each site owns its clusters), so the merge is a union.
+	degraded := g.degradedMarker()
 	merged := &status.Grid{Cells: map[string]map[string]status.CellStatus{}}
 	famSet := map[string]bool{}
 	tgtSet := map[string]bool{}
-	for _, s := range shards {
+	for _, s := range g.availableShards(shards) {
 		var grid *status.Grid
 		var err error
 		s.rlocked(func() { grid, err = s.statusClient.BuildGrid() })
@@ -713,6 +832,7 @@ func (g *Gateway) handleStatusGrid(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(merged.Targets)
 
 	out := GridJSON{
+		Degraded:  degraded,
 		Families:  merged.Families,
 		Targets:   merged.Targets,
 		OKRatePct: 100 * merged.OKRate(),
@@ -730,6 +850,7 @@ func (g *Gateway) handleStatusGrid(w http.ResponseWriter, r *http.Request) {
 
 // TrendJSON is the wire form of GET /status/trend.
 type TrendJSON struct {
+	Degraded  *DegradedJSON       `json:"degraded,omitempty"`
 	BucketSec float64             `json:"bucket_sec"`
 	Points    []status.TrendPoint `json:"points"`
 }
@@ -745,8 +866,9 @@ func (g *Gateway) handleStatusTrend(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad bucket_sec")
 		return
 	}
+	degraded := g.degradedMarker()
 	var builds []ci.BuildJSON
-	for _, s := range shards {
+	for _, s := range g.availableShards(shards) {
 		var part []ci.BuildJSON
 		var gerr error
 		s.rlocked(func() { part, gerr = s.statusClient.AllBuilds() })
@@ -760,7 +882,7 @@ func (g *Gateway) handleStatusTrend(w http.ResponseWriter, r *http.Request) {
 	if points == nil {
 		points = []status.TrendPoint{}
 	}
-	writeJSON(w, TrendJSON{BucketSec: bucket, Points: points})
+	writeJSON(w, TrendJSON{Degraded: degraded, BucketSec: bucket, Points: points})
 }
 
 // ---- small parsers ---------------------------------------------------------

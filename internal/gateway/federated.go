@@ -5,20 +5,32 @@ package gateway
 
 import (
 	"repro/internal/federation"
+	"repro/internal/simclock"
 )
 
 // ForFederation mounts one gateway shard per federation shard: each site's
 // OAR, Reference API store, monitor, bug tracker and CI server is served
-// behind that site's own lock, with the shard's Advance hook stepping only
-// its own framework. Gateway.Advance therefore steps the sites
-// concurrently under per-shard write locks, and Gateway.AdvanceSite steps
-// exactly one — reads against every other site keep flowing.
+// behind that site's own lock. Time is wired through the federation's
+// barrier engine in both directions:
+//
+//   - Gateway.Advance delegates to Federation.Advance, whose per-shard
+//     barrier ticks run under the owning gateway shard's write lock (the
+//     step gate below) — so downed shards freeze, heals replay catch-up
+//     ticks, and reads against live shards keep flowing throughout;
+//   - Gateway.AdvanceSite steps exactly one site through
+//     Federation.StepSite, which runs the shard ahead of the federated
+//     clock and lets the next Advance skip it rather than double-step.
+//
+// The federation is also installed as the gateway's chaos controller, so
+// grid events injected via POST /chaos/inject (or a schedule) drive the
+// degraded-mode routing: lost sites answer 503, merges exclude them.
 func ForFederation(fed *federation.Federation) *Gateway {
 	var shards []ShardConfig
 	for _, sh := range fed.Shards() {
 		f := sh.F
+		site := sh.Site
 		shards = append(shards, ShardConfig{
-			Site: sh.Site,
+			Site: site,
 			Config: Config{
 				Clock:   f.Clock,
 				TB:      f.TB,
@@ -27,11 +39,27 @@ func ForFederation(fed *federation.Federation) *Gateway {
 				Monitor: f.Monitor,
 				Bugs:    f.Bugs,
 				CI:      f.CI,
-				Advance: f.RunFor,
+				Advance: func(d simclock.Time) {
+					// AdvanceSite pre-checks availability and holds this
+					// shard's write lock; unknown-site cannot happen here.
+					fed.StepSite(site, d) //nolint:errcheck
+				},
 			},
 		})
 	}
 	gw := NewFederated(shards)
 	gw.SetAdvanceWorkers(fed.Workers())
+	gw.SetChaos(fed)
+	gw.SetAdvance(fed.Advance)
+	fed.SetStepGate(func(site string, step func()) {
+		s := gw.siteOf[site]
+		if s == nil {
+			step()
+			return
+		}
+		s.sim.Lock()
+		defer s.sim.Unlock()
+		step()
+	})
 	return gw
 }

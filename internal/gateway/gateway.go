@@ -20,6 +20,10 @@
 //	GET  /ref/diff         drift between two versions (?from=&to=; ETag/304)
 //	GET  /monitor/metrics  1 Hz samples (?metric=&node=&site=&from_sec=&to_sec=)
 //	GET  /bugs             bug reports (?state=open|all, ?family=F)
+//	GET  /bugs/rollup      cross-site rollup: one row per signature
+//	GET  /chaos            grid-event state: degraded set, active, history
+//	POST /chaos/inject     inject a site-scale event (outage/partition/...)
+//	POST /chaos/heal       heal one event ({"id":N}) or all ({"all":true})
 //	GET  /status/grid      family × target status matrix
 //	GET  /status/trend     historical success rate (?bucket_sec=S)
 //	GET  /metrics          per-endpoint request/error/latency counters
@@ -54,6 +58,15 @@
 // of every shard), conditional requests short-cut to 304 before any
 // snapshot is materialized or marshaled, and rendered bodies are cached
 // per version — hot reads cost two atomic counters and a map hit.
+//
+// # Degraded mode
+//
+// With a chaos controller installed (ForFederation wires the federation
+// itself), site-scale events reroute traffic instead of breaking it: the
+// site-scoped routes of a lost site answer 503 with a Retry-After hint,
+// federated merges exclude lost shards and carry a "degraded" marker naming
+// the survivors, and POST /chaos/inject|heal drive grid events live against
+// the running campaign. See chaos.go.
 package gateway
 
 import (
@@ -157,6 +170,16 @@ type Gateway struct {
 	// worker cap so live serving honours the same bound as the engine.
 	advanceWorkers int
 
+	// chaos, when set, drives degraded-mode routing: lost sites answer 503,
+	// merged views exclude them and carry a degraded marker, and the /chaos
+	// endpoints inject and heal grid events (see chaos.go).
+	chaos ChaosController
+
+	// advanceOverride, when set, replaces the per-shard fan-out of Advance —
+	// ForFederation points it at the federation's barrier engine so chaos
+	// semantics (frozen shards, catch-up ticks) apply to HTTP-driven time.
+	advanceOverride func(simclock.Time)
+
 	// Federated /ref rendered-body caches, keyed by the joined version
 	// string of all shards (see ref.go).
 	fedMu       sync.Mutex
@@ -219,6 +242,10 @@ func NewFederated(shardCfgs []ShardConfig) *Gateway {
 	g.handle("/ref/diff", http.MethodGet, g.handleRefDiff)
 	g.handle("/monitor/metrics", http.MethodGet, g.handleMonitorMetrics)
 	g.handle("/bugs", http.MethodGet, g.handleBugs)
+	g.handle("/bugs/rollup", http.MethodGet, g.handleBugsRollup)
+	g.handle("/chaos", http.MethodGet, g.handleChaos)
+	g.handle("/chaos/inject", http.MethodPost, g.handleChaosInject)
+	g.handle("/chaos/heal", http.MethodPost, g.handleChaosHeal)
 	g.handle("/status/grid", http.MethodGet, g.handleStatusGrid)
 	g.handle("/status/trend", http.MethodGet, g.handleStatusTrend)
 	g.handle("/metrics", http.MethodGet, g.handleMetrics)
@@ -254,8 +281,14 @@ func (g *Gateway) SetAdvanceWorkers(n int) { g.advanceWorkers = n }
 // steps under its own write lock, so requests against one shard proceed
 // while another is still advancing; a multi-shard advance fans the shards
 // out across up to SetAdvanceWorkers goroutines (they share no simulation
-// state). A no-op for shards assembled without an Advance hook.
+// state). A no-op for shards assembled without an Advance hook. With an
+// advance override installed (ForFederation), the external driver runs
+// instead — it reaches back into the shards through their step gates.
 func (g *Gateway) Advance(d simclock.Time) {
+	if g.advanceOverride != nil {
+		g.advanceOverride(d)
+		return
+	}
 	if len(g.shards) == 1 {
 		g.advanceShard(g.shards[0], d)
 		return
@@ -295,6 +328,9 @@ func (g *Gateway) AdvanceSite(site string, d simclock.Time) error {
 	}
 	if s.cfg.Advance == nil {
 		return fmt.Errorf("gateway: site %q has no advance hook", site)
+	}
+	if !g.siteAvailable(site) {
+		return fmt.Errorf("gateway: site %q is down", site)
 	}
 	g.advanceShard(s, d)
 	return nil

@@ -60,10 +60,25 @@ func (g *Gateway) handleRefInventory(w http.ResponseWriter, r *http.Request) {
 	case 0:
 		notConfigured(w, "reference API")
 	case 1:
+		if g.shardDown(shards[0]) {
+			siteUnavailable(w, shards[0].site)
+			return
+		}
 		g.serveShardInventory(shards[0], w, r)
 	default:
 		g.serveFederatedInventory(shards, w, r)
 	}
+}
+
+// downSetKey suffixes a federated cache/ETag key with the lost-site set, so
+// a degraded merge never serves (or matches a conditional request against)
+// a body rendered while the grid was whole, and vice versa.
+func downSetKey(d *DegradedJSON) string {
+	if d == nil {
+		return ""
+	}
+	lost := append(append([]string(nil), d.DownSites...), d.UnreachableSites...)
+	return "|down:" + strings.Join(lost, "+")
 }
 
 // serveShardInventory is the single-store path: full ?version= archive
@@ -158,9 +173,11 @@ type SiteInventoryJSON struct {
 }
 
 // FederatedInventoryJSON is the wire form of GET /ref/inventory on a
-// federated gateway: one per-site section per shard, in shard order.
+// federated gateway: one per-site section per surviving shard, in shard
+// order.
 type FederatedInventoryJSON struct {
-	Sites []SiteInventoryJSON `json:"sites"`
+	Degraded *DegradedJSON       `json:"degraded,omitempty"`
+	Sites    []SiteInventoryJSON `json:"sites"`
 }
 
 // joinedVersions snapshots every shard's version counter (each under its
@@ -185,7 +202,10 @@ func (g *Gateway) serveFederatedInventory(shards []*shard, w http.ResponseWriter
 			"archived versions are per-site; use /sites/{site}/ref/inventory?version=N")
 		return
 	}
+	degraded := g.degradedMarker()
+	shards = g.availableShards(shards)
 	key, vers := joinedVersions(shards)
+	key += downSetKey(degraded)
 	etag := `"` + key + `"`
 	w.Header().Set("ETag", etag)
 	if etagMatches(r.Header.Get("If-None-Match"), etag) {
@@ -197,7 +217,7 @@ func (g *Gateway) serveFederatedInventory(shards []*shard, w http.ResponseWriter
 	hit := g.fedInvKey == key && body != nil
 	g.fedMu.Unlock()
 	if !hit {
-		out := FederatedInventoryJSON{Sites: make([]SiteInventoryJSON, len(shards))}
+		out := FederatedInventoryJSON{Degraded: degraded, Sites: make([]SiteInventoryJSON, len(shards))}
 		for i, s := range shards {
 			var snap *refapi.Snapshot
 			s.rlocked(func() { snap = s.cfg.Ref.Version(vers[i]) })
@@ -232,10 +252,11 @@ type RefDiffJSON struct {
 }
 
 // FederatedDiffJSON is the wire form of GET /ref/diff on a federated
-// gateway: each shard's latest-step diff, in shard order.
+// gateway: each surviving shard's latest-step diff, in shard order.
 type FederatedDiffJSON struct {
-	Count int           `json:"count"`
-	Sites []RefDiffJSON `json:"sites"`
+	Degraded *DegradedJSON `json:"degraded,omitempty"`
+	Count    int           `json:"count"`
+	Sites    []RefDiffJSON `json:"sites"`
 }
 
 func (g *Gateway) handleRefDiff(w http.ResponseWriter, r *http.Request) {
@@ -244,6 +265,10 @@ func (g *Gateway) handleRefDiff(w http.ResponseWriter, r *http.Request) {
 	case 0:
 		notConfigured(w, "reference API")
 	case 1:
+		if g.shardDown(shards[0]) {
+			siteUnavailable(w, shards[0].site)
+			return
+		}
 		g.serveShardDiff(shards[0], w, r)
 	default:
 		g.serveFederatedDiff(shards, w, r)
@@ -344,8 +369,11 @@ func (g *Gateway) serveFederatedDiff(shards []*shard, w http.ResponseWriter, r *
 			"version ranges are per-site; use /sites/{site}/ref/diff?from=&to=")
 		return
 	}
+	degraded := g.degradedMarker()
+	shards = g.availableShards(shards)
 	key, vers := joinedVersions(shards)
-	etag := `"d` + key + `"`
+	key = "d" + key + downSetKey(degraded)
+	etag := `"` + key + `"`
 	w.Header().Set("ETag", etag)
 	if etagMatches(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
@@ -356,7 +384,7 @@ func (g *Gateway) serveFederatedDiff(shards []*shard, w http.ResponseWriter, r *
 	hit := g.fedDiffKey == key && body != nil
 	g.fedMu.Unlock()
 	if !hit {
-		out := FederatedDiffJSON{Sites: make([]RefDiffJSON, len(shards))}
+		out := FederatedDiffJSON{Degraded: degraded, Sites: make([]RefDiffJSON, len(shards))}
 		for i, s := range shards {
 			to := vers[i]
 			from := to - 1

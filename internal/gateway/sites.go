@@ -26,12 +26,18 @@ type SiteJSON struct {
 	Nodes    int            `json:"nodes,omitempty"`
 	Cores    int            `json:"cores,omitempty"`
 	States   map[string]int `json:"states,omitempty"`
+	// Down and Unreachable flag sites lost to an active grid event: down
+	// sites answer 503 on their scoped routes, unreachable (partitioned)
+	// sites still serve but are excluded from merged views.
+	Down        bool `json:"down,omitempty"`
+	Unreachable bool `json:"unreachable,omitempty"`
 }
 
 // SitesJSON is the wire form of GET /sites.
 type SitesJSON struct {
-	Shards int        `json:"shards"`
-	Sites  []SiteJSON `json:"sites"`
+	Shards   int           `json:"shards"`
+	Degraded *DegradedJSON `json:"degraded,omitempty"`
+	Sites    []SiteJSON    `json:"sites"`
 }
 
 // siteTopo is one site's precomputed layout: everything except node
@@ -72,11 +78,23 @@ func siteTopology(label string, tb *testbed.Testbed) []siteTopo {
 // testbed's own mutex, so this listing never queues behind any shard's
 // Advance — the property the site-pinned loadgen scenarios lean on.
 func (g *Gateway) handleSites(w http.ResponseWriter, r *http.Request) {
-	out := SitesJSON{Shards: len(g.shards)}
+	out := SitesJSON{Shards: len(g.shards), Degraded: g.degradedMarker()}
+	down := map[string]bool{}
+	unreachable := map[string]bool{}
+	if out.Degraded != nil {
+		for _, name := range out.Degraded.DownSites {
+			down[name] = true
+		}
+		for _, name := range out.Degraded.UnreachableSites {
+			unreachable[name] = true
+		}
+	}
 	for i, s := range g.shards {
 		for _, st := range s.sites {
 			entry := st.entry
 			entry.Shard = i
+			entry.Down = down[entry.Name]
+			entry.Unreachable = unreachable[entry.Name]
 			if s.cfg.TB != nil && len(st.nodes) > 0 {
 				entry.States = make(map[string]int, 2)
 				for _, name := range st.nodes {
@@ -105,6 +123,13 @@ func (g *Gateway) handleSiteScoped(w http.ResponseWriter, r *http.Request) {
 	s := g.siteOf[site]
 	if s == nil {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown site %q", site))
+		return
+	}
+	if !g.siteAvailable(site) {
+		// The site is lost to an active grid event: every scoped view of it
+		// is 503-by-design until heal. Partitioned sites do not take this
+		// path — their shard is alive, only the merge plane lost them.
+		siteUnavailable(w, site)
 		return
 	}
 	requireMethod := func(m string) bool {

@@ -1,0 +1,162 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The disaster workload: site-pinned scenarios that keep driving traffic
+// straight through a chaos window. Where the plain site scenarios treat a
+// 503 as failure, the degraded variants accept 503 + Retry-After as the
+// correct answer from a downed site — the gateway refusing politely is the
+// design working — while any other failure still counts as a real error.
+// Report.Availability then separates the two: the availability number is
+// the fraction of iterations with no real error, and the tolerated 502/503
+// tallies quantify how much of the traffic rode the degraded paths.
+
+// DegradedSiteScraper is the disaster-mode site scraper: the same read
+// pattern as SiteScraper, with 503 accepted everywhere (and 502 on the
+// monitor path, which stays legitimately flaky).
+func DegradedSiteScraper(tgt SiteTarget) Scenario {
+	base := "/sites/" + tgt.Site
+	return Scenario{
+		Name:   "disaster-scraper:" + tgt.Site,
+		Weight: 5,
+		Run: func(c *Ctx) error {
+			if err := c.Get("/sites"); err != nil {
+				return err
+			}
+			path := base + "/oar/resources"
+			if len(tgt.Clusters) > 0 && c.Rand.Intn(2) == 0 {
+				path += "?cluster=" + tgt.Clusters[c.Rand.Intn(len(tgt.Clusters))]
+			}
+			if err := c.GetAccept(path, 503); err != nil {
+				return err
+			}
+			if err := c.GetAccept(base+"/ref/inventory", 503); err != nil {
+				return err
+			}
+			if len(tgt.Nodes) > 0 {
+				node := tgt.Nodes[c.Rand.Intn(len(tgt.Nodes))]
+				mon := base + "/monitor/metrics?metric=power_w&node=" + node + "&from_sec=0&to_sec=30"
+				if err := c.GetAccept(mon, 502, 503); err != nil {
+					return err
+				}
+			}
+			return c.GetAccept(base+"/oar/jobs?limit=25", 503)
+		},
+	}
+}
+
+// DegradedSiteSubmitter is the disaster-mode submission tooling: probes and
+// submits against one site, accepting 503 from a downed shard.
+func DegradedSiteSubmitter(tgt SiteTarget) Scenario {
+	if len(tgt.Clusters) == 0 {
+		panic("loadgen: DegradedSiteSubmitter needs at least one cluster")
+	}
+	base := "/sites/" + tgt.Site
+	return Scenario{
+		Name:   "disaster-submit:" + tgt.Site,
+		Weight: 2,
+		Run: func(c *Ctx) error {
+			cl := tgt.Clusters[c.Rand.Intn(len(tgt.Clusters))]
+			probe := fmt.Sprintf(`{"request":"cluster='%s'/nodes=%d,walltime=0:30:00","dry_run":true}`,
+				cl, 1+c.Rand.Intn(4))
+			for i := 0; i < 2; i++ {
+				if err := c.PostJSONAccept(base+"/oar/submit", probe, 503); err != nil {
+					return err
+				}
+			}
+			submit := fmt.Sprintf(`{"request":"cluster='%s'/nodes=1,walltime=0:10:00","user":"loadgen"}`, cl)
+			if err := c.PostJSONAccept(base+"/oar/submit", submit, 503); err != nil {
+				return err
+			}
+			return c.GetAccept(base+"/oar/jobs?limit=10", 503)
+		},
+	}
+}
+
+// DisasterMix is the chaos-window workload: the global dashboard keeps
+// polling the merged (degraded-marked) views while per-site scrapers and
+// submitters drive every site, downed ones included.
+func DisasterMix(targets []SiteTarget) []Scenario {
+	out := []Scenario{OperatorDashboard()}
+	for _, tgt := range targets {
+		out = append(out, DegradedSiteScraper(tgt), DegradedSiteSubmitter(tgt))
+	}
+	return out
+}
+
+// SiteAvailability is one site's slice of an availability report.
+type SiteAvailability struct {
+	Site         string
+	Iterations   int
+	Errors       int
+	Tolerated502 int64
+	Tolerated503 int64
+	Availability float64 // fraction of iterations with no real error
+}
+
+// AvailabilityReport is the disaster-run verdict: success fractions overall
+// and per site, with the by-design refusals (503 + Retry-After) and flaky
+// upstreams (502) counted apart from real errors.
+type AvailabilityReport struct {
+	Overall      float64
+	Sites        []SiteAvailability
+	Tolerated502 int64
+	Tolerated503 int64
+}
+
+func (a AvailabilityReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "availability %.2f%% overall (tolerated %d × 502, %d × 503)\n",
+		100*a.Overall, a.Tolerated502, a.Tolerated503)
+	for _, s := range a.Sites {
+		fmt.Fprintf(&sb, "  %-12s %.2f%%  (%d it, %d err, %d × 502, %d × 503)\n",
+			s.Site, 100*s.Availability, s.Iterations, s.Errors, s.Tolerated502, s.Tolerated503)
+	}
+	return sb.String()
+}
+
+// Availability computes the availability view of a run: overall success
+// fraction plus one row per site, attributing each site-pinned scenario
+// (name suffix ":{site}") to its site. Scenarios without a site suffix
+// (the global dashboard) count only toward the overall number.
+func (r *Report) Availability() AvailabilityReport {
+	out := AvailabilityReport{
+		Tolerated502: r.Tolerated502,
+		Tolerated503: r.Tolerated503,
+	}
+	if r.Iterations > 0 {
+		out.Overall = 1 - float64(r.Errors)/float64(r.Iterations)
+	}
+	bySite := map[string]*SiteAvailability{}
+	var order []string
+	for _, s := range r.Scenarios {
+		i := strings.LastIndexByte(s.Name, ':')
+		if i < 0 {
+			continue
+		}
+		site := s.Name[i+1:]
+		row := bySite[site]
+		if row == nil {
+			row = &SiteAvailability{Site: site}
+			bySite[site] = row
+			order = append(order, site)
+		}
+		row.Iterations += s.Iterations
+		row.Errors += s.Errors
+		row.Tolerated502 += s.Tolerated502
+		row.Tolerated503 += s.Tolerated503
+	}
+	sort.Strings(order)
+	for _, site := range order {
+		row := bySite[site]
+		if row.Iterations > 0 {
+			row.Availability = 1 - float64(row.Errors)/float64(row.Iterations)
+		}
+		out.Sites = append(out.Sites, *row)
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"net/http"
+	"testing"
+)
+
+// degradedStub answers like a gateway mid-outage: one path serves, one is
+// 503-by-design with Retry-After, one is a flaky 502 upstream, one fails
+// for real.
+func degradedStub() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/up", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true}`)) //nolint:errcheck
+	})
+	mux.HandleFunc("/down", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "60")
+		http.Error(w, "site down", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/flaky", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "kwapi unreachable", http.StatusBadGateway)
+	})
+	mux.HandleFunc("/broken", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bug", http.StatusInternalServerError)
+	})
+	return mux
+}
+
+func TestGetAcceptCounts502And503Separately(t *testing.T) {
+	rep, err := Run(Config{
+		Workers:   2,
+		Requests:  40,
+		Seed:      7,
+		NewClient: newClientFor(degradedStub()),
+		Mix: []Scenario{
+			{Name: "ride:alpha", Weight: 1, Run: func(c *Ctx) error {
+				if err := c.GetAccept("/down", 503); err != nil {
+					return err
+				}
+				return c.GetAccept("/flaky", 502, 503)
+			}},
+			{Name: "ok:beta", Weight: 1, Run: func(c *Ctx) error {
+				if err := c.Get("/up"); err != nil {
+					return err
+				}
+				return c.PostJSONAccept("/down", `{}`, 503)
+			}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (all failures tolerated)", rep.Errors)
+	}
+	if rep.Tolerated502 == 0 || rep.Tolerated503 == 0 {
+		t.Fatalf("tolerated counters = %d × 502, %d × 503; want both > 0",
+			rep.Tolerated502, rep.Tolerated503)
+	}
+	var ride, ok ScenarioReport
+	for _, s := range rep.Scenarios {
+		switch s.Name {
+		case "ride:alpha":
+			ride = s
+		case "ok:beta":
+			ok = s
+		}
+	}
+	// ride does one accepted 503 and one accepted 502 per iteration; ok
+	// does one accepted 503 (the POST) per iteration and never a 502.
+	if ride.Tolerated502 != int64(ride.Iterations) || ride.Tolerated503 != int64(ride.Iterations) {
+		t.Fatalf("ride tallies = %d × 502, %d × 503 over %d it", ride.Tolerated502, ride.Tolerated503, ride.Iterations)
+	}
+	if ok.Tolerated502 != 0 || ok.Tolerated503 != int64(ok.Iterations) {
+		t.Fatalf("ok tallies = %d × 502, %d × 503 over %d it", ok.Tolerated502, ok.Tolerated503, ok.Iterations)
+	}
+	if rep.Tolerated502 != ride.Tolerated502 || rep.Tolerated503 != ride.Tolerated503+ok.Tolerated503 {
+		t.Fatalf("report totals do not match scenario tallies: %+v", rep)
+	}
+}
+
+func TestGetAcceptStillFailsOnUnlistedStatus(t *testing.T) {
+	rep, err := Run(Config{
+		Workers:   1,
+		Requests:  5,
+		Seed:      1,
+		NewClient: newClientFor(degradedStub()),
+		Mix: []Scenario{
+			{Name: "broken", Weight: 1, Run: func(c *Ctx) error {
+				return c.GetAccept("/broken", 502, 503)
+			}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Errors != 5 || rep.Tolerated502 != 0 || rep.Tolerated503 != 0 {
+		t.Fatalf("real 500s must stay errors: %+v", rep)
+	}
+}
+
+func TestAvailabilityReport(t *testing.T) {
+	rep := &Report{
+		Iterations:   100,
+		Errors:       3,
+		Tolerated503: 40,
+		Scenarios: []ScenarioReport{
+			{Name: "operator-dashboard", Iterations: 10, Errors: 1},
+			{Name: "disaster-scraper:lyon", Iterations: 30, Errors: 0, Tolerated503: 30},
+			{Name: "disaster-submit:lyon", Iterations: 10, Errors: 0, Tolerated503: 10},
+			{Name: "disaster-scraper:nancy", Iterations: 50, Errors: 2},
+		},
+	}
+	av := rep.Availability()
+	if av.Overall != 0.97 {
+		t.Fatalf("overall = %v", av.Overall)
+	}
+	if len(av.Sites) != 2 {
+		t.Fatalf("sites = %+v", av.Sites)
+	}
+	lyon, nancy := av.Sites[0], av.Sites[1]
+	if lyon.Site != "lyon" || nancy.Site != "nancy" {
+		t.Fatalf("site order = %s, %s (want sorted)", lyon.Site, nancy.Site)
+	}
+	if lyon.Availability != 1 || lyon.Tolerated503 != 40 || lyon.Iterations != 40 {
+		t.Fatalf("lyon row = %+v", lyon)
+	}
+	if nancy.Availability != 1-2.0/50 || nancy.Tolerated503 != 0 {
+		t.Fatalf("nancy row = %+v", nancy)
+	}
+	if av.Tolerated503 != 40 {
+		t.Fatalf("report-level 503 tally lost: %+v", av)
+	}
+}
+
+func TestDisasterMixShape(t *testing.T) {
+	targets := []SiteTarget{
+		{Site: "lyon", Clusters: []string{"sagittaire"}, Nodes: []string{"sagittaire-1"}},
+		{Site: "nancy", Clusters: []string{"griffon"}},
+	}
+	mix := DisasterMix(targets)
+	if len(mix) != 5 {
+		t.Fatalf("mix size = %d, want dashboard + 2 per site", len(mix))
+	}
+	want := []string{"operator-dashboard", "disaster-scraper:lyon", "disaster-submit:lyon",
+		"disaster-scraper:nancy", "disaster-submit:nancy"}
+	for i, s := range mix {
+		if s.Name != want[i] {
+			t.Fatalf("mix[%d] = %s, want %s", i, s.Name, want[i])
+		}
+		if s.Weight <= 0 || s.Run == nil {
+			t.Fatalf("mix[%d] malformed: %+v", i, s)
+		}
+	}
+}

@@ -64,6 +64,8 @@ type Ctx struct {
 	etags     map[string]string // path → last ETag seen (conditional requests)
 	http304   int64
 	httpCount int64
+	http502   int64 // tolerated 502s (flaky upstream, by design)
+	http503   int64 // tolerated 503s (site down + Retry-After, by design)
 }
 
 // Get performs a GET and drains the body. Statuses ≥ 400 are errors.
@@ -109,15 +111,42 @@ func (c *Ctx) GetConditional(path string) error {
 // GetAccept performs a GET and drains the body, treating the listed
 // statuses as acceptable alongside the usual < 400 rule. Site-pinned
 // monitor scrapes use it: a flaky kwapi site legitimately answers 502, and
-// that is signal to the consumer, not a workload failure.
+// a site downed by chaos answers 503 with Retry-After — both are signal to
+// the consumer, not workload failures, and the two are tallied separately
+// (Report.Tolerated502/Tolerated503) so a disaster run can tell gateway
+// flakiness from by-design unavailability.
 func (c *Ctx) GetAccept(path string, accept ...int) error {
 	c.httpCount++
 	resp, err := c.HTTP.Get(c.Base + path)
 	if err != nil {
 		return err
 	}
+	return c.acceptOrDrain(resp, path, accept)
+}
+
+// PostJSONAccept performs a POST with a JSON body, treating the listed
+// statuses as acceptable — the submit path of a disaster scenario tolerates
+// 503 from a downed site the same way GetAccept does.
+func (c *Ctx) PostJSONAccept(path, body string, accept ...int) error {
+	c.httpCount++
+	resp, err := c.HTTP.Post(c.Base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return c.acceptOrDrain(resp, path, accept)
+}
+
+// acceptOrDrain finishes an accepting request: listed statuses count into
+// the tolerated tallies, everything else follows the usual drain rule.
+func (c *Ctx) acceptOrDrain(resp *http.Response, path string, accept []int) error {
 	for _, code := range accept {
 		if resp.StatusCode == code {
+			switch code {
+			case http.StatusBadGateway:
+				c.http502++
+			case http.StatusServiceUnavailable:
+				c.http503++
+			}
 			defer resp.Body.Close()
 			io.Copy(io.Discard, resp.Body) //nolint:errcheck
 			return nil
@@ -156,10 +185,12 @@ type Percentiles struct {
 
 // ScenarioReport is the per-scenario slice of a run report.
 type ScenarioReport struct {
-	Name       string
-	Iterations int
-	Errors     int
-	Latency    Percentiles
+	Name         string
+	Iterations   int
+	Errors       int
+	Tolerated502 int64 // accepted 502s (flaky upstream)
+	Tolerated503 int64 // accepted 503s (site down by design)
+	Latency      Percentiles
 }
 
 // Report is the outcome of one Run.
@@ -170,6 +201,8 @@ type Report struct {
 	HTTPRequests int64 // individual HTTP requests issued
 	NotModified  int64 // conditional requests answered 304
 	Errors       int
+	Tolerated502 int64   // accepted 502s across all scenarios
+	Tolerated503 int64   // accepted 503s across all scenarios
 	Throughput   float64 // iterations per second
 	Latency      Percentiles
 	Scenarios    []ScenarioReport
@@ -178,23 +211,31 @@ type Report struct {
 // String renders the report as a compact operator-facing table.
 func (r *Report) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d iterations on %d workers in %v: %.0f it/s, %d HTTP requests (%d × 304), %d errors\n",
+	fmt.Fprintf(&sb, "%d iterations on %d workers in %v: %.0f it/s, %d HTTP requests (%d × 304), %d errors",
 		r.Iterations, r.Workers, r.Elapsed.Round(time.Millisecond), r.Throughput,
 		r.HTTPRequests, r.NotModified, r.Errors)
+	if r.Tolerated502+r.Tolerated503 > 0 {
+		fmt.Fprintf(&sb, ", tolerated %d × 502 / %d × 503", r.Tolerated502, r.Tolerated503)
+	}
+	sb.WriteByte('\n')
 	fmt.Fprintf(&sb, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
 		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.Max)
 	for _, s := range r.Scenarios {
-		fmt.Fprintf(&sb, "  %-20s %6d it  %3d err  p50 %-10v p99 %v\n",
-			s.Name, s.Iterations, s.Errors, s.Latency.P50, s.Latency.P99)
+		fmt.Fprintf(&sb, "  %-20s %6d it  %3d err  p50 %-10v p99 %v", s.Name, s.Iterations, s.Errors, s.Latency.P50, s.Latency.P99)
+		if s.Tolerated502+s.Tolerated503 > 0 {
+			fmt.Fprintf(&sb, "  (%d × 502, %d × 503)", s.Tolerated502, s.Tolerated503)
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
 
 // opRec is one completed scenario iteration.
 type opRec struct {
-	scenario int
-	ns       int64
-	failed   bool
+	scenario   int
+	ns         int64
+	failed     bool
+	t502, t503 int64 // tolerated 502/503s within this iteration
 }
 
 // Run executes the configured workload and reports on it.
@@ -253,9 +294,16 @@ func Run(cfg Config) (*Report, error) {
 			ops := make([]opRec, 0, cfg.Requests/cfg.Workers+1)
 			for next.Add(1) <= int64(cfg.Requests) {
 				i := pick(ctx.Rand)
+				b502, b503 := ctx.http502, ctx.http503
 				t0 := time.Now()
 				err := cfg.Mix[i].Run(ctx)
-				ops = append(ops, opRec{scenario: i, ns: time.Since(t0).Nanoseconds(), failed: err != nil})
+				ops = append(ops, opRec{
+					scenario: i,
+					ns:       time.Since(t0).Nanoseconds(),
+					failed:   err != nil,
+					t502:     ctx.http502 - b502,
+					t503:     ctx.http503 - b503,
+				})
 			}
 			perOps[w] = ops
 		}()
@@ -267,15 +315,21 @@ func Run(cfg Config) (*Report, error) {
 	var all []int64
 	perScen := make([][]int64, len(cfg.Mix))
 	scenErr := make([]int, len(cfg.Mix))
+	scen502 := make([]int64, len(cfg.Mix))
+	scen503 := make([]int64, len(cfg.Mix))
 	for w, ops := range perOps {
 		rep.HTTPRequests += perCtx[w].httpCount
 		rep.NotModified += perCtx[w].http304
+		rep.Tolerated502 += perCtx[w].http502
+		rep.Tolerated503 += perCtx[w].http503
 		for _, op := range ops {
 			rep.Iterations++
 			if op.failed {
 				rep.Errors++
 				scenErr[op.scenario]++
 			}
+			scen502[op.scenario] += op.t502
+			scen503[op.scenario] += op.t503
 			all = append(all, op.ns)
 			perScen[op.scenario] = append(perScen[op.scenario], op.ns)
 		}
@@ -286,10 +340,12 @@ func Run(cfg Config) (*Report, error) {
 	rep.Latency = percentiles(all)
 	for i, s := range cfg.Mix {
 		rep.Scenarios = append(rep.Scenarios, ScenarioReport{
-			Name:       s.Name,
-			Iterations: len(perScen[i]),
-			Errors:     scenErr[i],
-			Latency:    percentiles(perScen[i]),
+			Name:         s.Name,
+			Iterations:   len(perScen[i]),
+			Errors:       scenErr[i],
+			Tolerated502: scen502[i],
+			Tolerated503: scen503[i],
+			Latency:      percentiles(perScen[i]),
 		})
 	}
 	return rep, nil

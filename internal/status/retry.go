@@ -1,0 +1,65 @@
+package status
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds how a Client rides through transient failures: a CI
+// API answering 5xx during a rolling maintenance window is expected to
+// recover, so the dashboard retries a few times with exponential backoff
+// and seeded jitter instead of blanking the page.
+//
+// The policy deliberately owns its own sleeping: Sleep is an injected
+// function so binaries can pass a real clock while in-process consumers
+// (and tests) keep everything virtual and deterministic. A nil Sleep
+// retries immediately — correct for inproc transports, where the upstream
+// state only changes when the simulation is stepped anyway.
+type RetryPolicy struct {
+	// Attempts is the total request budget (first try included). Values
+	// below 2 mean a single attempt, i.e. no retries.
+	Attempts int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it.
+	Backoff time.Duration
+	// Jitter scales a random additive spread on top of each delay: the
+	// delay is multiplied by (1 + Jitter·u) with u uniform in [0,1). Zero
+	// disables jitter.
+	Jitter float64
+	// Rand drives the jitter draw. Seeded by the caller, so a retry
+	// schedule is as reproducible as everything else in the simulator.
+	// Required if Jitter > 0.
+	Rand *rand.Rand
+	// Sleep, when non-nil, is called with each backoff delay.
+	Sleep func(time.Duration)
+}
+
+// WithRetry returns a copy of the client that applies the policy to every
+// request. The zero policy leaves the client as-is. Clients with a jittered
+// policy share the policy's Rand and must not be used concurrently.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	out := *c
+	out.retry = p
+	return &out
+}
+
+// attempts resolves the total request budget, never below 1.
+func (p RetryPolicy) attempts() int {
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// backoff sleeps before retry number retryIdx (0-based), applying
+// exponential growth and jitter.
+func (p RetryPolicy) backoff(retryIdx int) {
+	if p.Sleep == nil || p.Backoff <= 0 {
+		return
+	}
+	delay := p.Backoff << retryIdx
+	if p.Jitter > 0 && p.Rand != nil {
+		delay = time.Duration(float64(delay) * (1 + p.Jitter*p.Rand.Float64()))
+	}
+	p.Sleep(delay)
+}

@@ -1,0 +1,108 @@
+package status
+
+import (
+	"math/rand"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// flakyAPI answers 5xx for the first fail requests, then a minimal valid
+// JSON document.
+type flakyAPI struct {
+	fail     int
+	code     int
+	requests int
+}
+
+func (f *flakyAPI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.requests++
+	if f.requests <= f.fail {
+		http.Error(w, "maintenance", f.code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{}`)) //nolint:errcheck
+}
+
+func TestRetryRidesThroughTransient5xx(t *testing.T) {
+	api := &flakyAPI{fail: 2, code: http.StatusServiceUnavailable}
+	c := NewLocalClient(api).WithRetry(RetryPolicy{Attempts: 3})
+	if _, err := c.Root(); err != nil {
+		t.Fatalf("retrying client should succeed: %v", err)
+	}
+	if api.requests != 3 {
+		t.Fatalf("requests = %d, want 3 (2 failures + 1 success)", api.requests)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	api := &flakyAPI{fail: 1 << 30, code: http.StatusBadGateway}
+	c := NewLocalClient(api).WithRetry(RetryPolicy{Attempts: 4})
+	if _, err := c.Root(); err == nil {
+		t.Fatal("exhausted budget should surface the error")
+	}
+	if api.requests != 4 {
+		t.Fatalf("requests = %d, want exactly the budget of 4", api.requests)
+	}
+}
+
+func TestRetryDoesNotTouch4xx(t *testing.T) {
+	api := &flakyAPI{fail: 1 << 30, code: http.StatusNotFound}
+	c := NewLocalClient(api).WithRetry(RetryPolicy{Attempts: 5})
+	if _, err := c.Root(); err == nil {
+		t.Fatal("404 should fail")
+	}
+	if api.requests != 1 {
+		t.Fatalf("requests = %d; client errors must not be retried", api.requests)
+	}
+}
+
+func TestNoRetryWithoutPolicy(t *testing.T) {
+	api := &flakyAPI{fail: 1, code: http.StatusServiceUnavailable}
+	c := NewLocalClient(api)
+	if _, err := c.Root(); err == nil {
+		t.Fatal("plain client should fail on the first 503")
+	}
+	if api.requests != 1 {
+		t.Fatalf("requests = %d, want 1", api.requests)
+	}
+}
+
+func TestRetryBackoffLadderIsSeededAndJittered(t *testing.T) {
+	ladder := func(seed int64) []time.Duration {
+		api := &flakyAPI{fail: 1 << 30, code: http.StatusServiceUnavailable}
+		var slept []time.Duration
+		c := NewLocalClient(api).WithRetry(RetryPolicy{
+			Attempts: 4,
+			Backoff:  100 * time.Millisecond,
+			Jitter:   0.5,
+			Rand:     rand.New(rand.NewSource(seed)),
+			Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		})
+		c.Root() //nolint:errcheck
+		return slept
+	}
+	a := ladder(42)
+	if len(a) != 3 {
+		t.Fatalf("slept %d times, want one per retry (3)", len(a))
+	}
+	// Exponential growth with bounded jitter: each delay lands within
+	// [base, base·(1+Jitter)) of its doubling rung.
+	base := 100 * time.Millisecond
+	for i, d := range a {
+		lo := base << i
+		hi := time.Duration(float64(lo) * 1.5)
+		if d < lo || d >= hi {
+			t.Fatalf("delay %d = %v outside [%v, %v)", i, d, lo, hi)
+		}
+	}
+	// The ladder is a pure function of the seed.
+	if !reflect.DeepEqual(a, ladder(42)) {
+		t.Fatal("same seed should give the same ladder")
+	}
+	if reflect.DeepEqual(a, ladder(43)) {
+		t.Fatal("different seeds should jitter differently")
+	}
+}

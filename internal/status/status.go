@@ -17,6 +17,7 @@ package status
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -28,8 +29,9 @@ import (
 
 // Client talks to the CI server's REST API.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // DefaultTimeout bounds every request a NewClient makes. The status page
@@ -58,16 +60,35 @@ func NewLocalClient(h http.Handler) *Client {
 	return NewClientWith("http://ci.local", inproc.Client(h))
 }
 
+// get fetches and decodes one API response. Transport errors and transient
+// 5xx responses are retried within the client's RetryPolicy budget (no
+// retries unless WithRetry was used); other statuses fail immediately.
 func (c *Client) get(path string, v any) error {
-	resp, err := c.http.Get(c.base + path)
-	if err != nil {
-		return err
+	attempts := c.retry.attempts()
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			c.retry.backoff(try - 1)
+		}
+		resp, err := c.http.Get(c.base + path)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			err = json.NewDecoder(resp.Body).Decode(v)
+			resp.Body.Close()
+			return err
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		lastErr = fmt.Errorf("status: GET %s: %s", path, resp.Status)
+		if resp.StatusCode < 500 {
+			// Client errors are not transient; retrying cannot help.
+			return lastErr
+		}
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status: GET %s: %s", path, resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	return lastErr
 }
 
 // Root fetches the server summary.
