@@ -2,13 +2,14 @@ GO ?= go
 
 # Benchmarks whose ns_per_op / allocs_per_op are gated by bench-check.
 TRACKED_BENCHES = BenchmarkE2_,BenchmarkE9_,BenchmarkE12_,BenchmarkE13_,BenchmarkE14_,BenchmarkE15_,BenchmarkE16_,BenchmarkE17_
-# Benchmarks gated on allocs_per_op only: E18 spends its time in real
-# concurrent load generation, so its ns/op varies ±25% between runs even on
-# one machine — allocs/op is its reproducible axis (its correctness gates —
-# determinism, availability, recovery — run inside the benchmark itself).
-TRACKED_ALLOCS_BENCHES = BenchmarkE18_
+# Benchmarks gated on allocs_per_op only: E18 and E19 spend their time in
+# real concurrent load generation, so their ns/op varies ±25% between runs
+# even on one machine — allocs/op is their reproducible axis (their
+# correctness gates — determinism, availability, bounded queues, shed
+# contract — run inside the benchmarks themselves).
+TRACKED_ALLOCS_BENCHES = BenchmarkE18_,BenchmarkE19_
 
-.PHONY: all build vet lint fmt-check test race stress fed-check chaos-check bench bench-check check
+.PHONY: all build vet lint fmt-check test race stress fed-check chaos-check admit-check bench bench-check check
 
 all: check
 
@@ -56,6 +57,14 @@ fed-check:
 # degraded marker, /chaos inject/heal round trips).
 chaos-check:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/federation ./internal/gateway
+
+# admit-check drills the grid admission layer under the race detector: the
+# controller's placement determinism, fairness and breaker transitions
+# (internal/admit) plus the gateway-level queue-under-chaos and
+# duplicate-cluster routing drills.
+admit-check:
+	$(GO) test -race -count=1 ./internal/admit
+	$(GO) test -race -count=1 -run 'TestAdmission|TestDuplicateCluster' ./internal/gateway
 
 # bench runs the full experiment suite once and records every number
 # (ns/op, allocs/op, reproduced sim metrics) in BENCH_results.json via

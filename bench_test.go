@@ -9,16 +9,19 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/checks"
 	"repro/internal/ci"
 	"repro/internal/core"
@@ -1029,4 +1032,185 @@ func BenchmarkE18_DisasterAvailability(b *testing.B) {
 	b.ReportMetric(float64(tolerated), "tolerated_503")
 	b.ReportMetric(float64(len(chaosSites)), "sites")
 	b.ReportMetric(float64(len(schedule)), "grid_events")
+}
+
+// ---- E19: grid admission & overload shedding (robustness) -------------------
+//
+// The overload gate over the admission layer (internal/admit): unanchored
+// submissions route through grid-level admission, and when open-loop
+// traffic drives the grid past its capacity knee the layer must degrade
+// by contract, not collapse. Three properties gate:
+//
+//  1. determinism — the same submission sequence, probed serially or with
+//     the goroutine fan-out, yields a bit-identical placement trace
+//     (status, site per request) and identical admission counters;
+//  2. bounded overload — past the knee the reservation queue never grows
+//     beyond its cap, load is shed with 429, ≥99% of sheds carry
+//     Retry-After, and nothing surfaces as a real error;
+//  3. admitted latency — at a fixed fraction of grid capacity every
+//     request places immediately and p99 (measured open-loop from the
+//     scheduled arrival, so queueing cannot hide) stays under 250ms.
+
+func BenchmarkE19_OverloadShedding(b *testing.B) {
+	admitSites := map[string]bool{"luxembourg": true, "nantes": true}
+	var spec []testbed.ClusterSpec
+	for _, cs := range testbed.DefaultSpec {
+		if admitSites[cs.Site] {
+			spec = append(spec, cs)
+		}
+	}
+	shardProfile := func(site string, seed int64) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.InitialFaults = 0
+		cfg.EnvMatrixPeriod = 0
+		return cfg
+	}
+	newGrid := func(queueCap int, scatter func([]func())) (*federation.Federation, *gateway.Gateway) {
+		fed := federation.New(federation.Config{
+			Seed: 19, Workers: 4, Spec: spec, Configure: shardProfile,
+		})
+		fed.Start()
+		gw := gateway.ForFederation(fed)
+		gw.Advance(simclock.Hour)
+		policy := sched.DefaultGridPolicy()
+		gw.EnableAdmission(admit.Config{
+			Now: fed.Now, Policy: &policy, QueueCap: queueCap, Scatter: scatter,
+		})
+		return fed, gw
+	}
+	serialScatter := func(tasks []func()) {
+		for _, t := range tasks {
+			t()
+		}
+	}
+	submit := func(c *http.Client, body string) (int, gateway.SubmitResponse) {
+		resp, err := c.Post("http://gw.local/oar/submit", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatalf("submit: %v", err)
+		}
+		defer resp.Body.Close()
+		var sub gateway.SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			b.Fatalf("submit decode: %v", err)
+		}
+		return resp.StatusCode, sub
+	}
+
+	var stats admit.StatsJSON
+	var hintedPct, offered, achieved, p99Admitted float64
+	var gridNodes int
+	for i := 0; i < b.N; i++ {
+		// Phase 1 — placement determinism: the same 140-submission sequence
+		// (small demands that place and drain capacity, oversized ones that
+		// queue) through serial and parallel probing must leave identical
+		// traces and identical counters. Placement is a pure function of the
+		// gathered probe slots; the fan-out must not change a single routing.
+		trace := func(scatter func([]func())) ([]string, admit.StatsJSON) {
+			_, gw := newGrid(0, scatter)
+			c := inproc.Client(gw)
+			out := make([]string, 0, 140)
+			for n := 0; n < 140; n++ {
+				nodes := 1 + n%5
+				if n%17 == 0 {
+					nodes = 999 // startable nowhere: exercises the queue path
+				}
+				code, sub := submit(c, fmt.Sprintf(`{"request":"nodes=%d,walltime=12","user":"e19"}`, nodes))
+				out = append(out, fmt.Sprintf("%d:%s:%s", code, sub.Admission, sub.Site))
+			}
+			return out, gw.Admission().Stats()
+		}
+		traceS, statsS := trace(serialScatter)
+		traceP, statsP := trace(nil) // nil = the gateway's goroutine fan-out
+		if !reflect.DeepEqual(traceS, traceP) {
+			for k := range traceS {
+				if traceS[k] != traceP[k] {
+					b.Fatalf("placement %d diverged: serial %s, parallel %s", k, traceS[k], traceP[k])
+				}
+			}
+		}
+		if statsS != statsP {
+			b.Fatalf("admission counters diverged:\nserial:   %+v\nparallel: %+v", statsS, statsP)
+		}
+
+		// Phase 2 — overload shedding: open-loop arrivals far past what the
+		// grid can absorb (every placement holds its nodes for 12 simulated
+		// hours and nothing advances, so capacity only drains). The queue
+		// must stay within its cap, the excess must shed as 429 with
+		// Retry-After, and none of it may count as a real error.
+		fed, gw := newGrid(16, nil)
+		gridNodes = 0
+		for _, sh := range fed.Shards() {
+			gridNodes += sh.F.TB.TotalNodes()
+		}
+		newClient := func(int) (*http.Client, string) { return inproc.Client(gw), "http://gw.local" }
+		mixFor := func(accept ...int) []loadgen.Scenario {
+			return []loadgen.Scenario{{Name: "grid-submit", Weight: 1, Run: func(c *loadgen.Ctx) error {
+				return c.PostJSONAccept("/oar/submit", `{"request":"nodes=4,walltime=12","user":"e19"}`, accept...)
+			}}}
+		}
+		olr, err := loadgen.RunOpenLoop(loadgen.OpenLoopConfig{
+			Rate: 3000, Requests: 500, Workers: 4, Seed: 19, JitterFrac: 0.2,
+			Mix: mixFor(http.StatusTooManyRequests), NewClient: newClient,
+		})
+		if err != nil {
+			b.Fatalf("overload run: %v", err)
+		}
+		stats = gw.Admission().Stats()
+		if olr.Errors != 0 {
+			b.Fatalf("overload run surfaced %d real errors (sheds must be 429-by-contract)", olr.Errors)
+		}
+		if stats.Placed == 0 || stats.Shed == 0 {
+			b.Fatalf("knee not crossed: %+v", stats)
+		}
+		if stats.MaxDepth > stats.Capacity {
+			b.Fatalf("queue grew to %d past its cap of %d", stats.MaxDepth, stats.Capacity)
+		}
+		if olr.Tolerated429 != stats.Shed {
+			b.Fatalf("wire saw %d × 429, controller shed %d", olr.Tolerated429, stats.Shed)
+		}
+		if 100*olr.Hinted429 < 99*olr.Tolerated429 {
+			b.Fatalf("only %d of %d sheds carried Retry-After, gate needs ≥99%%", olr.Hinted429, olr.Tolerated429)
+		}
+		hintedPct = 100 * float64(olr.Hinted429) / float64(olr.Tolerated429)
+		offered, achieved = olr.OfferedRate, olr.AchievedRate
+
+		// Phase 3 — admitted latency: a fresh grid offered demand for half
+		// its free capacity (the campaign's own jobs hold some nodes) at a
+		// modest rate. Everything must place immediately (no queue, no shed)
+		// and p99 — charged from the scheduled arrival, the
+		// coordinated-omission-safe measure — stays under 250ms.
+		fed3, gw3 := newGrid(0, nil)
+		gw = gw3
+		free := 0
+		for _, sh := range fed3.Shards() {
+			free += sh.F.TB.TotalNodes() - sh.F.OAR.BusyNodes()
+		}
+		newClient = func(int) (*http.Client, string) { return inproc.Client(gw), "http://gw.local" }
+		admitN := free / 2 / 4 // nodes=4 per request → half the free capacity
+		rep, err := loadgen.RunOpenLoop(loadgen.OpenLoopConfig{
+			Rate: 400, Requests: admitN, Workers: 4, Seed: 20, JitterFrac: 0.2,
+			Mix: mixFor(), NewClient: newClient,
+		})
+		if err != nil {
+			b.Fatalf("admitted run: %v", err)
+		}
+		ast := gw.Admission().Stats()
+		if rep.Errors != 0 || ast.Queued != 0 || ast.Shed != 0 || ast.Placed != int64(admitN) {
+			b.Fatalf("half-capacity demand did not all place: %d errors, %+v", rep.Errors, ast)
+		}
+		p99Admitted = float64(rep.Latency.P99.Microseconds())
+		if rep.Latency.P99 > 250*time.Millisecond {
+			b.Fatalf("admitted p99 = %v, gate needs ≤250ms", rep.Latency.P99)
+		}
+	}
+	b.ReportMetric(float64(gridNodes), "grid_nodes")
+	b.ReportMetric(float64(stats.Placed), "placed")
+	b.ReportMetric(float64(stats.Queued), "queued")
+	b.ReportMetric(float64(stats.Shed), "shed_429")
+	b.ReportMetric(float64(stats.MaxDepth), "queue_max_depth")
+	b.ReportMetric(float64(stats.Capacity), "queue_cap")
+	b.ReportMetric(hintedPct, "retry_after_pct")
+	b.ReportMetric(offered, "offered_rps")
+	b.ReportMetric(achieved, "achieved_rps")
+	b.ReportMetric(p99Admitted, "admitted_p99_us")
 }

@@ -24,6 +24,15 @@
 //
 //	g5kapi -loadgen [-workers 4] [-requests 20000] [-mix default|scrape|submit]
 //	g5kapi -loadgen -shards    # site-pinned federated mix
+//	g5kapi -loadgen -rate 500  # open-loop: fixed arrival rate, CO-safe latency
+//
+// With -rate the generator switches from closed-loop (next request waits
+// for the previous) to open-loop: arrivals follow a seeded jittered
+// schedule at the given rate regardless of how fast the service answers,
+// and latency is measured from the scheduled arrival instant — so queueing
+// delay past the capacity knee is charged to the report instead of being
+// hidden by coordinated omission. The printout adds offered vs achieved
+// rate; a gap between them locates the knee.
 //
 // With -shards, -chaos arms a deterministic disaster schedule against the
 // federated campaign (internal/faults.ParseSchedule syntax):
@@ -69,6 +78,7 @@ func main() {
 	runLoad := flag.Bool("loadgen", false, "run the load generator against an in-process gateway and exit")
 	workers := flag.Int("workers", 4, "loadgen: concurrent client workers")
 	requests := flag.Int("requests", 20000, "loadgen: total scenario iterations")
+	rate := flag.Float64("rate", 0, "loadgen: open-loop arrival rate in req/s (0 = closed-loop)")
 	mixName := flag.String("mix", "default", "loadgen: scenario mix (default|scrape|submit; ignored with -shards)")
 	flag.Parse()
 
@@ -138,7 +148,7 @@ func main() {
 	}
 
 	if *runLoad {
-		if err := loadTest(gw, mix, *workers, *requests, *mixName, *seed); err != nil {
+		if err := loadTest(gw, mix, *workers, *requests, *rate, *mixName, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "g5kapi: %v\n", err)
 			os.Exit(1)
 		}
@@ -197,19 +207,42 @@ func federatedTargets(fed *federation.Federation) []loadgen.SiteTarget {
 
 // loadTest drives the gateway through the in-process transport — no
 // listener, no socket stack, just the service code under concurrency.
-func loadTest(gw *gateway.Gateway, mix []loadgen.Scenario, workers, requests int, mixName string, seed int64) error {
-	fmt.Printf("load-generating %d iterations of %q on %d workers...\n", requests, mixName, workers)
-	rep, err := loadgen.Run(loadgen.Config{
-		Workers:  workers,
-		Requests: requests,
-		Mix:      mix,
-		Seed:     seed,
-		NewClient: func(int) (*http.Client, string) {
-			return inproc.Client(gw), "http://gateway.local"
-		},
-	})
-	if err != nil {
-		return err
+func loadTest(gw *gateway.Gateway, mix []loadgen.Scenario, workers, requests int, rate float64, mixName string, seed int64) error {
+	newClient := func(int) (*http.Client, string) {
+		return inproc.Client(gw), "http://gateway.local"
+	}
+	var rep *loadgen.Report
+	if rate > 0 {
+		fmt.Printf("open-loop: %d arrivals of %q at %g req/s on %d workers...\n",
+			requests, mixName, rate, workers)
+		olr, err := loadgen.RunOpenLoop(loadgen.OpenLoopConfig{
+			Rate:       rate,
+			Requests:   requests,
+			Workers:    workers,
+			Mix:        mix,
+			Seed:       seed,
+			JitterFrac: 0.2,
+			NewClient:  newClient,
+		})
+		if err != nil {
+			return err
+		}
+		rep = &olr.Report
+		defer fmt.Printf("\nrates: offered %.1f req/s, achieved %.1f req/s\n",
+			olr.OfferedRate, olr.AchievedRate)
+	} else {
+		fmt.Printf("load-generating %d iterations of %q on %d workers...\n", requests, mixName, workers)
+		var err error
+		rep, err = loadgen.Run(loadgen.Config{
+			Workers:   workers,
+			Requests:  requests,
+			Mix:       mix,
+			Seed:      seed,
+			NewClient: newClient,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Println()
 	fmt.Print(rep.String())
@@ -221,7 +254,7 @@ func loadTest(gw *gateway.Gateway, mix []loadgen.Scenario, workers, requests int
 	fmt.Println("\ngateway metrics:")
 	m := gw.Metrics()
 	fmt.Printf("  %-18s %8d requests, %d errors\n", "total", m.Requests, m.Errors)
-	for _, ep := range []string{"/sites", "/sites/", "/ref/inventory", "/ref/diff", "/oar/resources", "/oar/jobs", "/oar/submit", "/status/grid", "/status/trend", "/bugs", "/ci/", "/metrics"} {
+	for _, ep := range []string{"/sites", "/sites/", "/ref/inventory", "/ref/diff", "/oar/resources", "/oar/jobs", "/oar/submit", "/admit/queue", "/status/grid", "/status/trend", "/bugs", "/ci/", "/metrics"} {
 		em, ok := m.Endpoints[ep]
 		if !ok || em.Requests == 0 {
 			continue

@@ -47,11 +47,27 @@
 //     down site answer 503 with Retry-After, merges exclude lost sites
 //     behind a degraded marker (absent when healthy), and POST
 //     /chaos/inject | /chaos/heal drive events live
+//   - internal/admit — the grid-level admission layer between the
+//     gateway and the federation's shards: fully-unanchored submissions
+//     scatter read-only CanStartNow probes across every live site and
+//     place on the least-loaded one that can start now (integer
+//     cross-multiplied load comparison, lexicographic tiebreak — serial
+//     and parallel probing are bit-identical), requests no site can
+//     start wait in a bounded fairness-aware reservation queue pumped
+//     on every advance and chaos transition, overflow sheds with 429 +
+//     Retry-After, and per-site breakers route placement away from
+//     down, partitioned or persistently-refusing sites (GET
+//     /admit/queue is the observability view; sched.GridPolicy defers
+//     whole-cluster demands grid-wide during peak hours; make
+//     admit-check races the drills)
 //   - internal/loadgen — the workload engine: N client workers replay
 //     weighted scenario mixes (operator-dashboard, api-scraper,
 //     submit-heavy) and report throughput plus latency percentiles;
 //     the disaster mix splits by-design 503s from real errors and
-//     reports per-site availability (g5kapi -loadgen is the CLI form)
+//     reports per-site availability, and RunOpenLoop drives a seeded
+//     fixed-rate arrival schedule with latency charged from the
+//     scheduled arrival — coordinated-omission-safe, the measure the
+//     overload gate uses (g5kapi -loadgen [-rate N] is the CLI form)
 //   - internal/inproc — in-process http.RoundTripper used by the status
 //     page, the gateway's internal status client and the load generator
 //     to consume HTTP APIs without a listener
@@ -74,11 +90,12 @@
 //     <reason> directive; the reason is mandatory
 //
 // bench_test.go at the repository root regenerates every quantitative
-// claim of the paper (E1–E10, plus E11–E18 added by this reproduction:
+// claim of the paper (E1–E10, plus E11–E19 added by this reproduction:
 // executor-pool scaling, parallel verification sweeps, Reference API
 // version churn, campaign-fleet scaling, API-gateway throughput scaling,
-// the mixed gateway workload, the federated per-site shard advance, and
-// disaster availability under site-scale chaos —
+// the mixed gateway workload, the federated per-site shard advance,
+// disaster availability under site-scale chaos, and overload shedding
+// through grid admission —
 // E12/E13 exercised against deterministic k×-scale testbeds from
 // testbed.Scaled), smoke_test.go
 // runs the same experiments at reduced scale as plain tests, and

@@ -24,6 +24,25 @@ func (fed *Federation) SetStepGate(gate func(site string, step func())) {
 	fed.stepGate = gate
 }
 
+// SetGridListener installs a callback fired (outside fed.mu) after every
+// InjectGrid, HealGrid and Advance — the calls that can change which sites
+// are live or move the federated clock. The gateway uses it to pump the
+// admission queue, so queued reservations against a site that just went
+// down fail or re-route immediately. Must be set before the federation
+// starts serving and not changed afterwards; the listener must not call
+// back into Inject/Heal/Advance.
+func (fed *Federation) SetGridListener(fn func()) {
+	fed.gridListener = fn
+}
+
+// notifyGrid invokes the grid listener, if any. Callers must not hold
+// fed.mu: the listener typically takes gateway and shard locks of its own.
+func (fed *Federation) notifyGrid() {
+	if fed.gridListener != nil {
+		fed.gridListener()
+	}
+}
+
 // ScheduleChaos appends entries to the deterministic disaster schedule.
 // Each entry injects its event when the federated clock reaches At (and
 // schedules the heal at At+Duration, where applicable). Unknown sites are
@@ -53,8 +72,8 @@ func (fed *Federation) ScheduleChaos(entries ...faults.ScheduleEntry) error {
 // (0 = heal manually). Returns a value copy of the event.
 func (fed *Federation) InjectGrid(kind faults.GridKind, sites []string, window, duration simclock.Time) (faults.GridEvent, error) {
 	fed.mu.Lock()
-	defer fed.mu.Unlock()
 	if err := fed.checkSitesLocked(sites); err != nil {
+		fed.mu.Unlock()
 		return faults.GridEvent{}, err
 	}
 	if kind == faults.RollingMaintenance && window <= 0 {
@@ -62,23 +81,30 @@ func (fed *Federation) InjectGrid(kind faults.GridKind, sites []string, window, 
 	}
 	ev, err := fed.grid.Inject(kind, sites, fed.now, window)
 	if err != nil {
+		fed.mu.Unlock()
 		return faults.GridEvent{}, err
 	}
 	if kind != faults.RollingMaintenance && duration > 0 {
 		fed.pendingHeals = append(fed.pendingHeals, pendingHeal{id: ev.ID, at: fed.now + duration})
 	}
-	return eventCopy(ev), nil
+	out := eventCopy(ev)
+	fed.mu.Unlock()
+	fed.notifyGrid()
+	return out, nil
 }
 
 // HealGrid heals an active grid event right now, returning a value copy of
 // the healed event.
 func (fed *Federation) HealGrid(id int) (faults.GridEvent, error) {
 	fed.mu.Lock()
-	defer fed.mu.Unlock()
 	if err := fed.grid.Heal(id, fed.now); err != nil {
+		fed.mu.Unlock()
 		return faults.GridEvent{}, err
 	}
-	return eventCopy(fed.grid.Get(id)), nil
+	out := eventCopy(fed.grid.Get(id))
+	fed.mu.Unlock()
+	fed.notifyGrid()
+	return out, nil
 }
 
 // ActiveGridEvents returns value copies of the active grid events, sorted

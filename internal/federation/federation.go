@@ -111,6 +111,13 @@ type Federation struct {
 	// stepGate, when set, wraps every shard step so an embedder (the
 	// gateway) can interleave its own locking with the barrier ticks.
 	stepGate func(site string, step func())
+
+	// gridListener, when set, is invoked (outside fed.mu) after any call
+	// that can change grid availability or the federated clock: InjectGrid,
+	// HealGrid and Advance. The gateway hangs its admission-queue pump off
+	// this hook so a site outage invalidates queued reservations immediately
+	// instead of waiting for the next submit.
+	gridListener func()
 }
 
 // pendingHeal schedules the heal of an injected event.
@@ -252,6 +259,7 @@ func (fed *Federation) Advance(d simclock.Time) {
 	fed.mu.Lock()
 	fed.applyDueLocked()
 	fed.mu.Unlock()
+	fed.notifyGrid()
 }
 
 // shardWork is one shard's slice of a tick plan: how far to step and which

@@ -1,0 +1,170 @@
+package gateway
+
+// The gateway side of the grid admission layer (internal/admit): each OAR
+// shard is adapted to an admit.Backend whose probes and placements run
+// under the shard's own read gate, unanchored federated submissions route
+// through the controller instead of failing, and GET /admit/queue exposes
+// the queue. The admission pump runs after every campaign advance and —
+// via the federation's grid listener — after every chaos transition, so a
+// site outage fails queued reservations fast instead of letting them sit
+// out their deadlines.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/admit"
+	"repro/internal/oar"
+)
+
+// shardBackend adapts one gateway shard to the admission controller's
+// placement surface. All OAR access happens under the shard's read gate,
+// so probes never block another site's barrier ticks.
+type shardBackend struct {
+	g *Gateway
+	s *shard
+}
+
+func (b *shardBackend) Site() string { return b.s.site }
+
+// Available reports whether placement may consider the site: down sites
+// are out, and so are partition-isolated ones — a job placed on a shard
+// the merge plane cannot reach would vanish from every federated view.
+func (b *shardBackend) Available() bool {
+	if !b.g.siteAvailable(b.s.site) {
+		return false
+	}
+	if b.g.chaos != nil {
+		for _, site := range b.g.chaos.UnreachableSites() {
+			if site == b.s.site {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (b *shardBackend) Capacity() (busy, total int) {
+	b.s.rlocked(func() {
+		busy = b.s.cfg.OAR.BusyNodes()
+		if b.s.cfg.TB != nil {
+			total = b.s.cfg.TB.TotalNodes()
+		}
+	})
+	return busy, total
+}
+
+func (b *shardBackend) CanPlace(req oar.Request) bool {
+	pinned := req.PinnedToSite(b.s.site)
+	var ok bool
+	b.s.rlocked(func() { ok = b.s.cfg.OAR.CanStartNowReq(pinned) })
+	return ok
+}
+
+func (b *shardBackend) Place(req oar.Request, user string) (oar.JobInfo, error) {
+	if !b.Available() {
+		return oar.JobInfo{}, fmt.Errorf("site %s is not accepting submissions", b.s.site)
+	}
+	pinned := req.PinnedToSite(b.s.site)
+	var info oar.JobInfo
+	b.s.rlocked(func() {
+		j := b.s.cfg.OAR.SubmitReq(pinned, oar.SubmitOptions{User: user})
+		info, _ = b.s.cfg.OAR.JobInfoByID(j.ID)
+	})
+	return info, nil
+}
+
+// parallelScatter fans the probe thunks out on one goroutine each and waits
+// for all of them — the live-serving default. Each thunk writes only its
+// own result slot and placement is a pure function of the gathered slots,
+// so this is bit-identical to running them serially (E19's gate).
+func parallelScatter(tasks []func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		t := t
+		go func() {
+			defer wg.Done()
+			t()
+		}()
+	}
+	wg.Wait()
+}
+
+// EnableAdmission builds the admission controller over every site-labeled
+// OAR shard. cfg.Now is required; a nil cfg.Scatter gets the parallel
+// fan-out (pass a serial func to force serial probing, as the determinism
+// gate does). No-op when no shard qualifies — monolithic gateways keep
+// their pre-admission behavior.
+func (g *Gateway) EnableAdmission(cfg admit.Config) {
+	var backends []admit.Backend
+	for _, s := range g.oarShards() {
+		if s.site == "" {
+			continue
+		}
+		backends = append(backends, &shardBackend{g: g, s: s})
+	}
+	if len(backends) == 0 {
+		return
+	}
+	if cfg.Scatter == nil {
+		cfg.Scatter = parallelScatter
+	}
+	g.admission = admit.New(cfg, backends)
+}
+
+// Admission returns the admission controller, or nil when not enabled.
+func (g *Gateway) Admission() *admit.Controller { return g.admission }
+
+// pumpAdmission drains what the reservation queue can place right now.
+// Wired to every campaign advance and, through the federation's grid
+// listener, to every chaos inject/heal.
+func (g *Gateway) pumpAdmission() {
+	if g.admission != nil {
+		g.admission.Pump()
+	}
+}
+
+func (g *Gateway) handleAdmitQueue(w http.ResponseWriter, r *http.Request) {
+	if g.admission == nil {
+		notConfigured(w, "admission")
+		return
+	}
+	writeJSON(w, g.admission.Queue())
+}
+
+// serveAdmission routes a fully-unanchored federated submission through the
+// admission controller: 201 placed on the least-loaded startable site, 202
+// with a reservation when nothing can start it now, 429 + Retry-After when
+// the queue is full. Dry runs probe without admitting.
+func (g *Gateway) serveAdmission(w http.ResponseWriter, req SubmitRequest, parsed oar.Request) {
+	if req.DryRun {
+		site, ok := g.admission.Probe(parsed)
+		writeJSON(w, SubmitResponse{Site: site, CanStartNow: &ok})
+		return
+	}
+	user := req.User
+	if user == "" {
+		user = "api"
+	}
+	out := g.admission.Admit(parsed, user)
+	switch out.Status {
+	case admit.Placed:
+		job := out.Job
+		writeJSONStatus(w, http.StatusCreated, SubmitResponse{
+			Site: out.Site, Job: &job, Admission: string(admit.Placed),
+		})
+	case admit.Queued:
+		res := out.Reservation
+		writeJSONStatus(w, http.StatusAccepted, SubmitResponse{
+			Admission: string(admit.Queued), Reservation: &res,
+		})
+	default: // admit.Shed
+		w.Header().Set("Retry-After", strconv.Itoa(out.RetryAfterSec))
+		writeJSONStatus(w, http.StatusTooManyRequests, SubmitResponse{
+			Admission: string(admit.Shed), RetryAfterSec: out.RetryAfterSec,
+		})
+	}
+}

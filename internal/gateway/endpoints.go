@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/admit"
 	"repro/internal/bugs"
 	"repro/internal/ci"
 	"repro/internal/monitor"
@@ -284,12 +285,38 @@ type SubmitResponse struct {
 	Site        string       `json:"site,omitempty"` // shard that took the job (federated)
 	CanStartNow *bool        `json:"can_start_now,omitempty"`
 	Job         *oar.JobInfo `json:"job,omitempty"`
+	// Admission marks a submission routed through the grid admission layer
+	// (placed | queued | shed); Reservation and RetryAfterSec carry the
+	// queued and shed details respectively.
+	Admission     string                 `json:"admission,omitempty"`
+	Reservation   *admit.ReservationJSON `json:"reservation,omitempty"`
+	RetryAfterSec int                    `json:"retry_after_sec,omitempty"`
+}
+
+// hasUnanchoredSegment reports whether any segment of the request carries
+// no site/cluster/host anchor; hasAnchoredSegment, whether any does.
+func hasUnanchoredSegment(req oar.Request) bool {
+	for _, seg := range req.Segments {
+		if key, _ := seg.Anchor(); key == "" {
+			return true
+		}
+	}
+	return false
+}
+
+func hasAnchoredSegment(req oar.Request) bool {
+	for _, seg := range req.Segments {
+		if key, _ := seg.Anchor(); key != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // shardForOARRequest routes a parsed resource request to the single shard
-// owning every anchored site/cluster/host. Federated submissions must be
-// anchored — an unanchored segment could be satisfied anywhere, and
-// Grid'5000's API requires picking a site too.
+// owning every anchored site/cluster/host. Unanchored segments are skipped
+// here — the caller pins them to the resolved site (mixed requests) or
+// routes the whole request through the admission layer (fully unanchored).
 func (g *Gateway) shardForOARRequest(req oar.Request) (*shard, error) {
 	var target *shard
 	for i, seg := range req.Segments {
@@ -303,7 +330,7 @@ func (g *Gateway) shardForOARRequest(req oar.Request) (*shard, error) {
 		case "host":
 			s = g.shardForNode(val)
 		default:
-			return nil, fmt.Errorf("federated submit: segment %d is not anchored to a site, cluster or host", i+1)
+			continue
 		}
 		if s == nil {
 			return nil, fmt.Errorf("federated submit: segment %d anchors to unknown %s %q", i+1, key, val)
@@ -313,7 +340,10 @@ func (g *Gateway) shardForOARRequest(req oar.Request) (*shard, error) {
 		}
 		target = s
 	}
-	if target == nil || target.cfg.OAR == nil {
+	if target == nil {
+		return nil, fmt.Errorf("federated submit: no segment is anchored to a site, cluster or host (admission not enabled)")
+	}
+	if target.cfg.OAR == nil {
 		return nil, fmt.Errorf("federated submit: no shard serves this request")
 	}
 	return target, nil
@@ -394,10 +424,22 @@ func (g *Gateway) serveOARSubmit(w http.ResponseWriter, r *http.Request, only *s
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		if g.admission != nil && !hasAnchoredSegment(parsed) {
+			// Nothing names a site: the grid admission layer picks one
+			// (or queues / sheds). See admission.go.
+			g.serveAdmission(w, req, parsed)
+			return
+		}
 		target, err = g.shardForOARRequest(parsed)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
+		}
+		if hasUnanchoredSegment(parsed) {
+			// Mixed request: the anchored segments resolved the site, pin
+			// the unanchored ones to it so the whole request lands there.
+			p := parsed.PinnedToSite(target.site)
+			pinned = &p
 		}
 	}
 	if g.shardDown(target) {

@@ -4,7 +4,9 @@ package gateway
 // federation dependency stays out of the core gateway machinery.
 
 import (
+	"repro/internal/admit"
 	"repro/internal/federation"
+	"repro/internal/sched"
 	"repro/internal/simclock"
 )
 
@@ -61,5 +63,13 @@ func ForFederation(fed *federation.Federation) *Gateway {
 		defer s.sim.Unlock()
 		step()
 	})
+	// Grid admission: unanchored submissions route to the least-loaded live
+	// site or queue against freed capacity; the federation's grid listener
+	// pumps the queue on every advance and chaos transition so a site outage
+	// fails queued reservations fast. The grid-wide peak policy defers
+	// whole-cluster demands during working hours.
+	policy := sched.DefaultGridPolicy()
+	gw.EnableAdmission(admit.Config{Now: fed.Now, Policy: &policy})
+	fed.SetGridListener(gw.pumpAdmission)
 	return gw
 }

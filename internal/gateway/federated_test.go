@@ -182,10 +182,18 @@ func TestFederatedSubmitRouting(t *testing.T) {
 		t.Fatalf("dry run = %+v (site %q)", dry, dry.Site)
 	}
 
-	// Unanchored and cross-site requests are client errors.
-	if resp, _ := post("/oar/submit", `{"request":"nodes=2,walltime=1"}`); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unanchored submit status = %d, want 400", resp.StatusCode)
+	// Unanchored requests route through the grid admission layer: with free
+	// capacity everywhere they place on the least-loaded live site.
+	resp, body = post("/oar/submit", `{"request":"nodes=2,walltime=1"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("unanchored submit status = %d, want 201: %s", resp.StatusCode, body)
 	}
+	adm := decode[SubmitResponse](t, body)
+	if adm.Admission != "placed" || adm.Site == "" || adm.Job == nil {
+		t.Fatalf("unanchored submit = %+v", adm)
+	}
+
+	// Cross-site requests are client errors.
 	if resp, _ := post("/oar/submit", `{"request":"site='luxembourg'/nodes=1+site='nantes'/nodes=1,walltime=1"}`); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("cross-site submit status = %d, want 400", resp.StatusCode)
 	}

@@ -15,7 +15,12 @@
 //	GET  /sites            the federation layout: one entry per site
 //	GET  /oar/resources    node allocation states (?cluster=X, ?site=Y narrow)
 //	GET  /oar/jobs         recent jobs, newest first (?limit=N, 0 = all)
-//	POST /oar/submit       submit a resource request (or dry-run probe)
+//	POST /oar/submit       submit a resource request (or dry-run probe);
+//	                       unanchored federated submissions route through
+//	                       the admission layer (201 placed / 202 queued /
+//	                       429 shed + Retry-After)
+//	GET  /admit/queue      admission state: counters, waiting reservations,
+//	                       recently resolved, per-site breakers
 //	GET  /ref/inventory    testbed description (?version=N; ETag/304)
 //	GET  /ref/diff         drift between two versions (?from=&to=; ETag/304)
 //	GET  /monitor/metrics  1 Hz samples (?metric=&node=&site=&from_sec=&to_sec=)
@@ -79,6 +84,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/bugs"
 	"repro/internal/ci"
 	"repro/internal/core"
@@ -180,6 +186,11 @@ type Gateway struct {
 	// semantics (frozen shards, catch-up ticks) apply to HTTP-driven time.
 	advanceOverride func(simclock.Time)
 
+	// admission, when set (EnableAdmission), routes unanchored federated
+	// submissions through the grid admission layer: least-loaded placement,
+	// a bounded reservation queue and 429 load shedding (see admission.go).
+	admission *admit.Controller
+
 	// Federated /ref rendered-body caches, keyed by the joined version
 	// string of all shards (see ref.go).
 	fedMu       sync.Mutex
@@ -238,6 +249,7 @@ func NewFederated(shardCfgs []ShardConfig) *Gateway {
 	g.handle("/oar/resources", http.MethodGet, g.handleOARResources)
 	g.handle("/oar/jobs", http.MethodGet, g.handleOARJobs)
 	g.handle("/oar/submit", http.MethodPost, g.handleOARSubmit)
+	g.handle("/admit/queue", http.MethodGet, g.handleAdmitQueue)
 	g.handle("/ref/inventory", http.MethodGet, g.handleRefInventory)
 	g.handle("/ref/diff", http.MethodGet, g.handleRefDiff)
 	g.handle("/monitor/metrics", http.MethodGet, g.handleMonitorMetrics)
@@ -286,9 +298,12 @@ func (g *Gateway) SetAdvanceWorkers(n int) { g.advanceWorkers = n }
 // instead — it reaches back into the shards through their step gates.
 func (g *Gateway) Advance(d simclock.Time) {
 	if g.advanceOverride != nil {
+		// The override (Federation.Advance) fires the grid listener on
+		// return, which pumps the admission queue — no extra pump here.
 		g.advanceOverride(d)
 		return
 	}
+	defer g.pumpAdmission()
 	if len(g.shards) == 1 {
 		g.advanceShard(g.shards[0], d)
 		return
@@ -333,6 +348,8 @@ func (g *Gateway) AdvanceSite(site string, d simclock.Time) error {
 		return fmt.Errorf("gateway: site %q is down", site)
 	}
 	g.advanceShard(s, d)
+	// The stepped site may have freed capacity a queued reservation fits.
+	g.pumpAdmission()
 	return nil
 }
 
@@ -359,13 +376,27 @@ func (g *Gateway) Sites() []string {
 func (g *Gateway) federated() bool { return len(g.shards) > 1 }
 
 // shardForCluster finds the shard whose testbed owns the named cluster.
+// Cluster names are not globally unique on the real grid (two sites can
+// both run a "grisou"), so when several shards own the name the choice is
+// deterministic: the lexicographically smallest live site wins, falling
+// back to the smallest site overall when every owner is down — the caller
+// then answers 503 for that site instead of silently picking another.
 func (g *Gateway) shardForCluster(name string) *shard {
+	var best *shard
 	for _, s := range g.shards {
-		if s.cfg.TB != nil && s.cfg.TB.Cluster(name) != nil {
-			return s
+		if s.cfg.TB == nil || s.cfg.TB.Cluster(name) == nil {
+			continue
+		}
+		if best == nil {
+			best = s
+			continue
+		}
+		bestDown, sDown := g.shardDown(best), g.shardDown(s)
+		if (bestDown && !sDown) || (bestDown == sDown && s.site < best.site) {
+			best = s
 		}
 	}
-	return nil
+	return best
 }
 
 // shardForNode finds the shard whose testbed owns the named node.
@@ -501,6 +532,7 @@ type MetricsReport struct {
 	Shards    int                        `json:"shards,omitempty"`
 	Requests  int64                      `json:"requests"`
 	Errors    int64                      `json:"errors"`
+	Admission *admit.StatsJSON           `json:"admission,omitempty"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
 
@@ -515,6 +547,10 @@ func (g *Gateway) Metrics() MetricsReport {
 	}
 	if clock := g.shards[0].cfg.Clock; clock != nil {
 		rep.SimNowSec = clock.Now().Seconds()
+	}
+	if g.admission != nil {
+		st := g.admission.Stats()
+		rep.Admission = &st
 	}
 	for pattern, m := range g.metrics {
 		em := EndpointMetrics{

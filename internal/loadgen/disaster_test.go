@@ -79,6 +79,50 @@ func TestGetAcceptCounts502And503Separately(t *testing.T) {
 	}
 }
 
+// 429s (admission shed) are counted apart from errors AND apart from the
+// 502/503 tallies, with the Retry-After presence tracked for the overload
+// gate's shed contract.
+func TestAcceptCounts429SeparatelyWithHint(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shed", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	})
+	mux.HandleFunc("/shed-bare", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	})
+	rep, err := Run(Config{
+		Workers:   1,
+		Requests:  6,
+		Seed:      2,
+		NewClient: newClientFor(mux),
+		Mix: []Scenario{
+			{Name: "submit", Weight: 1, Run: func(c *Ctx) error {
+				if err := c.PostJSONAccept("/shed", `{}`, 429, 503); err != nil {
+					return err
+				}
+				return c.GetAccept("/shed-bare", 429)
+			}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (sheds tolerated)", rep.Errors)
+	}
+	if rep.Tolerated429 != 12 || rep.Tolerated502 != 0 || rep.Tolerated503 != 0 {
+		t.Fatalf("tallies = %d × 429, %d × 502, %d × 503; want 12, 0, 0",
+			rep.Tolerated429, rep.Tolerated502, rep.Tolerated503)
+	}
+	if rep.Hinted429 != 6 {
+		t.Fatalf("hinted 429s = %d, want 6 (only /shed carries Retry-After)", rep.Hinted429)
+	}
+	if rep.Scenarios[0].Tolerated429 != 12 {
+		t.Fatalf("scenario tally = %d, want 12", rep.Scenarios[0].Tolerated429)
+	}
+}
+
 func TestGetAcceptStillFailsOnUnlistedStatus(t *testing.T) {
 	rep, err := Run(Config{
 		Workers:   1,

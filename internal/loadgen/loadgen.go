@@ -66,6 +66,8 @@ type Ctx struct {
 	httpCount int64
 	http502   int64 // tolerated 502s (flaky upstream, by design)
 	http503   int64 // tolerated 503s (site down + Retry-After, by design)
+	http429   int64 // tolerated 429s (admission shed, by design)
+	http429RA int64 // tolerated 429s that carried a Retry-After hint
 }
 
 // Get performs a GET and drains the body. Statuses ≥ 400 are errors.
@@ -146,6 +148,14 @@ func (c *Ctx) acceptOrDrain(resp *http.Response, path string, accept []int) erro
 				c.http502++
 			case http.StatusServiceUnavailable:
 				c.http503++
+			case http.StatusTooManyRequests:
+				// Shed by the admission layer: counted apart from errors
+				// (and from 502/503), with the Retry-After presence tallied
+				// so overload gates can assert the shed contract.
+				c.http429++
+				if resp.Header.Get("Retry-After") != "" {
+					c.http429RA++
+				}
 			}
 			defer resp.Body.Close()
 			io.Copy(io.Discard, resp.Body) //nolint:errcheck
@@ -190,6 +200,7 @@ type ScenarioReport struct {
 	Errors       int
 	Tolerated502 int64 // accepted 502s (flaky upstream)
 	Tolerated503 int64 // accepted 503s (site down by design)
+	Tolerated429 int64 // accepted 429s (admission shed)
 	Latency      Percentiles
 }
 
@@ -203,6 +214,8 @@ type Report struct {
 	Errors       int
 	Tolerated502 int64   // accepted 502s across all scenarios
 	Tolerated503 int64   // accepted 503s across all scenarios
+	Tolerated429 int64   // accepted 429s across all scenarios
+	Hinted429    int64   // accepted 429s that carried Retry-After
 	Throughput   float64 // iterations per second
 	Latency      Percentiles
 	Scenarios    []ScenarioReport
@@ -216,6 +229,9 @@ func (r *Report) String() string {
 		r.HTTPRequests, r.NotModified, r.Errors)
 	if r.Tolerated502+r.Tolerated503 > 0 {
 		fmt.Fprintf(&sb, ", tolerated %d × 502 / %d × 503", r.Tolerated502, r.Tolerated503)
+	}
+	if r.Tolerated429 > 0 {
+		fmt.Fprintf(&sb, ", shed %d × 429 (%d with Retry-After)", r.Tolerated429, r.Hinted429)
 	}
 	sb.WriteByte('\n')
 	fmt.Fprintf(&sb, "latency: p50 %v  p90 %v  p99 %v  max %v\n",
@@ -232,10 +248,10 @@ func (r *Report) String() string {
 
 // opRec is one completed scenario iteration.
 type opRec struct {
-	scenario   int
-	ns         int64
-	failed     bool
-	t502, t503 int64 // tolerated 502/503s within this iteration
+	scenario         int
+	ns               int64
+	failed           bool
+	t502, t503, t429 int64 // tolerated 502/503/429s within this iteration
 }
 
 // Run executes the configured workload and reports on it.
@@ -249,31 +265,9 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.NewClient == nil {
 		return nil, fmt.Errorf("loadgen: NewClient is required")
 	}
-	total := 0
-	for _, s := range cfg.Mix {
-		if s.Weight < 0 || s.Run == nil {
-			return nil, fmt.Errorf("loadgen: scenario %q invalid", s.Name)
-		}
-		total += s.Weight
-	}
-	if total == 0 {
-		return nil, fmt.Errorf("loadgen: mix has no positive weights")
-	}
-	// Cumulative weights for the per-iteration draw.
-	cum := make([]int, len(cfg.Mix))
-	acc := 0
-	for i, s := range cfg.Mix {
-		acc += s.Weight
-		cum[i] = acc
-	}
-	pick := func(rng *rand.Rand) int {
-		n := rng.Intn(total)
-		for i, c := range cum {
-			if n < c {
-				return i
-			}
-		}
-		return len(cum) - 1 // unreachable
+	pick, err := newMixPicker(cfg.Mix)
+	if err != nil {
+		return nil, err
 	}
 
 	var (
@@ -294,7 +288,7 @@ func Run(cfg Config) (*Report, error) {
 			ops := make([]opRec, 0, cfg.Requests/cfg.Workers+1)
 			for next.Add(1) <= int64(cfg.Requests) {
 				i := pick(ctx.Rand)
-				b502, b503 := ctx.http502, ctx.http503
+				b502, b503, b429 := ctx.http502, ctx.http503, ctx.http429
 				t0 := time.Now()
 				err := cfg.Mix[i].Run(ctx)
 				ops = append(ops, opRec{
@@ -303,25 +297,33 @@ func Run(cfg Config) (*Report, error) {
 					failed:   err != nil,
 					t502:     ctx.http502 - b502,
 					t503:     ctx.http503 - b503,
+					t429:     ctx.http429 - b429,
 				})
 			}
 			perOps[w] = ops
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	return buildReport(cfg.Mix, perOps, perCtx, cfg.Workers, time.Since(start)), nil
+}
 
-	rep := &Report{Workers: cfg.Workers, Elapsed: elapsed}
+// buildReport folds per-worker operation records and client counters into
+// one run report (shared by the closed-loop Run and open-loop RunOpenLoop).
+func buildReport(mix []Scenario, perOps [][]opRec, perCtx []*Ctx, workers int, elapsed time.Duration) *Report {
+	rep := &Report{Workers: workers, Elapsed: elapsed}
 	var all []int64
-	perScen := make([][]int64, len(cfg.Mix))
-	scenErr := make([]int, len(cfg.Mix))
-	scen502 := make([]int64, len(cfg.Mix))
-	scen503 := make([]int64, len(cfg.Mix))
+	perScen := make([][]int64, len(mix))
+	scenErr := make([]int, len(mix))
+	scen502 := make([]int64, len(mix))
+	scen503 := make([]int64, len(mix))
+	scen429 := make([]int64, len(mix))
 	for w, ops := range perOps {
 		rep.HTTPRequests += perCtx[w].httpCount
 		rep.NotModified += perCtx[w].http304
 		rep.Tolerated502 += perCtx[w].http502
 		rep.Tolerated503 += perCtx[w].http503
+		rep.Tolerated429 += perCtx[w].http429
+		rep.Hinted429 += perCtx[w].http429RA
 		for _, op := range ops {
 			rep.Iterations++
 			if op.failed {
@@ -330,6 +332,7 @@ func Run(cfg Config) (*Report, error) {
 			}
 			scen502[op.scenario] += op.t502
 			scen503[op.scenario] += op.t503
+			scen429[op.scenario] += op.t429
 			all = append(all, op.ns)
 			perScen[op.scenario] = append(perScen[op.scenario], op.ns)
 		}
@@ -338,17 +341,49 @@ func Run(cfg Config) (*Report, error) {
 		rep.Throughput = float64(rep.Iterations) / elapsed.Seconds()
 	}
 	rep.Latency = percentiles(all)
-	for i, s := range cfg.Mix {
+	for i, s := range mix {
 		rep.Scenarios = append(rep.Scenarios, ScenarioReport{
 			Name:         s.Name,
 			Iterations:   len(perScen[i]),
 			Errors:       scenErr[i],
 			Tolerated502: scen502[i],
 			Tolerated503: scen503[i],
+			Tolerated429: scen429[i],
 			Latency:      percentiles(perScen[i]),
 		})
 	}
-	return rep, nil
+	return rep
+}
+
+// newMixPicker validates a scenario mix and returns the weighted
+// per-iteration draw.
+func newMixPicker(mix []Scenario) (func(rng *rand.Rand) int, error) {
+	total := 0
+	for _, s := range mix {
+		if s.Weight < 0 || s.Run == nil {
+			return nil, fmt.Errorf("loadgen: scenario %q invalid", s.Name)
+		}
+		total += s.Weight
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("loadgen: mix has no positive weights")
+	}
+	// Cumulative weights for the per-iteration draw.
+	cum := make([]int, len(mix))
+	acc := 0
+	for i, s := range mix {
+		acc += s.Weight
+		cum[i] = acc
+	}
+	return func(rng *rand.Rand) int {
+		n := rng.Intn(total)
+		for i, c := range cum {
+			if n < c {
+				return i
+			}
+		}
+		return len(cum) - 1 // unreachable
+	}, nil
 }
 
 // percentiles computes the latency spread of a sample set.

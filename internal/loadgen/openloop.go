@@ -1,0 +1,151 @@
+package loadgen
+
+// Open-loop load generation: arrivals follow a fixed offered rate with
+// seeded jitter, independent of how fast the service answers. The
+// closed-loop Run hides queueing collapse by construction — a slow server
+// slows the workers down, so offered load sags exactly when the system is
+// in trouble. Here the arrival schedule is precomputed from the seed, a
+// dispatcher releases work at the scheduled instants whether or not earlier
+// requests finished, and every latency is measured from the *scheduled*
+// arrival, not the send — the coordinated-omission-safe discipline overload
+// gates need (BenchmarkE19_OverloadShedding drives exactly this).
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// OpenLoopConfig parameterizes one open-loop run.
+type OpenLoopConfig struct {
+	// Rate is the offered arrival rate in iterations per second (> 0).
+	Rate float64
+	// Requests is the total number of arrivals to schedule.
+	Requests int
+	// Workers bounds the in-flight concurrency (≥1). With every worker
+	// busy, arrivals wait in the dispatch buffer — and their queueing time
+	// counts into their latency, never silently omitted.
+	Workers int
+	// Mix is the weighted scenario set (as in Config).
+	Mix []Scenario
+	// Seed derives the arrival jitter and the per-arrival scenario picks
+	// (one master stream, so the schedule is a pure function of the seed).
+	Seed int64
+	// JitterFrac perturbs each inter-arrival gap by ±JitterFrac of its
+	// nominal length (0 = a perfectly regular arrival train; 1 = gaps
+	// anywhere in (0, 2/Rate)).
+	JitterFrac float64
+	// NewClient builds the HTTP client and base URL a worker uses.
+	NewClient func(worker int) (*http.Client, string)
+}
+
+// OpenLoopReport is the outcome of one RunOpenLoop: the usual report, with
+// latencies measured from scheduled arrivals, plus the offered/achieved
+// rate pair whose divergence locates the capacity knee.
+type OpenLoopReport struct {
+	Report
+	OfferedRate  float64 // what the schedule asked for (it/s)
+	AchievedRate float64 // what actually completed (it/s)
+}
+
+// arrival is one scheduled request: when it is due and which scenario runs.
+type arrival struct {
+	at       time.Duration // offset from run start
+	scenario int
+}
+
+// RunOpenLoop executes the configured open-loop workload.
+func RunOpenLoop(cfg OpenLoopConfig) (*OpenLoopReport, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: open loop needs Rate > 0")
+	}
+	if cfg.Requests < 1 {
+		return nil, fmt.Errorf("loadgen: Requests must be positive")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.JitterFrac < 0 || cfg.JitterFrac > 1 {
+		return nil, fmt.Errorf("loadgen: JitterFrac must be in [0, 1]")
+	}
+	if cfg.NewClient == nil {
+		return nil, fmt.Errorf("loadgen: NewClient is required")
+	}
+	pick, err := newMixPicker(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+
+	// The whole schedule comes from one seeded stream: arrival i lands at
+	// the sum of i jittered gaps and runs a deterministic scenario pick.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gap := float64(time.Second) / cfg.Rate
+	arrivals := make([]arrival, cfg.Requests)
+	var at float64
+	for i := range arrivals {
+		g := gap
+		if cfg.JitterFrac > 0 {
+			g *= 1 + cfg.JitterFrac*(2*rng.Float64()-1)
+		}
+		at += g
+		arrivals[i] = arrival{at: time.Duration(at), scenario: pick(rng)}
+	}
+
+	// The dispatch buffer holds every arrival, so the dispatcher NEVER
+	// blocks on slow workers — that non-blocking send is what makes the
+	// loop open: offered load does not bend to service time.
+	queue := make(chan arrival, cfg.Requests)
+	perOps := make([][]opRec, cfg.Workers)
+	perCtx := make([]*Ctx, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		hc, base := cfg.NewClient(w)
+		// Workers never draw from Rand (picks are pre-scheduled), but the
+		// context keeps one so scenario bodies written for Run still work.
+		ctx := &Ctx{HTTP: hc, Base: base, Rand: rand.New(rand.NewSource(cfg.Seed + int64(w) + 1))}
+		perCtx[w] = ctx
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ops := make([]opRec, 0, cfg.Requests/cfg.Workers+1)
+			for a := range queue {
+				b502, b503, b429 := ctx.http502, ctx.http503, ctx.http429
+				err := cfg.Mix[a.scenario].Run(ctx)
+				// Latency from the scheduled arrival: time the request
+				// spent waiting for a free worker counts against the
+				// service, exactly what coordinated omission would hide.
+				ops = append(ops, opRec{
+					scenario: a.scenario,
+					ns:       (time.Since(start) - a.at).Nanoseconds(),
+					failed:   err != nil,
+					t502:     ctx.http502 - b502,
+					t503:     ctx.http503 - b503,
+					t429:     ctx.http429 - b429,
+				})
+			}
+			perOps[w] = ops
+		}()
+	}
+	for _, a := range arrivals {
+		if d := a.at - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		queue <- a
+	}
+	close(queue)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := &OpenLoopReport{
+		Report:      *buildReport(cfg.Mix, perOps, perCtx, cfg.Workers, elapsed),
+		OfferedRate: cfg.Rate,
+	}
+	if elapsed > 0 {
+		out.AchievedRate = float64(out.Iterations) / elapsed.Seconds()
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/oar"
+	"repro/internal/simclock"
+)
+
+// GridPolicy is the grid-wide slice of the scheduler's peak-hours policy:
+// one immutable value shared by every site scheduler and by the admission
+// layer (internal/admit), so "stay out of the users' way during working
+// hours" means the same window everywhere on the grid instead of being
+// re-tuned per site.
+//
+// The policy is a pure function of simulated time and the request shape —
+// it holds no mutable state — so sharing one value across concurrently
+// stepping shards cannot couple their RNG streams or break the federation's
+// serial ≡ parallel determinism.
+type GridPolicy struct {
+	// PeakStartHour/PeakEndHour bound the working-hours window
+	// (Mon–Fri, PeakStartHour ≤ h < PeakEndHour, local simulated time).
+	PeakStartHour, PeakEndHour int
+}
+
+// DefaultGridPolicy mirrors the paper's deployment: 9:00–18:00, Mon–Fri.
+func DefaultGridPolicy() GridPolicy {
+	return GridPolicy{PeakStartHour: 9, PeakEndHour: 18}
+}
+
+// InPeak reports whether t falls inside the grid-wide working-hours window.
+func (p GridPolicy) InPeak(t simclock.Time) bool {
+	wd := t.Weekday()
+	if wd == time.Saturday || wd == time.Sunday {
+		return false
+	}
+	h := t.HourOfDay()
+	return h >= p.PeakStartHour && h < p.PeakEndHour
+}
+
+// AllowNow decides whether a request may be *placed* at time t, as opposed
+// to waiting in the admission queue. Only whole-cluster demands (a segment
+// asking for AllNodes — the hardware-centric shape that monopolises a
+// cluster) are held back during peak hours; everything else places freely.
+func (p GridPolicy) AllowNow(req oar.Request, t simclock.Time) bool {
+	if !p.InPeak(t) {
+		return true
+	}
+	for _, seg := range req.Segments {
+		if seg.Nodes == oar.AllNodes {
+			return false
+		}
+	}
+	return true
+}

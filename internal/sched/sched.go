@@ -91,6 +91,11 @@ type Config struct {
 	// are not scheduled, to stay out of the users' way.
 	PeakStartHour, PeakEndHour int
 	AvoidPeak                  bool
+	// Grid, when set, replaces the per-site peak window with the shared
+	// grid-wide policy, so every site scheduler (and the admission layer)
+	// defers hardware-centric work over the same hours. The policy is an
+	// immutable pure value; sharing it across shards is determinism-safe.
+	Grid *GridPolicy
 	// MaxActivePerSite bounds concurrently running test jobs per site
 	// ("avoid several jobs on same site").
 	MaxActivePerSite int
@@ -340,6 +345,9 @@ func (s *Scheduler) nextBackoff(cur simclock.Time) simclock.Time {
 }
 
 func (s *Scheduler) isPeak(t simclock.Time) bool {
+	if s.cfg.Grid != nil {
+		return s.cfg.Grid.InPeak(t)
+	}
 	wd := t.Weekday()
 	if wd == time.Saturday || wd == time.Sunday {
 		return false

@@ -26,6 +26,10 @@ type RetryPolicy struct {
 	// delay is multiplied by (1 + Jitter·u) with u uniform in [0,1). Zero
 	// disables jitter.
 	Jitter float64
+	// MaxDelay caps every backoff delay (after growth, jitter and any
+	// Retry-After hint), keeping the schedule bounded however many attempts
+	// the budget allows. Zero means uncapped.
+	MaxDelay time.Duration
 	// Rand drives the jitter draw. Seeded by the caller, so a retry
 	// schedule is as reproducible as everything else in the simulator.
 	// Required if Jitter > 0.
@@ -52,14 +56,26 @@ func (p RetryPolicy) attempts() int {
 }
 
 // backoff sleeps before retry number retryIdx (0-based), applying
-// exponential growth and jitter.
-func (p RetryPolicy) backoff(retryIdx int) {
-	if p.Sleep == nil || p.Backoff <= 0 {
+// exponential growth and jitter. A positive hint — the server's Retry-After,
+// sent with 429 and 503 — raises the delay to at least the hinted wait:
+// retrying sooner than the server asked just burns the attempt budget.
+// MaxDelay caps the result either way.
+func (p RetryPolicy) backoff(retryIdx int, hint time.Duration) {
+	if p.Sleep == nil || (p.Backoff <= 0 && hint <= 0) {
 		return
 	}
-	delay := p.Backoff << retryIdx
-	if p.Jitter > 0 && p.Rand != nil {
-		delay = time.Duration(float64(delay) * (1 + p.Jitter*p.Rand.Float64()))
+	delay := time.Duration(0)
+	if p.Backoff > 0 {
+		delay = p.Backoff << retryIdx
+		if p.Jitter > 0 && p.Rand != nil {
+			delay = time.Duration(float64(delay) * (1 + p.Jitter*p.Rand.Float64()))
+		}
+	}
+	if hint > delay {
+		delay = hint
+	}
+	if p.MaxDelay > 0 && delay > p.MaxDelay {
+		delay = p.MaxDelay
 	}
 	p.Sleep(delay)
 }

@@ -8,17 +8,21 @@ import (
 	"time"
 )
 
-// flakyAPI answers 5xx for the first fail requests, then a minimal valid
-// JSON document.
+// flakyAPI answers code (with an optional Retry-After hint) for the first
+// fail requests, then a minimal valid JSON document.
 type flakyAPI struct {
-	fail     int
-	code     int
-	requests int
+	fail       int
+	code       int
+	retryAfter string
+	requests   int
 }
 
 func (f *flakyAPI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	f.requests++
 	if f.requests <= f.fail {
+		if f.retryAfter != "" {
+			w.Header().Set("Retry-After", f.retryAfter)
+		}
 		http.Error(w, "maintenance", f.code)
 		return
 	}
@@ -67,6 +71,57 @@ func TestNoRetryWithoutPolicy(t *testing.T) {
 	}
 	if api.requests != 1 {
 		t.Fatalf("requests = %d, want 1", api.requests)
+	}
+}
+
+// 429 is the admission layer's "come back later" and rides the retry path
+// exactly like a 503: retried within budget, Retry-After honored.
+func TestRetryTreats429Like503(t *testing.T) {
+	api := &flakyAPI{fail: 2, code: http.StatusTooManyRequests}
+	c := NewLocalClient(api).WithRetry(RetryPolicy{Attempts: 3})
+	if _, err := c.Root(); err != nil {
+		t.Fatalf("retrying client should ride through 429s: %v", err)
+	}
+	if api.requests != 3 {
+		t.Fatalf("requests = %d, want 3 (2 sheds + 1 success)", api.requests)
+	}
+}
+
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	api := &flakyAPI{fail: 1, code: http.StatusTooManyRequests, retryAfter: "7"}
+	var slept []time.Duration
+	c := NewLocalClient(api).WithRetry(RetryPolicy{
+		Attempts: 2,
+		Backoff:  10 * time.Millisecond,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	})
+	if _, err := c.Root(); err != nil {
+		t.Fatal(err)
+	}
+	// The hint (7s) beats the 10ms backoff rung: never retry sooner than
+	// the server asked.
+	if len(slept) != 1 || slept[0] != 7*time.Second {
+		t.Fatalf("slept = %v, want [7s]", slept)
+	}
+}
+
+func TestRetryMaxDelayCapsBackoffAndHint(t *testing.T) {
+	api := &flakyAPI{fail: 1 << 30, code: http.StatusServiceUnavailable, retryAfter: "3600"}
+	var slept []time.Duration
+	c := NewLocalClient(api).WithRetry(RetryPolicy{
+		Attempts: 4,
+		Backoff:  time.Second,
+		MaxDelay: 2 * time.Second,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	})
+	c.Root() //nolint:errcheck
+	if len(slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(slept))
+	}
+	for i, d := range slept {
+		if d > 2*time.Second {
+			t.Fatalf("delay %d = %v exceeds the 2s cap", i, d)
+		}
 	}
 }
 

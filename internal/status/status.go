@@ -20,6 +20,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,19 +61,23 @@ func NewLocalClient(h http.Handler) *Client {
 	return NewClientWith("http://ci.local", inproc.Client(h))
 }
 
-// get fetches and decodes one API response. Transport errors and transient
-// 5xx responses are retried within the client's RetryPolicy budget (no
-// retries unless WithRetry was used); other statuses fail immediately.
+// get fetches and decodes one API response. Transport errors, transient
+// 5xx responses and 429 (admission shed — the server's explicit "come back
+// later", treated exactly like a 503) are retried within the client's
+// RetryPolicy budget (no retries unless WithRetry was used), honoring any
+// Retry-After hint; other statuses fail immediately.
 func (c *Client) get(path string, v any) error {
 	attempts := c.retry.attempts()
 	var lastErr error
+	var hint time.Duration
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
-			c.retry.backoff(try - 1)
+			c.retry.backoff(try-1, hint)
 		}
 		resp, err := c.http.Get(c.base + path)
 		if err != nil {
 			lastErr = err
+			hint = 0
 			continue
 		}
 		if resp.StatusCode == http.StatusOK {
@@ -81,14 +86,29 @@ func (c *Client) get(path string, v any) error {
 			return err
 		}
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		hint = retryAfterHint(resp)
 		resp.Body.Close()
 		lastErr = fmt.Errorf("status: GET %s: %s", path, resp.Status)
-		if resp.StatusCode < 500 {
+		if resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
 			// Client errors are not transient; retrying cannot help.
 			return lastErr
 		}
 	}
 	return lastErr
+}
+
+// retryAfterHint parses a Retry-After header given in seconds (the only
+// form the testbed's services emit). Absent or malformed headers hint 0.
+func retryAfterHint(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Root fetches the server summary.
