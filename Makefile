@@ -2,14 +2,15 @@ GO ?= go
 
 # Benchmarks whose ns_per_op / allocs_per_op are gated by bench-check.
 TRACKED_BENCHES = BenchmarkE2_,BenchmarkE9_,BenchmarkE12_,BenchmarkE13_,BenchmarkE14_,BenchmarkE15_,BenchmarkE16_,BenchmarkE17_
-# Benchmarks gated on allocs_per_op only: E18 and E19 spend their time in
-# real concurrent load generation, so their ns/op varies ±25% between runs
-# even on one machine — allocs/op is their reproducible axis (their
-# correctness gates — determinism, availability, bounded queues, shed
-# contract — run inside the benchmarks themselves).
-TRACKED_ALLOCS_BENCHES = BenchmarkE18_,BenchmarkE19_
+# Benchmarks gated on allocs_per_op only: E18, E19 and E20 spend their
+# time in real concurrent load generation or whole-campaign replays, so
+# their ns/op varies ±25% between runs even on one machine — allocs/op is
+# their reproducible axis (their correctness gates — determinism,
+# availability, bounded queues, shed contract, archive/incident
+# invariants — run inside the benchmarks themselves).
+TRACKED_ALLOCS_BENCHES = BenchmarkE18_,BenchmarkE19_,BenchmarkE20_
 
-.PHONY: all build vet lint fmt-check test race stress fed-check chaos-check admit-check bench bench-check check
+.PHONY: all build vet lint fmt-check test race stress fed-check chaos-check admit-check intel-check bench bench-check check
 
 all: check
 
@@ -66,6 +67,17 @@ admit-check:
 	$(GO) test -race -count=1 ./internal/admit
 	$(GO) test -race -count=1 -run 'TestAdmission|TestDuplicateCluster' ./internal/gateway
 
+# intel-check drills the grid intelligence layer under the race detector:
+# the archive/incident/reliability unit suite (internal/intel) plus the
+# gateway-level endpoint drills — /grid/at and /grid/diff conditional
+# semantics, the incident rollup and its time scoping, the reliability
+# trend's shared-renderer equality, the ?at= inventory satellite, the
+# rollup ETag, and the E18-style degraded-mode drill (intel views exclude
+# a downed site and re-key until heal).
+intel-check:
+	$(GO) test -race -count=1 ./internal/intel
+	$(GO) test -race -count=1 -run 'TestGridAt|TestGridDiff|TestIncidents|TestReliability|TestShardInventoryAt|TestFederatedVersionHint|TestBugsRollup|TestIntelUnderChaos' ./internal/gateway
+
 # bench runs the full experiment suite once and records every number
 # (ns/op, allocs/op, reproduced sim metrics) in BENCH_results.json via
 # cmd/benchjson, so perf regressions show up as reviewable diffs.
@@ -83,4 +95,4 @@ bench-check:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run=NONE . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	$(GO) run ./cmd/benchjson -o bench-check.json -compare BENCH_results.json -max-regress 20% -track $(TRACKED_BENCHES) -track-allocs $(TRACKED_ALLOCS_BENCHES) -ns-floor 1ms < bench.out; st=$$?; rm -f bench.out; exit $$st
 
-check: build vet lint fmt-check race
+check: build vet lint fmt-check race intel-check

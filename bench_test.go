@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -1213,4 +1214,178 @@ func BenchmarkE19_OverloadShedding(b *testing.B) {
 	b.ReportMetric(offered, "offered_rps")
 	b.ReportMetric(achieved, "achieved_rps")
 	b.ReportMetric(p99Admitted, "admitted_p99_us")
+}
+
+// ---- E20: grid intelligence (archive determinism & incident rollup) ---------
+//
+// The gate over the grid intelligence layer (internal/intel) as served by
+// the gateway. Three properties:
+//
+//  1. federated time-travel determinism — the same disaster campaign
+//     (outage + WAN partition on the E18 schedule), stepped serially and
+//     on 4 shard workers, must serve bit-identical /grid/at, /grid/diff,
+//     /incidents and /bugs/rollup bodies for every probed instant: frozen
+//     weeks and catch-up ticks must not leak into the archive;
+//  2. conditional-request economics — hot conditional /grid/at re-reads
+//     answer 304 and unconditional re-reads serve the cached body while
+//     the summed per-store materialization counters stay flat, so a
+//     historical read costs one binary search per site, not a snapshot
+//     rebuild;
+//  3. incident-rollup stability — the outage's ticket burst (one ticket
+//     per surviving shard, same signature) folds into exactly one
+//     incident spanning those sites, with one ticket per affected site.
+
+func BenchmarkE20_GridIntelligence(b *testing.B) {
+	chaosSites := []string{"luxembourg", "nantes", "lyon", "sophia"}
+	spec := func() []testbed.ClusterSpec {
+		want := map[string]bool{}
+		for _, s := range chaosSites {
+			want[s] = true
+		}
+		var out []testbed.ClusterSpec
+		for _, cs := range testbed.DefaultSpec {
+			if want[cs.Site] {
+				out = append(out, cs)
+			}
+		}
+		return out
+	}()
+	shardProfile := func(site string, seed int64) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.InitialFaults = 10
+		cfg.EnvMatrixPeriod = 0
+		return cfg
+	}
+	schedule := []faults.ScheduleEntry{
+		{Kind: faults.SiteOutage, Sites: []string{"lyon"}, At: simclock.Week, Duration: simclock.Week},
+		{Kind: faults.WANPartition, Sites: []string{"nantes"}, At: simclock.Week, Duration: 2 * simclock.Week},
+	}
+	runIntel := func(workers int) (*federation.Federation, *gateway.Gateway) {
+		fed := federation.New(federation.Config{
+			Seed: 20, Workers: workers, Spec: spec, Configure: shardProfile,
+		})
+		fed.Start()
+		if err := fed.ScheduleChaos(schedule...); err != nil {
+			b.Fatalf("schedule: %v", err)
+		}
+		gw := gateway.ForFederation(fed)
+		gw.Advance(3 * simclock.Week)
+		return fed, gw
+	}
+	fetch := func(c *http.Client, path string) (string, []byte) {
+		resp, err := c.Get("http://gw.local" + path)
+		if err != nil {
+			b.Fatalf("GET %s: %v", path, err)
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("GET %s: status %d (read err %v): %s", path, resp.StatusCode, rerr, body)
+		}
+		return resp.Header.Get("ETag"), body
+	}
+	conditional := func(c *http.Client, path, etag string) int {
+		req, _ := http.NewRequest(http.MethodGet, "http://gw.local"+path, nil)
+		req.Header.Set("If-None-Match", etag)
+		resp, err := c.Do(req)
+		if err != nil {
+			b.Fatalf("conditional GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	var versions, hot304, incidentCount, outageSites float64
+	for i := 0; i < b.N; i++ {
+		// Phase 1 — serial ≡ parallel: every intel body bit-identical.
+		_, gwS := runIntel(1)
+		fedP, gwP := runIntel(4)
+		cS, cP := inproc.Client(gwS), inproc.Client(gwP)
+		probes := []string{
+			"/grid/at?t=302400",  // mid week 1: whole grid, pre-disaster
+			"/grid/at?t=907200",  // mid week 2: lyon frozen, nantes cut
+			"/grid/at?t=1814400", // week 3 barrier: healed and caught up
+			"/grid/diff?from=302400&to=1814400",
+			"/incidents?state=all",
+			"/incidents?at=1209600",
+			"/bugs/rollup?state=all",
+		}
+		for _, p := range probes {
+			etagS, bodyS := fetch(cS, p)
+			etagP, bodyP := fetch(cP, p)
+			if etagS != etagP || !bytes.Equal(bodyS, bodyP) {
+				b.Fatalf("%s diverged between serial and parallel stepping:\nserial:   %s %d bytes\nparallel: %s %d bytes",
+					p, etagS, len(bodyS), etagP, len(bodyP))
+			}
+		}
+
+		// Phase 2 — hot-304 economics on the parallel gateway: conditional
+		// and cached re-reads must not materialize a single snapshot.
+		sumMats := func() int64 {
+			var n int64
+			for _, sh := range fedP.Shards() {
+				n += sh.F.Ref.Materializations()
+			}
+			return n
+		}
+		etag, _ := fetch(cP, "/grid/at?t=907200") // body + caches warm
+		mats := sumMats()
+		hot304 = 0
+		for j := 0; j < 50; j++ {
+			if code := conditional(cP, "/grid/at?t=907200", etag); code != http.StatusNotModified {
+				b.Fatalf("conditional /grid/at read %d: status %d, want 304", j, code)
+			}
+			hot304++
+		}
+		for j := 0; j < 25; j++ {
+			fetch(cP, "/grid/at?t=907200")
+		}
+		if got := sumMats(); got != mats {
+			b.Fatalf("hot /grid/at reads re-materialized snapshots: %d → %d", mats, got)
+		}
+		versions = 0
+		for _, sh := range fedP.Shards() {
+			versions += float64(sh.F.Ref.VersionCount())
+		}
+
+		// Phase 3 — the outage burst folds: one signature filed at every
+		// surviving shard is exactly one incident spanning those sites.
+		_, body := fetch(cP, "/incidents?state=all")
+		var inc gateway.IncidentsJSON
+		if err := json.Unmarshal(body, &inc); err != nil {
+			b.Fatalf("/incidents body: %v", err)
+		}
+		rows := 0
+		var outage gateway.IncidentJSON
+		for _, in := range inc.Incidents {
+			if in.Signature == "site-outage:lyon" {
+				rows++
+				outage = in
+			}
+		}
+		if rows != 1 {
+			b.Fatalf("outage burst folded into %d incidents, want exactly 1", rows)
+		}
+		if len(outage.Sites) < 2 {
+			b.Fatalf("outage incident spans %v, want ≥2 sites", outage.Sites)
+		}
+		if outage.Tickets != len(outage.Sites) {
+			b.Fatalf("outage incident: %d tickets across %d sites, want one per site",
+				outage.Tickets, len(outage.Sites))
+		}
+		for _, s := range outage.Sites {
+			if s == "lyon" {
+				b.Fatal("the lost site carries its own outage ticket")
+			}
+		}
+		incidentCount = float64(inc.Count)
+		outageSites = float64(len(outage.Sites))
+	}
+	b.ReportMetric(versions, "archived_versions")
+	b.ReportMetric(hot304, "hot_304_reads")
+	b.ReportMetric(incidentCount, "incidents")
+	b.ReportMetric(outageSites, "outage_sites")
+	b.ReportMetric(float64(len(chaosSites)), "sites")
+	b.ReportMetric(float64(len(schedule)), "grid_events")
 }

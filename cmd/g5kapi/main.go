@@ -7,6 +7,9 @@
 //
 //	g5kapi [-addr :8080] [-weeks 2] [-seed 42] [-live] [-step 10m] [-shards]
 //
+// With -reliability N an N-seed fleet sweep runs before serving and its
+// confidence-band trend is installed on GET /reliability/trend.
+//
 // With -shards the campaign is federated (internal/federation): one
 // per-site shard behind per-shard gateway locks, site-scoped routes under
 // /sites/{site}/... and scatter-gather merges on the classic paths. A
@@ -61,6 +64,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/gateway"
 	"repro/internal/inproc"
+	"repro/internal/intel"
 	"repro/internal/loadgen"
 	"repro/internal/simclock"
 	"repro/internal/testbed"
@@ -75,6 +79,7 @@ func main() {
 	shards := flag.Bool("shards", false, "federate the campaign: one per-site shard behind per-shard gateway locks")
 	fedWorkers := flag.Int("shard-workers", 0, "shards advanced concurrently (0 = GOMAXPROCS; -shards only)")
 	chaos := flag.String("chaos", "", `disaster schedule, e.g. "outage:lyon@1w+1w,maintenance:nancy+rennes@2w+1w" (-shards only)`)
+	reliability := flag.Int("reliability", 0, "also run an N-seed fleet sweep and serve it on /reliability/trend (0 = skip)")
 	runLoad := flag.Bool("loadgen", false, "run the load generator against an in-process gateway and exit")
 	workers := flag.Int("workers", 4, "loadgen: concurrent client workers")
 	requests := flag.Int("requests", 20000, "loadgen: total scenario iterations")
@@ -145,6 +150,23 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	if *reliability > 0 {
+		// The sweep is expensive (N whole campaigns), so it runs once here
+		// and the gateway serves the stored, versioned result.
+		log.Printf("reliability sweep: %d seeds × %d weeks...", *reliability, *weeks)
+		res := core.RunFleet(core.FleetConfig{
+			Seeds:    core.SeedRange(*seed, *reliability),
+			Duration: simclock.Time(*weeks) * simclock.Week,
+			Configure: func(s int64) core.Config {
+				cfg := core.DefaultConfig()
+				cfg.Seed = s
+				return cfg
+			},
+		})
+		gw.SetReliabilityTrend(intel.TrendFromFleet(res, *seed, *weeks))
+		log.Printf("reliability trend installed: GET /reliability/trend")
 	}
 
 	if *runLoad {

@@ -8,6 +8,12 @@
 // goroutines, reporting the trend and bug statistics as mean ± spread —
 // the Monte-Carlo view of the paper's longitudinal result.
 //
+// With -reliability it runs the same fleet sweep but reports it as the
+// grid reliability trend: per-week success-rate confidence bands
+// (mean ± std across seeds), printed through the one shared renderer
+// (internal/intel) — byte-identical to what a client renders from the
+// gateway's GET /reliability/trend body.
+//
 // With -federated it runs ONE campaign split into per-site shards
 // (internal/federation): every site gets its own OAR, monitor, CI, fault
 // and operator processes on an independent RNG stream, shards step in
@@ -19,6 +25,7 @@
 //
 //	g5ktest [-weeks N] [-seed S] [-faults N] [-quiet]
 //	g5ktest -seeds N [-parallel P] [-weeks N] [-seed BASE] [-faults N]
+//	g5ktest -reliability -seeds N [-parallel P] [-weeks N] [-seed BASE]
 //	g5ktest -federated [-parallel P] [-weeks N] [-seed S] [-faults N]
 package main
 
@@ -31,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/federation"
+	"repro/internal/intel"
 	"repro/internal/simclock"
 	"repro/internal/status"
 )
@@ -43,12 +51,17 @@ func main() {
 	seeds := flag.Int("seeds", 1, "run a fleet of N independently seeded campaigns")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaigns (fleet mode) or site shards (federated mode) simulated concurrently")
 	federated := flag.Bool("federated", false, "run one campaign as per-site shards (internal/federation)")
+	reliability := flag.Bool("reliability", false, "report the -seeds fleet as the grid reliability trend (confidence bands)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.InitialFaults = *initialFaults
 
+	if *reliability {
+		runReliability(*seed, *seeds, *parallel, *weeks, *initialFaults)
+		return
+	}
 	if *federated {
 		runFederated(*seed, *parallel, *weeks, *initialFaults)
 		return
@@ -139,6 +152,25 @@ func runFleet(base int64, n, parallel, weeks, initialFaults int) {
 	fmt.Printf("  bugs filed     %s\n", res.BugsFiled)
 	fmt.Printf("  bugs fixed     %s\n", res.BugsFixed)
 	fmt.Printf("  bugs open      %s\n", res.BugsOpen)
+}
+
+// runReliability is the -reliability mode: the same N-seed sweep as
+// -seeds, folded into the grid reliability trend and printed through the
+// shared renderer — so this output and a render of the gateway's
+// /reliability/trend body are byte-for-byte the same report.
+func runReliability(base int64, n, parallel, weeks, initialFaults int) {
+	res := core.RunFleet(core.FleetConfig{
+		Seeds:    core.SeedRange(base, n),
+		Parallel: parallel,
+		Duration: simclock.Time(weeks) * simclock.Week,
+		Configure: func(seed int64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.InitialFaults = initialFaults
+			return cfg
+		},
+	})
+	intel.TrendFromFleet(res, base, weeks).RenderText(os.Stdout)
 }
 
 // runFederated is the -federated mode: one campaign as per-site shards.

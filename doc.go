@@ -60,6 +60,20 @@
 //     /admit/queue is the observability view; sched.GridPolicy defers
 //     whole-cluster demands grid-wide during peak hours; make
 //     admit-check races the drills)
+//   - internal/intel — the grid intelligence layer over the federation:
+//     GridArchive answers "the whole grid's inventory as of sim-time T"
+//     by binary-searching every live shard's Reference-API archive
+//     under its read gate, joined into a version-vector ETag whose body
+//     is materialized from exactly the versions the vector names (GET
+//     /grid/at, /grid/diff; /sites/{site}/ref/inventory?at=T is the
+//     site-scoped form); Correlate folds same-signature bugs across all
+//     sites' trackers into lifecycle-bearing incidents, snapshot-keyed
+//     so any filing or fix anywhere re-keys the view and ?at=T replays
+//     history (GET /incidents); and TrendFromFleet folds a core.Fleet
+//     sweep into per-week success-rate confidence bands rendered by one
+//     shared renderer — the CLI report (g5ktest -reliability) and a
+//     render of the gateway's GET /reliability/trend body are
+//     byte-identical (make intel-check races the drills)
 //   - internal/loadgen — the workload engine: N client workers replay
 //     weighted scenario mixes (operator-dashboard, api-scraper,
 //     submit-heavy) and report throughput plus latency percentiles;
@@ -90,12 +104,13 @@
 //     <reason> directive; the reason is mandatory
 //
 // bench_test.go at the repository root regenerates every quantitative
-// claim of the paper (E1–E10, plus E11–E19 added by this reproduction:
+// claim of the paper (E1–E10, plus E11–E20 added by this reproduction:
 // executor-pool scaling, parallel verification sweeps, Reference API
 // version churn, campaign-fleet scaling, API-gateway throughput scaling,
 // the mixed gateway workload, the federated per-site shard advance,
-// disaster availability under site-scale chaos, and overload shedding
-// through grid admission —
+// disaster availability under site-scale chaos, overload shedding
+// through grid admission, and grid intelligence — time-travel archive
+// determinism, hot-304 flatness and cross-site incident folding —
 // E12/E13 exercised against deterministic k×-scale testbeds from
 // testbed.Scaled), smoke_test.go
 // runs the same experiments at reduced scale as plain tests, and

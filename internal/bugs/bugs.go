@@ -64,6 +64,12 @@ type Tracker struct {
 	// counts resolved bugs for O(1) Stats.
 	open  []*Bug
 	fixed int
+
+	// version counts mutations: every File (including deduplicated
+	// occurrence bumps — they change rollup output) and every successful
+	// Fix. The gateway's rollup and incident ETags key on it, so any change
+	// that could alter those views invalidates them.
+	version int64
 }
 
 // NewTracker returns an empty tracker.
@@ -93,6 +99,7 @@ func (t *Tracker) openRemove(b *Bug) {
 // the bug is reopened — the problem came back. Returns the bug and whether
 // this filing created or reopened it (i.e. operators have new work).
 func (t *Tracker) File(signature, title, family, target string) (*Bug, bool) {
+	t.version++
 	if b := t.bySig[signature]; b != nil {
 		b.Occurrences++
 		if b.State == Fixed {
@@ -132,9 +139,15 @@ func (t *Tracker) Fix(id int) error {
 	b.State = Fixed
 	b.FixedAt = t.clock.Now()
 	t.fixed++
+	t.version++
 	t.openRemove(b)
 	return nil
 }
+
+// Version returns the tracker's mutation counter: it advances on every
+// filing (new, reopened or deduplicated) and every fix, never otherwise.
+// Two reads observing the same version observed identical tracker state.
+func (t *Tracker) Version() int64 { return t.version }
 
 // Get returns a bug by ID, or nil.
 func (t *Tracker) Get(id int) *Bug {

@@ -155,3 +155,41 @@ func TestFilingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestVersionCounter pins the ETag contract: every mutation — new filing,
+// deduplicated occurrence bump, reopen, fix — advances the version; pure
+// reads do not.
+func TestVersionCounter(t *testing.T) {
+	tr := NewTracker(simclock.New(9))
+	if tr.Version() != 0 {
+		t.Fatalf("fresh tracker version = %d, want 0", tr.Version())
+	}
+	b, _ := tr.File("sig-a", "t", "f", "x")
+	v1 := tr.Version()
+	if v1 == 0 {
+		t.Fatal("new filing did not bump the version")
+	}
+	tr.File("sig-a", "t", "f", "x") // dedup: occurrence bump still mutates
+	v2 := tr.Version()
+	if v2 == v1 {
+		t.Fatal("deduplicated filing did not bump the version")
+	}
+	if err := tr.Fix(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	v3 := tr.Version()
+	if v3 == v2 {
+		t.Fatal("fix did not bump the version")
+	}
+	tr.File("sig-a", "t", "f", "x") // reopen
+	if tr.Version() == v3 {
+		t.Fatal("reopen did not bump the version")
+	}
+	before := tr.Version()
+	tr.All()
+	tr.OpenBugs()
+	tr.Stats()
+	if tr.Version() != before {
+		t.Fatal("reads bumped the version")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/admit"
 	"repro/internal/bugs"
 	"repro/internal/ci"
+	"repro/internal/intel"
 	"repro/internal/monitor"
 	"repro/internal/oar"
 	"repro/internal/simclock"
@@ -755,10 +756,12 @@ type BugsRollupJSON struct {
 
 // handleBugsRollup serves the cross-site rollup: a site outage files one
 // ticket per surviving shard; this view folds such bursts back into one row
-// per signature, widest burst first.
+// per signature, widest burst first. The ETag is the joined per-site
+// tracker version vector (every File and Fix bumps it), read in the same
+// gated pass as the ticket lists — so a matching conditional request means
+// the cached body is exactly current, and a 304 costs no rollup at all.
 func (g *Gateway) handleBugsRollup(w http.ResponseWriter, r *http.Request) {
-	shards := g.bugShards()
-	if len(shards) == 0 {
+	if len(g.trackers) == 0 {
 		notConfigured(w, "bug tracker")
 		return
 	}
@@ -767,36 +770,45 @@ func (g *Gateway) handleBugsRollup(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	acc := map[string]*bugs.RollupEntry{}
-	out := BugsRollupJSON{Degraded: g.degradedMarker(), Rollup: []BugRollupJSON{}}
-	for _, s := range g.availableShards(shards) {
-		site := s.site
-		if site == "" {
-			site = "local"
+	degraded := g.degradedMarker()
+	snaps := intel.SnapshotTrackers(g.liveTrackers(excludedSites(degraded)))
+	key := "br" + intel.VersionKey64(snaps) + "|" + state + downSetKey(degraded)
+	etag := `"` + key + `"`
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	g.intelMu.Lock()
+	body := g.rollupBody
+	hit := g.rollupKey == key && body != nil
+	g.intelMu.Unlock()
+	if !hit {
+		out := BugsRollupJSON{Degraded: degraded, Rollup: []BugRollupJSON{}}
+		for _, e := range bugs.RollupSorted(rollupFromSnapshots(snaps, state)) {
+			out.Rollup = append(out.Rollup, BugRollupJSON{
+				Signature:       e.Signature,
+				Title:           e.Title,
+				Family:          e.Family,
+				Sites:           e.Sites,
+				Tickets:         e.Tickets,
+				Open:            e.Open,
+				Occurrences:     e.Occurrences,
+				FirstFiledAtSec: e.FirstFiledAt.Seconds(),
+			})
 		}
-		s.rlocked(func() {
-			tr := s.cfg.Bugs
-			list := tr.OpenBugs()
-			if state == "all" {
-				list = tr.All()
-			}
-			bugs.RollupInto(acc, site, list)
-		})
+		out.Count = len(out.Rollup)
+		body, err = marshalIndent(out)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		g.intelMu.Lock()
+		g.rollupKey, g.rollupBody = key, body
+		g.intelMu.Unlock()
 	}
-	for _, e := range bugs.RollupSorted(acc) {
-		out.Rollup = append(out.Rollup, BugRollupJSON{
-			Signature:       e.Signature,
-			Title:           e.Title,
-			Family:          e.Family,
-			Sites:           e.Sites,
-			Tickets:         e.Tickets,
-			Open:            e.Open,
-			Occurrences:     e.Occurrences,
-			FirstFiledAtSec: e.FirstFiledAt.Seconds(),
-		})
-	}
-	out.Count = len(out.Rollup)
-	writeJSON(w, out)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body) //nolint:errcheck
 }
 
 // ---- status views ----------------------------------------------------------

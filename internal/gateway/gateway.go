@@ -26,6 +26,15 @@
 //	GET  /monitor/metrics  1 Hz samples (?metric=&node=&site=&from_sec=&to_sec=)
 //	GET  /bugs             bug reports (?state=open|all, ?family=F)
 //	GET  /bugs/rollup      cross-site rollup: one row per signature
+//	                       (version-vector ETag/304)
+//	GET  /grid/at          grid inventory as of sim-time T (?t=S;
+//	                       composite ETag/304, see intel.go)
+//	GET  /grid/diff        what changed anywhere between two instants
+//	                       (?from=S&to=S; per-site sections)
+//	GET  /incidents        cross-site incident rollup (?state=, ?at=S
+//	                       for the as-of view)
+//	GET  /reliability/trend fleet reliability confidence bands (stored
+//	                       sweep; ETag/304)
 //	GET  /chaos            grid-event state: degraded set, active, history
 //	POST /chaos/inject     inject a site-scale event (outage/partition/...)
 //	POST /chaos/heal       heal one event ({"id":N}) or all ({"all":true})
@@ -88,6 +97,7 @@ import (
 	"repro/internal/bugs"
 	"repro/internal/ci"
 	"repro/internal/core"
+	"repro/internal/intel"
 	"repro/internal/monitor"
 	"repro/internal/oar"
 	"repro/internal/refapi"
@@ -198,6 +208,25 @@ type Gateway struct {
 	fedInvBody  []byte
 	fedDiffKey  string
 	fedDiffBody []byte
+
+	// Grid intelligence (internal/intel): the federated archive and
+	// tracker sources assembled over the shards at construction, and the
+	// stored fleet reliability trend (see intel.go).
+	archive     *intel.GridArchive
+	trackers    []intel.SiteTracker
+	reliability *intel.TrendStore
+
+	// Rendered-body caches for the intel endpoints, each keyed by its
+	// composite version key (+ the down-set suffix).
+	intelMu      sync.Mutex
+	gridAtKey    string
+	gridAtBody   []byte
+	gridDiffKey  string
+	gridDiffBody []byte
+	incKey       string
+	incBody      []byte
+	rollupKey    string
+	rollupBody   []byte
 }
 
 // New assembles a single-shard gateway over the configured subsystems —
@@ -243,6 +272,25 @@ func NewFederated(shardCfgs []ShardConfig) *Gateway {
 		}
 	}
 
+	// The grid intelligence sources: every archived store and every
+	// tracker, each behind its own shard's read gate, labeled like the
+	// rollup views label shards (a monolithic shard reads as "local").
+	var arcs []intel.SiteArchive
+	for _, s := range g.shards {
+		label := s.site
+		if label == "" {
+			label = "local"
+		}
+		if s.cfg.Ref != nil {
+			arcs = append(arcs, intel.SiteArchive{Site: label, Ref: s.cfg.Ref, Gate: s.rlocked})
+		}
+		if s.cfg.Bugs != nil {
+			g.trackers = append(g.trackers, intel.SiteTracker{Site: label, Bugs: s.cfg.Bugs, Gate: s.rlocked})
+		}
+	}
+	g.archive = intel.NewGridArchive(arcs)
+	g.reliability = &intel.TrendStore{}
+
 	g.handle("/", http.MethodGet, g.handleIndex)
 	g.handle("/sites", http.MethodGet, g.handleSites)
 	g.handle("/sites/", "", g.handleSiteScoped)
@@ -255,6 +303,10 @@ func NewFederated(shardCfgs []ShardConfig) *Gateway {
 	g.handle("/monitor/metrics", http.MethodGet, g.handleMonitorMetrics)
 	g.handle("/bugs", http.MethodGet, g.handleBugs)
 	g.handle("/bugs/rollup", http.MethodGet, g.handleBugsRollup)
+	g.handle("/grid/at", http.MethodGet, g.handleGridAt)
+	g.handle("/grid/diff", http.MethodGet, g.handleGridDiff)
+	g.handle("/incidents", http.MethodGet, g.handleIncidents)
+	g.handle("/reliability/trend", http.MethodGet, g.handleReliabilityTrend)
 	g.handle("/chaos", http.MethodGet, g.handleChaos)
 	g.handle("/chaos/inject", http.MethodPost, g.handleChaosInject)
 	g.handle("/chaos/heal", http.MethodPost, g.handleChaosHeal)

@@ -1,0 +1,542 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/inproc"
+	"repro/internal/intel"
+	"repro/internal/refapi"
+	"repro/internal/simclock"
+	"repro/internal/testbed"
+)
+
+// newIntelGateway assembles a two-shard gateway over hand-built stores and
+// trackers — no campaign, so every archived version, sim-time and tracker
+// mutation is exact. Site "luxembourg" captures at 10h and updates one
+// node's RAM at 20h; site "nantes" captures at 15h.
+func newIntelGateway(t *testing.T) (*Gateway, *refapi.Store, *refapi.Store, *bugs.Tracker, *bugs.Tracker) {
+	t.Helper()
+	tbA := testbed.Generate(fedSpec("luxembourg"))
+	stA := refapi.NewStore(tbA, 10*simclock.Hour)
+	node := tbA.Nodes()[0]
+	inv := node.Inv.Clone()
+	inv.RAMGB += 8
+	if err := stA.Update(20*simclock.Hour, node.Name, inv); err != nil {
+		t.Fatal(err)
+	}
+	tbB := testbed.Generate(fedSpec("nantes"))
+	stB := refapi.NewStore(tbB, 15*simclock.Hour)
+
+	clkA := simclock.New(1)
+	clkA.RunUntil(simclock.Hour)
+	trA := bugs.NewTracker(clkA)
+	clkB := simclock.New(2)
+	clkB.RunUntil(2 * simclock.Hour)
+	trB := bugs.NewTracker(clkB)
+
+	gw := NewFederated([]ShardConfig{
+		{Site: "luxembourg", Config: Config{TB: tbA, Ref: stA, Bugs: trA}},
+		{Site: "nantes", Config: Config{TB: tbB, Ref: stB, Bugs: trB}},
+	})
+	return gw, stA, stB, trA, trB
+}
+
+func getConditional(t *testing.T, c *http.Client, path, etag string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "http://gw.local"+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func TestGridAtEndpoint(t *testing.T) {
+	gw, stA, stB, _, _ := newIntelGateway(t)
+	c := inproc.Client(gw)
+
+	// Parameter contract: t is required and must be a sane number.
+	if resp, body := get(t, c, "/grid/at"); resp.StatusCode != http.StatusBadRequest ||
+		!strings.Contains(string(body), "t=<simtime seconds>") {
+		t.Fatalf("missing t = %d %s", resp.StatusCode, body)
+	}
+	for _, bad := range []string{"?t=nope", "?t=-5", "?t=NaN"} {
+		if resp, _ := get(t, c, "/grid/at"+bad); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("/grid/at%s status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Before any site's first capture: 404, not an empty 200.
+	if resp, _ := get(t, c, "/grid/at?t=18000"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-capture status = %d, want 404", resp.StatusCode)
+	}
+
+	// At 12h only luxembourg exists (as version 1, captured at 10h).
+	resp, body := get(t, c, "/grid/at?t=43200")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("t=12h status = %d", resp.StatusCode)
+	}
+	if etag := resp.Header.Get("ETag"); etag != `"ga1.0"` {
+		t.Fatalf("t=12h ETag = %s, want \"ga1.0\"", etag)
+	}
+	at := decode[GridAtJSON](t, body)
+	if len(at.Sites) != 1 || at.Sites[0].Site != "luxembourg" || at.Sites[0].Version != 1 {
+		t.Fatalf("t=12h sites = %+v, want luxembourg@1", at.Sites)
+	}
+	if at.AsOfSec != (10 * simclock.Hour).Seconds() {
+		t.Fatalf("as_of_sec = %v, want 36000", at.AsOfSec)
+	}
+
+	// At 25h the grid view spans both sites at their then-current versions.
+	resp, body = get(t, c, "/grid/at?t=90000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("t=25h status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag != `"ga2.1"` {
+		t.Fatalf("t=25h ETag = %s, want \"ga2.1\"", etag)
+	}
+	at = decode[GridAtJSON](t, body)
+	if len(at.Sites) != 2 || at.Sites[0].Version != 2 || at.Sites[1].Version != 1 {
+		t.Fatalf("t=25h sites = %+v, want luxembourg@2, nantes@1", at.Sites)
+	}
+	if at.AsOfSec != (20 * simclock.Hour).Seconds() {
+		t.Fatalf("as_of_sec = %v, want 72000 (the RAM update)", at.AsOfSec)
+	}
+
+	// Conditional re-reads 304 without materializing; unconditional hot
+	// reads serve the cached body without materializing either.
+	mats := stA.Materializations() + stB.Materializations()
+	for i := 0; i < 25; i++ {
+		if resp := getConditional(t, c, "/grid/at?t=90000", etag); resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("conditional read %d: status = %d, want 304", i, resp.StatusCode)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if resp, _ := get(t, c, "/grid/at?t=90000"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("hot read status = %d", resp.StatusCode)
+		}
+	}
+	if got := stA.Materializations() + stB.Materializations(); got != mats {
+		t.Fatalf("hot /grid/at re-materialized: %d → %d", mats, got)
+	}
+
+	// A different t resolving to the same version vector is the same
+	// resource: same ETag, and a conditional against it still 304s.
+	resp, _ = get(t, c, "/grid/at?t=100000")
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Fatalf("t=100000 ETag = %s, want %s (same vector)", got, etag)
+	}
+}
+
+func TestGridDiffEndpoint(t *testing.T) {
+	gw, _, _, _, _ := newIntelGateway(t)
+	c := inproc.Client(gw)
+
+	if resp, body := get(t, c, "/grid/diff"); resp.StatusCode != http.StatusBadRequest ||
+		!strings.Contains(string(body), "from=<simtime seconds>") {
+		t.Fatalf("missing range = %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, c, "/grid/diff?from=90000&to=43200"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("inverted range status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, c, "/grid/diff?from=0&to=100"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-capture range status = %d, want 404", resp.StatusCode)
+	}
+
+	// 12h → 25h: luxembourg moved v1→v2 (one RAM field), nantes appeared.
+	resp, body := get(t, c, "/grid/diff?from=43200&to=90000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag != `"gd1.0-2.1"` {
+		t.Fatalf("diff ETag = %s, want \"gd1.0-2.1\"", etag)
+	}
+	diff := decode[GridDiffJSON](t, body)
+	if len(diff.Sites) != 2 {
+		t.Fatalf("diff sites = %d, want 2", len(diff.Sites))
+	}
+	lux, nts := diff.Sites[0], diff.Sites[1]
+	if lux.Site != "luxembourg" || lux.FromVersion != 1 || lux.ToVersion != 2 || len(lux.Differences) != 1 {
+		t.Fatalf("luxembourg section = %+v", lux)
+	}
+	if nts.Site != "nantes" || nts.FromVersion != 0 || nts.ToVersion != 1 {
+		t.Fatalf("nantes section = %+v", nts)
+	}
+	presence := len(nts.Differences)
+	if presence == 0 {
+		t.Fatal("nantes presence rows = 0, want one per node")
+	}
+	if diff.Count != 1+presence {
+		t.Fatalf("count = %d, want %d", diff.Count, 1+presence)
+	}
+
+	// Conditional 304, and the degenerate self-diff is empty.
+	if resp := getConditional(t, c, "/grid/diff?from=43200&to=90000", etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional diff status = %d, want 304", resp.StatusCode)
+	}
+	resp, body = get(t, c, "/grid/diff?from=90000&to=90000")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("self-diff status = %d", resp.StatusCode)
+	}
+	if got := decode[GridDiffJSON](t, body); got.Count != 0 {
+		t.Fatalf("self-diff count = %d, want 0", got.Count)
+	}
+}
+
+func TestIncidentsEndpoint(t *testing.T) {
+	gw, _, _, trA, trB := newIntelGateway(t)
+	c := inproc.Client(gw)
+
+	// Empty trackers: a clean 200 with zero incidents, already ETagged.
+	resp, body := get(t, c, "/incidents")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty status = %d", resp.StatusCode)
+	}
+	if got := decode[IncidentsJSON](t, body); got.Count != 0 {
+		t.Fatalf("empty count = %d", got.Count)
+	}
+	emptyETag := resp.Header.Get("ETag")
+
+	// The same root cause filed at two sites is exactly one incident.
+	trA.File("net/switch-flap", "switch flapping", "net", "sw-1")
+	trB.File("net/switch-flap", "switch flapping", "net", "sw-1")
+	trB.File("disk/smart", "disk failure", "hw", "node-9")
+
+	resp, body = get(t, c, "/incidents")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == emptyETag {
+		t.Fatal("filing bugs did not move the /incidents ETag")
+	}
+	inc := decode[IncidentsJSON](t, body)
+	if inc.Count != 2 || len(inc.Incidents) != 2 {
+		t.Fatalf("count = %d, want 2 (3 tickets, 2 signatures)", inc.Count)
+	}
+	flap := inc.Incidents[0]
+	if flap.Signature != "net/switch-flap" || flap.Tickets != 2 || flap.OpenTickets != 2 {
+		t.Fatalf("first incident = %+v, want the folded switch-flap", flap)
+	}
+	if len(flap.Sites) != 2 || flap.Sites[0] != "luxembourg" || flap.Sites[1] != "nantes" {
+		t.Fatalf("flap sites = %v, want [luxembourg nantes]", flap.Sites)
+	}
+	if flap.FirstSeenSec != simclock.Hour.Seconds() || flap.LastSeenSec != (2*simclock.Hour).Seconds() {
+		t.Fatalf("flap first/last = %v/%v, want 3600/7200", flap.FirstSeenSec, flap.LastSeenSec)
+	}
+	if flap.State != "open" {
+		t.Fatalf("flap state = %q", flap.State)
+	}
+
+	// Conditional requests 304 until a tracker mutates.
+	if resp := getConditional(t, c, "/incidents", etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional status = %d, want 304", resp.StatusCode)
+	}
+	trB.File("disk/smart", "disk failure", "hw", "node-9") // dedup bump still moves the version
+	if resp := getConditional(t, c, "/incidents", etag); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-mutation conditional status = %d, want 200", resp.StatusCode)
+	}
+
+	// The time-scoped view: at 90 minutes only luxembourg's filing exists.
+	resp, body = get(t, c, "/incidents?at=5400")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("?at status = %d", resp.StatusCode)
+	}
+	past := decode[IncidentsJSON](t, body)
+	if past.AtSec == nil || *past.AtSec != 5400 {
+		t.Fatalf("?at body at_sec = %v, want 5400", past.AtSec)
+	}
+	if past.Count != 1 || past.Incidents[0].Tickets != 1 ||
+		len(past.Incidents[0].Sites) != 1 || past.Incidents[0].Sites[0] != "luxembourg" {
+		t.Fatalf("?at=5400 = %+v, want the single luxembourg ticket", past.Incidents)
+	}
+	if resp, _ := get(t, c, "/incidents?at=10"); resp.StatusCode != http.StatusOK {
+		t.Fatal("?at before history should still be a clean empty 200")
+	}
+	if resp, _ := get(t, c, "/incidents?at=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("bad ?at should be 400")
+	}
+
+	// Lifecycle: fixing both flap tickets closes the incident out of the
+	// default view; state=all still shows it as closed.
+	if err := trA.Fix(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := trB.Fix(1); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = get(t, c, "/incidents")
+	if got := decode[IncidentsJSON](t, body); resp.StatusCode != http.StatusOK || got.Count != 1 {
+		t.Fatalf("post-fix open view = %d incidents, want 1 (disk only)", got.Count)
+	}
+	resp, body = get(t, c, "/incidents?state=all")
+	all := decode[IncidentsJSON](t, body)
+	if resp.StatusCode != http.StatusOK || all.Count != 2 {
+		t.Fatalf("state=all = %d incidents, want 2", all.Count)
+	}
+	if all.Incidents[0].State != "closed" || all.Incidents[0].OpenTickets != 0 {
+		t.Fatalf("flap after fixes = %+v, want closed", all.Incidents[0])
+	}
+	if resp, _ := get(t, c, "/incidents?state=sideways"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("bad state should be 400")
+	}
+}
+
+func TestReliabilityTrendEndpoint(t *testing.T) {
+	gw, _, _, _, _ := newIntelGateway(t)
+	c := inproc.Client(gw)
+
+	resp, body := get(t, c, "/reliability/trend")
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "reliability") {
+		t.Fatalf("pre-sweep = %d %s, want a 404 hint", resp.StatusCode, body)
+	}
+
+	trend := &intel.Trend{
+		Seeds: 3, BaseSeed: 42, Weeks: 2,
+		Points: []intel.TrendPoint{
+			{Week: 1, Rate: intel.Band{Mean: 85, Std: 2, Min: 83, Max: 87, N: 3}},
+			{Week: 2, Rate: intel.Band{Mean: 90, Std: 1, Min: 89, Max: 91, N: 3}},
+		},
+		FirstWeek:  intel.Band{Mean: 85, Std: 2, Min: 83, Max: 87, N: 3},
+		FinalWeeks: intel.Band{Mean: 90, Std: 1, Min: 89, Max: 91, N: 3},
+		BugsFiled:  intel.Band{Mean: 12, Std: 3, Min: 9, Max: 15, N: 3},
+		BugsFixed:  intel.Band{Mean: 10, Std: 2, Min: 8, Max: 12, N: 3},
+		BugsOpen:   intel.Band{Mean: 2, Std: 1, Min: 1, Max: 3, N: 3},
+	}
+	if v := gw.SetReliabilityTrend(trend); v != 1 {
+		t.Fatalf("first Put version = %d, want 1", v)
+	}
+
+	resp, body = get(t, c, "/reliability/trend")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag != `"r1"` {
+		t.Fatalf("ETag = %s, want \"r1\"", etag)
+	}
+	if resp := getConditional(t, c, "/reliability/trend", etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional status = %d, want 304", resp.StatusCode)
+	}
+
+	// The shared-renderer contract: a client decoding the body and calling
+	// RenderText prints byte-for-byte what the CLI prints from the
+	// locally-computed Trend. This is the CLI ≡ API equality.
+	var fromWire intel.Trend
+	if err := json.Unmarshal(body, &fromWire); err != nil {
+		t.Fatalf("trend body does not decode: %v", err)
+	}
+	var cli, api bytes.Buffer
+	trend.RenderText(&cli)
+	fromWire.RenderText(&api)
+	if !bytes.Equal(cli.Bytes(), api.Bytes()) {
+		t.Fatalf("CLI and API renders differ:\n--- cli\n%s--- api\n%s", cli.String(), api.String())
+	}
+
+	// A new sweep replaces the stored trend under a fresh version.
+	if v := gw.SetReliabilityTrend(trend); v != 2 {
+		t.Fatalf("second Put version = %d, want 2", v)
+	}
+	if resp := getConditional(t, c, "/reliability/trend", etag); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale conditional after new sweep = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestShardInventoryAt is the ?at= satellite: site-scoped (and
+// single-shard) inventory reads resolve a sim-time to the version that was
+// current then, sharing the version's ETag and cache identity.
+func TestShardInventoryAt(t *testing.T) {
+	gw, stA, _, _, _ := newIntelGateway(t)
+	c := inproc.Client(gw)
+
+	resp, body := get(t, c, "/sites/luxembourg/ref/inventory?at=43200")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("?at=12h status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got != `"v1"` {
+		t.Fatalf("?at=12h ETag = %s, want \"v1\" (the archived version's identity)", got)
+	}
+	if resp.Header.Get("Cache-Control") == "" {
+		t.Fatal("archived ?at answer should be hard-cacheable")
+	}
+	if v := decode[struct {
+		Version int `json:"version"`
+	}](t, body); v.Version != 1 {
+		t.Fatalf("?at=12h version = %d, want 1", v.Version)
+	}
+
+	resp, _ = get(t, c, "/sites/luxembourg/ref/inventory?at=90000")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") != `"v2"` {
+		t.Fatalf("?at=25h = %d %s, want 200 \"v2\"", resp.StatusCode, resp.Header.Get("ETag"))
+	}
+
+	// T before the first capture is a 404, not an empty inventory.
+	if resp, _ := get(t, c, "/sites/luxembourg/ref/inventory?at=100"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-capture ?at status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, c, "/sites/luxembourg/ref/inventory?at=junk"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("bad ?at should be 400")
+	}
+	if resp, _ := get(t, c, "/sites/luxembourg/ref/inventory?version=1&at=43200"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatal("?version together with ?at should be 400")
+	}
+
+	// The resolved version shares the per-version body cache (no fresh
+	// materialization for a repeat read through either parameter).
+	mats := stA.Materializations()
+	get(t, c, "/sites/luxembourg/ref/inventory?at=43200")
+	get(t, c, "/sites/luxembourg/ref/inventory?version=1")
+	if got := stA.Materializations(); got != mats {
+		t.Fatalf("repeat reads re-materialized: %d → %d", mats, got)
+	}
+}
+
+// TestFederatedVersionHint is the error-body satellite: the federated
+// inventory's ?version= rejection must point at the time-travel routes.
+func TestFederatedVersionHint(t *testing.T) {
+	gw, _, _, _, _ := newIntelGateway(t)
+	c := inproc.Client(gw)
+
+	resp, body := get(t, c, "/ref/inventory?version=2")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	for _, want := range []string{"/sites/{site}/ref/inventory?version=N", "?at=", "/grid/at"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("400 body %q misses the %q hint", body, want)
+		}
+	}
+}
+
+// TestBugsRollupETag is the rollup satellite: /bugs/rollup carries a strong
+// ETag keyed by the per-site tracker versions, 304s while nothing mutates,
+// and moves on any filing — dedup bumps included.
+func TestBugsRollupETag(t *testing.T) {
+	gw, _, _, trA, trB := newIntelGateway(t)
+	c := inproc.Client(gw)
+
+	trA.File("net/switch-flap", "switch flapping", "net", "sw-1")
+	trB.File("net/switch-flap", "switch flapping", "net", "sw-1")
+
+	resp, body := get(t, c, "/bugs/rollup")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" || !strings.Contains(etag, "br") {
+		t.Fatalf("rollup ETag = %q, want a \"br…\" version key", etag)
+	}
+	roll := decode[BugsRollupJSON](t, body)
+	if roll.Count != 1 || roll.Rollup[0].Tickets != 2 {
+		t.Fatalf("rollup = %+v, want one two-ticket row", roll)
+	}
+
+	for i := 0; i < 10; i++ {
+		if resp := getConditional(t, c, "/bugs/rollup", etag); resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("conditional rollup %d = %d, want 304", i, resp.StatusCode)
+		}
+	}
+
+	// state=all is a different resource: different key, never a cross-304.
+	respAll, _ := get(t, c, "/bugs/rollup?state=all")
+	if allTag := respAll.Header.Get("ETag"); allTag == etag {
+		t.Fatal("state=all shares the open view's ETag")
+	}
+
+	// Any tracker mutation — here a dedup occurrence bump — moves the tag.
+	trA.File("net/switch-flap", "switch flapping", "net", "sw-1")
+	resp2 := getConditional(t, c, "/bugs/rollup", etag)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-filing conditional = %d, want 200", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("ETag"); got == etag {
+		t.Fatal("filing did not move the rollup ETag")
+	}
+}
+
+// TestIntelUnderChaos is the degraded-mode drill: with a site down, the
+// intel views exclude it, their keys carry the down-set, and healing
+// restores the healthy identities — so a degraded body can never satisfy a
+// whole-grid conditional request.
+func TestIntelUnderChaos(t *testing.T) {
+	fed, gw := newChaosCampaign(t)
+	c := inproc.Client(gw)
+	nowSec := int(fed.Now().Seconds())
+	path := "/grid/at?t=" + strconv.Itoa(nowSec)
+
+	resp, body := get(t, c, path)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy status = %d", resp.StatusCode)
+	}
+	healthyETag := resp.Header.Get("ETag")
+	healthy := decode[GridAtJSON](t, body)
+	if len(healthy.Sites) != 3 || healthy.Degraded != nil {
+		t.Fatalf("healthy view = %d sites (degraded %v), want 3 clean", len(healthy.Sites), healthy.Degraded)
+	}
+	respInc, _ := get(t, c, "/incidents?state=all")
+	healthyIncETag := respInc.Header.Get("ETag")
+
+	if resp, body := postJSON(t, c, "/chaos/inject", `{"kind":"outage","sites":["lyon"]}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("inject = %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = get(t, c, path)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded status = %d", resp.StatusCode)
+	}
+	downETag := resp.Header.Get("ETag")
+	if downETag == healthyETag || !strings.Contains(downETag, "down:lyon") {
+		t.Fatalf("degraded ETag = %s (healthy %s), want a down-set key", downETag, healthyETag)
+	}
+	down := decode[GridAtJSON](t, body)
+	if len(down.Sites) != 2 || down.Degraded == nil {
+		t.Fatalf("degraded view = %d sites (degraded %v), want 2 + marker", len(down.Sites), down.Degraded)
+	}
+	for _, s := range down.Sites {
+		if s.Site == "lyon" {
+			t.Fatal("degraded /grid/at still lists the lost site")
+		}
+	}
+	// A whole-grid conditional against the degraded resource misses.
+	if resp := getConditional(t, c, path, healthyETag); resp.StatusCode == http.StatusNotModified {
+		t.Fatal("healthy ETag matched a degraded body")
+	}
+
+	respInc, bodyInc := get(t, c, "/incidents?state=all")
+	if got := respInc.Header.Get("ETag"); got == healthyIncETag || !strings.Contains(got, "down:lyon") {
+		t.Fatalf("degraded /incidents ETag = %s, want a down-set key", got)
+	}
+	incs := decode[IncidentsJSON](t, bodyInc)
+	for _, in := range incs.Incidents {
+		for _, s := range in.Sites {
+			if s == "lyon" {
+				t.Fatal("degraded /incidents still folds the lost site's tickets")
+			}
+		}
+	}
+
+	// Heal: the healthy identities come back exactly.
+	if resp, body := postJSON(t, c, "/chaos/heal", `{"all":true}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("heal = %d %s", resp.StatusCode, body)
+	}
+	resp, _ = get(t, c, path)
+	if got := resp.Header.Get("ETag"); got != healthyETag {
+		t.Fatalf("post-heal ETag = %s, want the healthy %s", got, healthyETag)
+	}
+	if resp := getConditional(t, c, path, healthyETag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("post-heal conditional = %d, want 304", resp.StatusCode)
+	}
+}

@@ -82,7 +82,9 @@ func downSetKey(d *DegradedJSON) string {
 }
 
 // serveShardInventory is the single-store path: full ?version= archive
-// access with per-version ETags.
+// access with per-version ETags, plus ?at= time travel (the version that
+// was current at a sim-time, resolved by one binary search — same ETag and
+// cache identity as asking for that version by number).
 func (g *Gateway) serveShardInventory(s *shard, w http.ResponseWriter, r *http.Request) {
 	st := s.cfg.Ref
 	var cur int
@@ -91,6 +93,24 @@ func (g *Gateway) serveShardInventory(s *shard, w http.ResponseWriter, r *http.R
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if atQ := r.URL.Query().Get("at"); atQ != "" {
+		if ver != 0 {
+			httpError(w, http.StatusBadRequest, "pick one of ?version= and ?at=")
+			return
+		}
+		sec, err := floatParam(atQ, 0)
+		if err != nil || sec < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad at %q (simtime seconds)", atQ))
+			return
+		}
+		var ok bool
+		s.rlocked(func() { ver, ok = st.VersionAt(secondsToSim(sec)) })
+		if !ok {
+			httpError(w, http.StatusNotFound,
+				fmt.Sprintf("no capture at or before t=%ss (the first capture postdates it)", atQ))
+			return
+		}
 	}
 	if ver == 0 {
 		ver = cur
@@ -199,7 +219,8 @@ func joinedVersions(shards []*shard) (string, []int) {
 func (g *Gateway) serveFederatedInventory(shards []*shard, w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("version") != "" {
 		httpError(w, http.StatusBadRequest,
-			"archived versions are per-site; use /sites/{site}/ref/inventory?version=N")
+			"archived versions are per-site; use /sites/{site}/ref/inventory?version=N "+
+				"(or time travel with ?at=<simtime seconds> there, and /grid/at?t= for the whole grid)")
 		return
 	}
 	degraded := g.degradedMarker()

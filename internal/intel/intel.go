@@ -1,0 +1,30 @@
+// Package intel is the grid intelligence layer: the federation-wide
+// answers to the paper's archival and longitudinal questions, built on
+// top of the per-site subsystems without owning any simulation state.
+//
+// Three pillars, one per file:
+//
+//   - archive.go — federated time travel. GridArchive answers "what was
+//     the grid's inventory as of sim-time T" by binary-searching every
+//     site's refapi.Store delta chain (Store.At / Store.VersionAt) under
+//     the per-site read gates, and "what changed anywhere between T1 and
+//     T2" as a per-site-tagged diff. The version vector it computes is
+//     the composite strong ETag the gateway serves, so conditional
+//     re-reads cost one binary search per site and zero snapshot builds.
+//   - incidents.go — cross-site incident rollup. Per-site bug trackers
+//     file independently, so one root cause at two sites is two tickets;
+//     Correlate folds every tracker's tickets into signature-keyed
+//     incidents with first-seen/last-seen sim-times, affected-site sets
+//     and an open/closed lifecycle, optionally scoped to "open as of T"
+//     (composing with the archive's time travel).
+//   - reliability.go — fleet reliability sweeps. A core.RunFleet result
+//     (N independently seeded campaigns) becomes a Trend: per-week
+//     mean ± spread confidence bands, rendered identically by the CLI
+//     (g5ktest -reliability) and the gateway (GET /reliability/trend)
+//     through the one shared renderer, and stored versioned in a
+//     TrendStore so the gateway can ETag it.
+//
+// Everything here is deterministic: inputs are read under the caller's
+// gates in caller-given (shard) order, and every emitted collection is
+// explicitly sorted — never map iteration order.
+package intel

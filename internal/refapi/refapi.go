@@ -279,6 +279,24 @@ func (st *Store) At(t simclock.Time) *Snapshot {
 	return st.materializeLocked(i)
 }
 
+// VersionAt returns the number of the version that was current at time t
+// (the latest version with TakenAt ≤ t) without materializing anything.
+// ok is false when t precedes the first capture. This is the archival
+// ETag path: the gateway builds composite per-site version vectors from
+// it, so a conditional "grid as of T" request costs one binary search per
+// site and zero snapshot builds.
+func (st *Store) VersionAt(t simclock.Time) (int, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	i := sort.Search(len(st.versions), func(i int) bool {
+		return st.versions[i].takenAt > t
+	}) - 1
+	if i < 0 {
+		return 0, false
+	}
+	return st.versions[i].num, true
+}
+
 // Describe returns the current reference description of one node, or an
 // error when the node is unknown — the refapi test family treats a missing
 // description as a bug in itself. This is the verification hot path: a

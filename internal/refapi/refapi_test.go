@@ -176,6 +176,96 @@ func TestArchiveAt(t *testing.T) {
 	}
 }
 
+// TestArchiveAtEdges pins the binary search down at its edges: exactly on
+// a capture boundary, strictly between versions, before the first capture,
+// and the caching contract — repeated At calls for the same instant build
+// the snapshot once (Materializations is how the gateway's 304 path proves
+// it re-materializes nothing).
+func TestArchiveAtEdges(t *testing.T) {
+	tb := testbed.Default()
+	st := NewStore(tb, 10*simclock.Hour)
+	n := tb.Node("sol-1.sophia")
+	inv := n.Inv.Clone()
+	inv.RAMGB = 8
+	if err := st.Update(20*simclock.Hour, n.Name, inv); err != nil {
+		t.Fatal(err)
+	}
+	inv2 := inv.Clone()
+	inv2.RAMGB = 12
+	if err := st.Update(30*simclock.Hour, n.Name, inv2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly on a capture boundary: TakenAt ≤ t is inclusive, so t equal
+	// to a version's timestamp selects that version, not its predecessor.
+	if s := st.At(20 * simclock.Hour); s == nil || s.Version != 2 {
+		t.Fatalf("At(boundary 20h) version = %v, want 2", s)
+	}
+	if s := st.At(10 * simclock.Hour); s == nil || s.Version != 1 {
+		t.Fatalf("At(first capture boundary) version = %v, want 1", s)
+	}
+	// Strictly between versions: the earlier one is still current.
+	if s := st.At(25 * simclock.Hour); s == nil || s.Version != 2 {
+		t.Fatalf("At(between 20h and 30h) version = %v, want 2", s)
+	}
+	// Before the first capture: no version existed.
+	if s := st.At(10*simclock.Hour - 1); s != nil {
+		t.Fatalf("At(before first capture) = %v, want nil", s)
+	}
+
+	// Repeated At for the same instant must hit the cached materialization.
+	// Version 3 (the 30h delta) has not been read yet: the first At builds
+	// it, every later At returns the cached snapshot.
+	before := st.Materializations()
+	first := st.At(35 * simclock.Hour)
+	afterFirst := st.Materializations()
+	if afterFirst != before+1 {
+		t.Fatalf("first At materialized %d times, want 1", afterFirst-before)
+	}
+	for i := 0; i < 10; i++ {
+		if again := st.At(35 * simclock.Hour); again != first {
+			t.Fatal("repeated At returned a different snapshot pointer")
+		}
+	}
+	if st.Materializations() != afterFirst {
+		t.Fatalf("repeated At re-materialized (%d builds after, %d before)",
+			st.Materializations(), afterFirst)
+	}
+}
+
+// TestVersionAt pins the materialization-free twin of At: same binary
+// search, version numbers only, zero snapshot builds.
+func TestVersionAt(t *testing.T) {
+	tb := testbed.Default()
+	st := NewStore(tb, 10*simclock.Hour)
+	n := tb.Node("sol-1.sophia")
+	inv := n.Inv.Clone()
+	inv.RAMGB = 8
+	if err := st.Update(20*simclock.Hour, n.Name, inv); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, ok := st.VersionAt(5 * simclock.Hour); ok {
+		t.Fatalf("VersionAt(before first capture) = %d, want none", v)
+	}
+	if v, ok := st.VersionAt(10 * simclock.Hour); !ok || v != 1 {
+		t.Fatalf("VersionAt(10h) = %d,%v, want 1", v, ok)
+	}
+	if v, ok := st.VersionAt(15 * simclock.Hour); !ok || v != 1 {
+		t.Fatalf("VersionAt(15h) = %d,%v, want 1", v, ok)
+	}
+	if v, ok := st.VersionAt(20 * simclock.Hour); !ok || v != 2 {
+		t.Fatalf("VersionAt(20h) = %d,%v, want 2", v, ok)
+	}
+	if v, ok := st.VersionAt(52 * simclock.Week); !ok || v != 2 {
+		t.Fatalf("VersionAt(far future) = %d,%v, want 2", v, ok)
+	}
+	// The whole point: answering "which version" builds no snapshots.
+	if st.Materializations() != 0 {
+		t.Fatalf("VersionAt materialized %d snapshots, want 0", st.Materializations())
+	}
+}
+
 func TestDiffSnapshotsPresence(t *testing.T) {
 	_, st := newStore(t)
 	a := st.Current()
