@@ -2,13 +2,14 @@ GO ?= go
 
 # Benchmarks whose ns_per_op / allocs_per_op are gated by bench-check.
 TRACKED_BENCHES = BenchmarkE2_,BenchmarkE9_,BenchmarkE12_,BenchmarkE13_,BenchmarkE14_,BenchmarkE15_,BenchmarkE16_,BenchmarkE17_
-# Benchmarks gated on allocs_per_op only: E18, E19 and E20 spend their
-# time in real concurrent load generation or whole-campaign replays, so
-# their ns/op varies ±25% between runs even on one machine — allocs/op is
+# Benchmarks gated on allocs_per_op only: E18–E21 spend their time in
+# real concurrent load generation or whole-campaign replays, so their
+# ns/op varies ±25% between runs even on one machine — allocs/op is
 # their reproducible axis (their correctness gates — determinism,
 # availability, bounded queues, shed contract, archive/incident
-# invariants — run inside the benchmarks themselves).
-TRACKED_ALLOCS_BENCHES = BenchmarkE18_,BenchmarkE19_,BenchmarkE20_
+# invariants, the 16x balanced-advance efficiency floor — run inside the
+# benchmarks themselves).
+TRACKED_ALLOCS_BENCHES = BenchmarkE18_,BenchmarkE19_,BenchmarkE20_,BenchmarkE21_
 
 .PHONY: all build vet lint fmt-check test race stress fed-check chaos-check admit-check intel-check bench bench-check check
 
@@ -46,8 +47,9 @@ stress:
 	GATEWAY_STRESS=1 $(GO) test -race -count=1 -run 'TestStress|TestInventoryETagUnderChurn' ./internal/gateway
 
 # fed-check proves the federation's load-bearing property under the race
-# detector: stepping per-site campaign shards serially or across 4
-# goroutines yields bit-identical per-site and merged summaries.
+# detector: stepping the per-cluster micro-shards serially, with the
+# work-stealing schedule, or with the legacy whole-site-per-worker
+# schedule yields bit-identical per-site and merged summaries.
 fed-check:
 	$(GO) test -race -count=1 -run 'TestFederationSerialParallelDeterminism' ./internal/federation
 

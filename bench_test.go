@@ -690,9 +690,12 @@ func BenchmarkE15_GatewayThroughput(b *testing.B) {
 // The full loadgen mix — operator dashboards (status grid, trend, open
 // bugs), API scrapers (conditional Reference API + resources) and
 // submission-heavy tooling (dry-run probes through OAR's CanStartNow path
-// plus real submissions) — against one gateway, 4 workers. The reproduced
-// result is the workload completing error-free with every consumer
-// population served, plus the latency spread.
+// plus real submissions) — against one gateway, 4 workers, with a
+// background driver advancing the campaign underneath the whole time. The
+// reproduced result is the workload completing error-free with every
+// consumer population served, plus the latency spread and the
+// p99-vs-lock-hold comparison: how much of the read tail is reads queued
+// behind the advance's write-lock hold.
 
 func BenchmarkE16_MixedWorkload(b *testing.B) {
 	cfg := core.DefaultConfig()
@@ -712,6 +715,26 @@ func BenchmarkE16_MixedWorkload(b *testing.B) {
 	var rep *loadgen.Report
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Advance pressure: a background driver steps the campaign an hour
+		// at a time while the workload runs, so the reported p99 is
+		// measured against live write-lock churn. AdvanceLockStats then
+		// says how long each advance actually held the shard write lock —
+		// the p99-vs-lock-hold comparison below is the E16 investigation's
+		// reproducible form.
+		stop := make(chan struct{})
+		advDone := make(chan struct{})
+		go func() {
+			defer close(advDone)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					gw.Advance(simclock.Hour)
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}()
 		var err error
 		rep, err = loadgen.Run(loadgen.Config{
 			Workers:  4,
@@ -722,6 +745,8 @@ func BenchmarkE16_MixedWorkload(b *testing.B) {
 				return inproc.Client(gw), "http://gateway.local"
 			},
 		})
+		close(stop)
+		<-advDone
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -743,6 +768,17 @@ func BenchmarkE16_MixedWorkload(b *testing.B) {
 	b.ReportMetric(float64(rep.NotModified), "hits_304")
 	b.ReportMetric(float64(rep.Latency.P50.Microseconds()), "p50_us")
 	b.ReportMetric(float64(rep.Latency.P99.Microseconds()), "p99_us")
+	// The p99 investigation's verdict: reads queue behind the advance's
+	// write lock, so the read tail is bounded below by the longest hold.
+	// On a monolithic gateway the whole campaign steps under one lock —
+	// the per-cluster micro-shards (E21) shrink exactly this hold.
+	lh := gw.AdvanceLockStats()
+	b.ReportMetric(float64(lh.Steps), "advance_lock_steps")
+	b.ReportMetric(lh.AvgMicros, "advance_lock_avg_us")
+	b.ReportMetric(lh.MaxMicros, "advance_lock_max_us")
+	if lh.MaxMicros > 0 {
+		b.ReportMetric(float64(rep.Latency.P99.Microseconds())/lh.MaxMicros, "p99_over_lock_hold_x")
+	}
 	for _, s := range rep.Scenarios {
 		b.ReportMetric(float64(s.Iterations), s.Name+"_iters")
 	}
@@ -750,12 +786,12 @@ func BenchmarkE16_MixedWorkload(b *testing.B) {
 
 // ---- E17: federated campaign advance (reproduction extension) ----------------
 //
-// The campaign federated into per-site shards (internal/federation): each
-// site owns its OAR, monitor, CI, fault/operator processes and RNG stream,
-// and the federation steps them through weekly barriers. Three properties
-// gate here:
+// The campaign federated into per-cluster micro-shards (internal/federation):
+// each cluster owns its OAR, monitor, CI, fault/operator processes and RNG
+// stream under its site's label, and the federation steps them through
+// weekly barriers. Three properties gate here:
 //
-//  1. determinism — stepping the 8 shards serially or on 4 goroutines
+//  1. determinism — stepping the 32 micro-shards serially or on 4 workers
 //     yields bit-identical per-site and merged campaign summaries;
 //  2. throughput — the parallel advance must be ≥2.5x the serial one at
 //     4 shard workers on a ≥4-core machine (the uneven real site sizes —
@@ -782,15 +818,16 @@ func BenchmarkE17_FederatedAdvance(b *testing.B) {
 	}
 
 	var speedup, eff float64
-	var reads int
+	var reads, shardCount int
 	var merged federation.Summary
 	for i := 0; i < b.N; i++ {
 		fedS, t1 := run(1)
 		fedP, t4 := run(4)
+		shardCount = len(fedP.Shards())
 		sumS, sumP := fedS.Summary(), fedP.Summary()
 		merged = sumS
 		if len(sumS.Sites) != 8 || len(sumP.Sites) != 8 {
-			b.Fatalf("federation has %d/%d shards, want 8", len(sumS.Sites), len(sumP.Sites))
+			b.Fatalf("federation has %d/%d sites, want 8", len(sumS.Sites), len(sumP.Sites))
 		}
 		for k := range sumS.Sites {
 			if sumS.Sites[k] != sumP.Sites[k] {
@@ -858,7 +895,8 @@ func BenchmarkE17_FederatedAdvance(b *testing.B) {
 	b.ReportMetric(speedup, "speedup_x4")
 	b.ReportMetric(100*eff, "parallel_efficiency_pct")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
-	b.ReportMetric(8, "shards")
+	b.ReportMetric(float64(shardCount), "shards")
+	b.ReportMetric(8, "sites")
 	b.ReportMetric(float64(reads), "reads_during_advance")
 	b.ReportMetric(float64(merged.Merged.Builds), "builds")
 	b.ReportMetric(float64(merged.Merged.BugsFiled), "bugs_filed")
@@ -953,16 +991,23 @@ func BenchmarkE18_DisasterAvailability(b *testing.B) {
 		if err != nil {
 			b.Fatalf("inject: %v", err)
 		}
+		// Micro-shards are per cluster; the load generator targets sites, so
+		// fold each site's shards into one target.
 		var targets []loadgen.SiteTarget
+		siteIdx := map[string]int{}
 		for _, sh := range fed.Shards() {
-			tgt := loadgen.SiteTarget{Site: sh.Site}
+			ti, ok := siteIdx[sh.Site]
+			if !ok {
+				ti = len(targets)
+				siteIdx[sh.Site] = ti
+				targets = append(targets, loadgen.SiteTarget{Site: sh.Site})
+			}
 			for _, cl := range sh.F.TB.Clusters() {
-				tgt.Clusters = append(tgt.Clusters, cl.Name)
+				targets[ti].Clusters = append(targets[ti].Clusters, cl.Name)
 			}
-			if nodes := sh.F.TB.Nodes(); len(nodes) > 0 {
-				tgt.Nodes = []string{nodes[0].Name}
+			if nodes := sh.F.TB.Nodes(); len(targets[ti].Nodes) == 0 && len(nodes) > 0 {
+				targets[ti].Nodes = []string{nodes[0].Name}
 			}
-			targets = append(targets, tgt)
 		}
 		newClient := func(int) (*http.Client, string) { return inproc.Client(gw), "http://gw.local" }
 		rep, err := loadgen.Run(loadgen.Config{
@@ -1388,4 +1433,140 @@ func BenchmarkE20_GridIntelligence(b *testing.B) {
 	b.ReportMetric(outageSites, "outage_sites")
 	b.ReportMetric(float64(len(chaosSites)), "sites")
 	b.ReportMetric(float64(len(schedule)), "grid_events")
+}
+
+// ---- E21: balanced micro-sharding with work-stealing barriers ---------------
+//
+// The tentpole gate of the micro-shard refactor: at 16x grid scale
+// (testbed.Scaled(16): 8 sites carved into 512 per-cluster micro-shards,
+// ~14k nodes) the barrier's critical path must be the mean micro-shard,
+// not the max site. Three properties gate:
+//
+//  1. equivalence — serial stepping, the work-stealing schedule at 8
+//     workers, and the legacy whole-site-per-worker schedule all yield
+//     bit-identical per-site and merged summaries at 16x (micro-sharding
+//     must not move a single RNG draw);
+//  2. efficiency — ≥90% parallel-advance efficiency at 8 workers,
+//     normalised to min(8, GOMAXPROCS) like E14/E15 (on a single-core
+//     runner the gate degenerates to "work-stealing costs nothing");
+//  3. scaling — the sweep over Scaled(4/8/16) reports per-scale
+//     efficiency so super-linear slowdowns show up as reviewable diffs.
+//
+// The breakdown locates the next bottleneck: barrier_wait_ms is the total
+// worker idle implied by the makespan beyond perfectly-divided work,
+// merge_ms the scatter-gather weekly-report merge, shard_step_ms the mean
+// per-micro-shard step, and critical_path_shrink_x how much shorter the
+// largest schedulable unit got when sites were carved into clusters.
+
+func BenchmarkE21_BalancedAdvance(b *testing.B) {
+	shardProfile := func(site string, seed int64) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.InitialFaults = 4
+		cfg.EnvMatrixPeriod = 0
+		return cfg
+	}
+	run := func(scale, workers int, siteGrouped bool) (*federation.Federation, float64) {
+		fed := federation.New(federation.Config{
+			Seed: 21, Workers: workers, SiteGrouped: siteGrouped,
+			Spec: testbed.ScaledSpec(scale), Configure: shardProfile,
+		})
+		fed.Start()
+		start := time.Now()
+		fed.Advance(simclock.Week)
+		return fed, time.Since(start).Seconds()
+	}
+
+	ideal := min(8, runtime.GOMAXPROCS(0))
+	var eff, speedup, t1x16, t8x16, tLegacy, mergeSec, shrink float64
+	var shardCount int
+	effAt := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		// The scale sweep: serial vs 8 work-stealing workers at 4x and 8x.
+		for _, scale := range []int{4, 8} {
+			_, ts := run(scale, 1, false)
+			_, tp := run(scale, 8, false)
+			effAt[scale] = (ts / tp) / float64(ideal)
+		}
+
+		// The 16x gate: serial, work-stealing and legacy site-grouped.
+		fedS, ts := run(16, 1, false)
+		fedW, tw := run(16, 8, false)
+		fedL, tl := run(16, 8, true)
+		t1x16, t8x16, tLegacy = ts, tw, tl
+		shardCount = len(fedW.Shards())
+
+		sumS, sumW, sumL := fedS.Summary(), fedW.Summary(), fedL.Summary()
+		for k := range sumS.Sites {
+			if sumS.Sites[k] != sumW.Sites[k] || sumS.Sites[k] != sumL.Sites[k] {
+				b.Fatalf("site %s diverged between serial, work-stealing and site-grouped stepping:\nserial:       %+v\nwork-steal:   %+v\nsite-grouped: %+v",
+					sumS.Sites[k].Site, sumS.Sites[k], sumW.Sites[k], sumL.Sites[k])
+			}
+		}
+		if sumS.Merged != sumW.Merged || sumS.Merged != sumL.Merged {
+			b.Fatal("merged summary diverged across schedules at 16x")
+		}
+		mergeStart := time.Now()
+		wr := fedW.WeeklyReport()
+		mergeSec = time.Since(mergeStart).Seconds()
+		if !reflect.DeepEqual(fedS.WeeklyReport(), wr) || !reflect.DeepEqual(fedL.WeeklyReport(), wr) {
+			b.Fatal("merged weekly reports diverged across schedules at 16x")
+		}
+		if sumW.Merged.Builds == 0 || sumW.Merged.BugsFiled == 0 {
+			b.Fatalf("16x campaign shape off: %+v", sumW.Merged)
+		}
+
+		speedup = ts / tw
+		eff = speedup / float64(ideal)
+		if eff < 0.9 {
+			b.Fatalf("work-stealing advance ran at %.1f%% parallel efficiency at 8 workers (%.2fx vs %dx ideal on this %d-core machine), gate needs ≥90%%",
+				100*eff, speedup, ideal, runtime.GOMAXPROCS(0))
+		}
+
+		// Critical path: the largest schedulable unit shrank from the
+		// biggest site to the biggest cluster micro-shard.
+		siteNodes := map[string]int{}
+		maxShard := 0
+		for _, sh := range fedW.Shards() {
+			siteNodes[sh.Site] += sh.Nodes
+			if sh.Nodes > maxShard {
+				maxShard = sh.Nodes
+			}
+		}
+		maxSite := 0
+		for _, n := range siteNodes {
+			if n > maxSite {
+				maxSite = n
+			}
+		}
+		shrink = float64(maxSite) / float64(maxShard)
+	}
+
+	barrierWaitMs := (float64(ideal)*t8x16 - t1x16) * 1000
+	if barrierWaitMs < 0 {
+		barrierWaitMs = 0
+	}
+	mergeMs := mergeSec * 1000
+	shardStepMs := t1x16 * 1000 / float64(shardCount)
+	bottleneck := "barrier wait"
+	if mergeMs > barrierWaitMs && mergeMs > shardStepMs {
+		bottleneck = "scatter-gather merge"
+	} else if shardStepMs > barrierWaitMs {
+		bottleneck = "per-shard OAR step"
+	}
+	b.Logf("next bottleneck: %s (barrier wait %.1fms, merge %.1fms, mean shard step %.1fms)",
+		bottleneck, barrierWaitMs, mergeMs, shardStepMs)
+
+	b.ReportMetric(speedup, "speedup_x8")
+	b.ReportMetric(100*eff, "parallel_efficiency_pct")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(float64(shardCount), "shards")
+	b.ReportMetric(100*effAt[4], "eff_pct_scale4")
+	b.ReportMetric(100*effAt[8], "eff_pct_scale8")
+	b.ReportMetric(t1x16*1000, "advance_serial_ms")
+	b.ReportMetric(t8x16*1000, "advance_ws_ms")
+	b.ReportMetric(tLegacy*1000, "advance_sitegrouped_ms")
+	b.ReportMetric(barrierWaitMs, "barrier_wait_ms")
+	b.ReportMetric(mergeMs, "merge_ms")
+	b.ReportMetric(shardStepMs, "shard_step_ms")
+	b.ReportMetric(shrink, "critical_path_shrink_x")
 }

@@ -5,17 +5,21 @@
 // Serving mode runs a short campaign first, then exposes every subsystem
 // over one HTTP front door:
 //
-//	g5kapi [-addr :8080] [-weeks 2] [-seed 42] [-live] [-step 10m] [-shards]
+//	g5kapi [-addr :8080] [-weeks 2] [-seed 42] [-live] [-step 10m] [-shards] [-scale k]
 //
 // With -reliability N an N-seed fleet sweep runs before serving and its
 // confidence-band trend is installed on GET /reliability/trend.
 //
 // With -shards the campaign is federated (internal/federation): one
-// per-site shard behind per-shard gateway locks, site-scoped routes under
-// /sites/{site}/... and scatter-gather merges on the classic paths. A
-// -live advance then steps the sites concurrently, each under its own
-// write lock, so reads against one site never wait for another site's
-// progress.
+// micro-shard per cluster behind per-shard gateway locks, grouped under
+// its site's label, with site-scoped routes under /sites/{site}/... and
+// scatter-gather merges on the classic paths. A -live advance then
+// work-steals the micro-shards across the barrier workers, each stepping
+// under its own write lock, so reads against one site never wait for
+// another site's progress.
+//
+// With -scale k any mode runs on testbed.Scaled(k) — k replicas of the
+// paper grid (k=16 is the E21 benchmark's 512-micro-shard scale).
 //
 // With -live the campaign keeps advancing: every wall-clock second the
 // simulation steps by -step while request handlers are held out, so the
@@ -76,7 +80,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	live := flag.Bool("live", false, "keep advancing the campaign while serving")
 	step := flag.Duration("step", 10*time.Minute, "simulated time advanced per wall second in -live mode")
-	shards := flag.Bool("shards", false, "federate the campaign: one per-site shard behind per-shard gateway locks")
+	shards := flag.Bool("shards", false, "federate the campaign: per-cluster micro-shards behind per-shard gateway locks")
+	scale := flag.Int("scale", 1, "run on testbed.Scaled(k): k replicas of the paper grid")
 	fedWorkers := flag.Int("shard-workers", 0, "shards advanced concurrently (0 = GOMAXPROCS; -shards only)")
 	chaos := flag.String("chaos", "", `disaster schedule, e.g. "outage:lyon@1w+1w,maintenance:nancy+rennes@2w+1w" (-shards only)`)
 	reliability := flag.Int("reliability", 0, "also run an N-seed fleet sweep and serve it on /reliability/trend (0 = skip)")
@@ -90,8 +95,15 @@ func main() {
 	var gw *gateway.Gateway
 	var mix []loadgen.Scenario
 
+	if *scale < 1 {
+		fmt.Fprintln(os.Stderr, "g5kapi: -scale must be ≥ 1")
+		os.Exit(1)
+	}
+
 	if *shards {
-		fed := federation.New(federation.Config{Seed: *seed, Workers: *fedWorkers})
+		fed := federation.New(federation.Config{
+			Seed: *seed, Workers: *fedWorkers, Spec: testbed.ScaledSpec(*scale),
+		})
 		fed.Start()
 		if *chaos != "" {
 			entries, err := faults.ParseSchedule(*chaos)
@@ -108,8 +120,8 @@ func main() {
 		// The gateway is assembled before the pre-serve advance so barrier
 		// ticks run under the per-shard gateway locks from the first week.
 		gw = gateway.ForFederation(fed)
-		log.Printf("running %d simulated weeks on %d federated site shards...",
-			*weeks, len(fed.Shards()))
+		log.Printf("running %d simulated weeks on %d federated micro-shards (%d sites)...",
+			*weeks, len(fed.Shards()), len(fed.Summary().Sites))
 		gw.Advance(simclock.Time(*weeks) * simclock.Week)
 		sum := fed.Summary()
 		for _, s := range sum.Sites {
@@ -137,6 +149,9 @@ func main() {
 		}
 		cfg := core.DefaultConfig()
 		cfg.Seed = *seed
+		if *scale > 1 {
+			cfg.Spec = testbed.ScaledSpec(*scale)
+		}
 		f := core.New(cfg)
 		f.Start()
 		log.Printf("running %d simulated weeks of testing on %s...", *weeks, f.TB.Stats())
@@ -162,6 +177,9 @@ func main() {
 			Configure: func(s int64) core.Config {
 				cfg := core.DefaultConfig()
 				cfg.Seed = s
+				if *scale > 1 {
+					cfg.Spec = testbed.ScaledSpec(*scale)
+				}
 				return cfg
 			},
 		})
@@ -211,18 +229,25 @@ func monolithicMix(name string, tb *testbed.Testbed) ([]loadgen.Scenario, error)
 }
 
 // federatedTargets derives the site-pinned loadgen targets from a
-// federation: every site with its clusters and one monitored node.
+// federation: every site with its clusters and one monitored node. The
+// federation shards per cluster, so each site's micro-shards fold into
+// one target.
 func federatedTargets(fed *federation.Federation) []loadgen.SiteTarget {
 	var out []loadgen.SiteTarget
+	idx := map[string]int{}
 	for _, sh := range fed.Shards() {
-		tgt := loadgen.SiteTarget{Site: sh.Site}
+		i, ok := idx[sh.Site]
+		if !ok {
+			i = len(out)
+			idx[sh.Site] = i
+			out = append(out, loadgen.SiteTarget{Site: sh.Site})
+		}
 		for _, cl := range sh.F.TB.Clusters() {
-			tgt.Clusters = append(tgt.Clusters, cl.Name)
+			out[i].Clusters = append(out[i].Clusters, cl.Name)
 		}
-		if nodes := sh.F.TB.Nodes(); len(nodes) > 0 {
-			tgt.Nodes = []string{nodes[0].Name}
+		if nodes := sh.F.TB.Nodes(); len(out[i].Nodes) == 0 && len(nodes) > 0 {
+			out[i].Nodes = []string{nodes[0].Name}
 		}
-		out = append(out, tgt)
 	}
 	return out
 }

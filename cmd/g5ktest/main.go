@@ -21,12 +21,16 @@
 // shows each site's outcome plus the cross-site merge. Serial and
 // parallel stepping produce bit-identical results by construction.
 //
+// Every mode accepts -scale k to run on testbed.Scaled(k) — k replicas of
+// the paper grid (federated mode then carves k×32 per-cluster
+// micro-shards; k=16 is the E21 benchmark's scale).
+//
 // Usage:
 //
-//	g5ktest [-weeks N] [-seed S] [-faults N] [-quiet]
-//	g5ktest -seeds N [-parallel P] [-weeks N] [-seed BASE] [-faults N]
-//	g5ktest -reliability -seeds N [-parallel P] [-weeks N] [-seed BASE]
-//	g5ktest -federated [-parallel P] [-weeks N] [-seed S] [-faults N]
+//	g5ktest [-weeks N] [-seed S] [-faults N] [-scale K] [-quiet]
+//	g5ktest -seeds N [-parallel P] [-weeks N] [-seed BASE] [-faults N] [-scale K]
+//	g5ktest -reliability -seeds N [-parallel P] [-weeks N] [-seed BASE] [-scale K]
+//	g5ktest -federated [-parallel P] [-weeks N] [-seed S] [-faults N] [-scale K]
 package main
 
 import (
@@ -41,6 +45,7 @@ import (
 	"repro/internal/intel"
 	"repro/internal/simclock"
 	"repro/internal/status"
+	"repro/internal/testbed"
 )
 
 func main() {
@@ -52,22 +57,31 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "campaigns (fleet mode) or site shards (federated mode) simulated concurrently")
 	federated := flag.Bool("federated", false, "run one campaign as per-site shards (internal/federation)")
 	reliability := flag.Bool("reliability", false, "report the -seeds fleet as the grid reliability trend (confidence bands)")
+	scale := flag.Int("scale", 1, "run on testbed.Scaled(k): k replicas of the paper grid")
 	flag.Parse()
+
+	if *scale < 1 {
+		fmt.Fprintln(os.Stderr, "g5ktest: -scale must be ≥ 1")
+		os.Exit(1)
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.InitialFaults = *initialFaults
+	if *scale > 1 {
+		cfg.Spec = testbed.ScaledSpec(*scale)
+	}
 
 	if *reliability {
-		runReliability(*seed, *seeds, *parallel, *weeks, *initialFaults)
+		runReliability(*seed, *seeds, *parallel, *weeks, *initialFaults, *scale)
 		return
 	}
 	if *federated {
-		runFederated(*seed, *parallel, *weeks, *initialFaults)
+		runFederated(*seed, *parallel, *weeks, *initialFaults, *scale)
 		return
 	}
 	if *seeds > 1 {
-		runFleet(*seed, *seeds, *parallel, *weeks, *initialFaults)
+		runFleet(*seed, *seeds, *parallel, *weeks, *initialFaults, *scale)
 		return
 	}
 
@@ -119,7 +133,7 @@ func indent(s string) string {
 
 // runFleet is the -seeds mode: a multi-seed campaign sweep with aggregate
 // reporting.
-func runFleet(base int64, n, parallel, weeks, initialFaults int) {
+func runFleet(base int64, n, parallel, weeks, initialFaults, scale int) {
 	fmt.Printf("fleet: %d campaigns (seeds %d..%d), %d weeks each, %d in parallel\n\n",
 		n, base, base+int64(n)-1, weeks, parallel)
 	res := core.RunFleet(core.FleetConfig{
@@ -130,6 +144,9 @@ func runFleet(base int64, n, parallel, weeks, initialFaults int) {
 			cfg := core.DefaultConfig()
 			cfg.Seed = seed
 			cfg.InitialFaults = initialFaults
+			if scale > 1 {
+				cfg.Spec = testbed.ScaledSpec(scale)
+			}
 			return cfg
 		},
 	})
@@ -158,7 +175,7 @@ func runFleet(base int64, n, parallel, weeks, initialFaults int) {
 // -seeds, folded into the grid reliability trend and printed through the
 // shared renderer — so this output and a render of the gateway's
 // /reliability/trend body are byte-for-byte the same report.
-func runReliability(base int64, n, parallel, weeks, initialFaults int) {
+func runReliability(base int64, n, parallel, weeks, initialFaults, scale int) {
 	res := core.RunFleet(core.FleetConfig{
 		Seeds:    core.SeedRange(base, n),
 		Parallel: parallel,
@@ -167,25 +184,30 @@ func runReliability(base int64, n, parallel, weeks, initialFaults int) {
 			cfg := core.DefaultConfig()
 			cfg.Seed = seed
 			cfg.InitialFaults = initialFaults
+			if scale > 1 {
+				cfg.Spec = testbed.ScaledSpec(scale)
+			}
 			return cfg
 		},
 	})
 	intel.TrendFromFleet(res, base, weeks).RenderText(os.Stdout)
 }
 
-// runFederated is the -federated mode: one campaign as per-site shards.
-func runFederated(seed int64, parallel, weeks, initialFaults int) {
+// runFederated is the -federated mode: one campaign as per-cluster
+// micro-shards grouped under their sites.
+func runFederated(seed int64, parallel, weeks, initialFaults, scale int) {
 	fed := federation.New(federation.Config{
 		Seed:    seed,
 		Workers: parallel,
+		Spec:    testbed.ScaledSpec(scale),
 		Configure: func(site string, shardSeed int64) core.Config {
 			cfg := core.DefaultConfig()
 			cfg.InitialFaults = initialFaults
 			return cfg
 		},
 	})
-	fmt.Printf("federated campaign: %d site shards, %d weeks, %d shard workers, seed %d\n\n",
-		len(fed.Shards()), weeks, parallel, seed)
+	fmt.Printf("federated campaign: %d micro-shards across %d sites, %d weeks, %d shard workers, seed %d\n\n",
+		len(fed.Shards()), len(fed.Summary().Sites), weeks, parallel, seed)
 	fed.Start()
 	for w := 1; w <= weeks; w++ {
 		fed.Advance(simclock.Week)

@@ -15,15 +15,21 @@
 //     aggregates the reliability trend and bug counters with mean ±
 //     spread, the Monte-Carlo sensitivity view of the paper's
 //     longitudinal result (g5ktest -seeds N is the CLI form)
-//   - internal/federation — the campaign federated into per-site shards,
-//     the architecture of the paper's subject itself: every site gets a
-//     complete framework (OAR, monitor, CI, faults, operators) on an
-//     independent RNG stream (ShardSeed is a pure function of campaign
-//     seed and site name), and the federation steps the shards through
-//     lockstep weekly barriers — serially or across GOMAXPROCS
-//     goroutines with bit-identical per-site and merged summaries
-//     (g5ktest -federated is the CLI form; make fed-check races the
-//     determinism proof). Site-scale grid events (internal/faults:
+//   - internal/federation — the campaign federated into per-cluster
+//     micro-shards grouped under site labels, the architecture of the
+//     paper's subject itself: every cluster gets a complete framework
+//     (OAR, monitor, CI, faults, operators) on an independent RNG stream
+//     (ShardSeed is a pure function of campaign seed, site and cluster
+//     name), the site remains the unit of identity (per-site summaries
+//     merge a site's micro-shards back into one report), and the
+//     federation steps the shards through lockstep weekly barriers.
+//     Within a tick a work-stealing scheduler queues micro-shards
+//     longest-processing-time-first by node count and idle workers pull
+//     the next unit, so the barrier's critical path is the mean shard,
+//     not the max site; serial, work-stealing and the legacy
+//     whole-site-per-worker schedule (Config.SiteGrouped) are
+//     bit-identical (g5ktest -federated is the CLI form; make fed-check
+//     races the three-way determinism proof). Site-scale grid events (internal/faults:
 //     site-outage, wan-partition, rolling-maintenance) inject and heal
 //     deterministically off the simulated clock: downed shards freeze
 //     at the barrier and replay missed ticks on heal, partitioned
@@ -37,12 +43,12 @@
 //     snapshots, monitoring queries, the bug tracker, the status views,
 //     and the CI REST API proxied under /ci/), with per-endpoint atomic
 //     request/error/latency counters at /metrics. The gateway serves one
-//     or many shards: handlers hold only their shard's read lock,
-//     site-scoped routes under /sites/{site}/... touch exactly one
-//     shard, the classic paths scatter-gather federated merges, and
-//     Gateway.Advance steps each shard under its own write lock, so live
-//     serving stays coherent and one site's reads never queue behind
-//     another site's progress (g5kapi -live, -shards). Under grid
+//     or many shards: handlers hold only the owning micro-shard's read
+//     lock, site-scoped routes under /sites/{site}/... touch exactly the
+//     site's micro-shards, the classic paths scatter-gather federated
+//     merges, and advances step each micro-shard under its own write
+//     lock, so live serving stays coherent and one cluster's reads never
+//     queue behind another's progress (g5kapi -live, -shards). Under grid
 //     events the gateway degrades instead of failing: routes touching a
 //     down site answer 503 with Retry-After, merges exclude lost sites
 //     behind a degraded marker (absent when healthy), and POST
@@ -104,15 +110,16 @@
 //     <reason> directive; the reason is mandatory
 //
 // bench_test.go at the repository root regenerates every quantitative
-// claim of the paper (E1–E10, plus E11–E20 added by this reproduction:
+// claim of the paper (E1–E10, plus E11–E21 added by this reproduction:
 // executor-pool scaling, parallel verification sweeps, Reference API
 // version churn, campaign-fleet scaling, API-gateway throughput scaling,
-// the mixed gateway workload, the federated per-site shard advance,
+// the mixed gateway workload, the federated micro-shard advance,
 // disaster availability under site-scale chaos, overload shedding
-// through grid admission, and grid intelligence — time-travel archive
-// determinism, hot-304 flatness and cross-site incident folding —
-// E12/E13 exercised against deterministic k×-scale testbeds from
-// testbed.Scaled), smoke_test.go
+// through grid admission, grid intelligence — time-travel archive
+// determinism, hot-304 flatness and cross-site incident folding — and
+// the balanced micro-shard advance at 16x grid scale with its
+// work-stealing barrier; E12/E13/E21 exercised against deterministic
+// k×-scale testbeds from testbed.Scaled), smoke_test.go
 // runs the same experiments at reduced scale as plain tests, and
 // ablation_test.go compares the paper's mechanisms against their obvious
 // alternatives. README.md maps the module layout; `make bench` records

@@ -73,9 +73,9 @@ type Config struct {
 
 	// Spec optionally replaces the generated testbed's cluster
 	// specification (nil = testbed.DefaultSpec, the paper-scale grid).
-	// internal/federation carves per-site campaign shards out of one spec
-	// this way: each shard is a complete Framework over just its site's
-	// clusters.
+	// internal/federation carves per-cluster campaign micro-shards out of
+	// one spec this way: each micro-shard is a complete Framework over a
+	// single cluster, labeled with the site that owns it.
 	Spec []testbed.ClusterSpec
 }
 

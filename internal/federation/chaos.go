@@ -15,12 +15,12 @@ import (
 // which is what keeps serial and parallel advances bit-identical through a
 // disaster.
 
-// SetStepGate installs a wrapper around every shard step performed by
-// Advance: gate(site, step) must call step exactly once. The gateway uses
-// this to take a shard's write lock around its barrier ticks so live reads
-// stay coherent. Must be set before the first Advance and not changed
-// afterwards.
-func (fed *Federation) SetStepGate(gate func(site string, step func())) {
+// SetStepGate installs a wrapper around every micro-shard step performed
+// by Advance: gate(site, cluster, step) must call step exactly once. The
+// gateway uses this to take the micro-shard's write lock around its
+// barrier ticks so live reads stay coherent. Must be set before the first
+// Advance and not changed afterwards.
+func (fed *Federation) SetStepGate(gate func(site, cluster string, step func())) {
 	fed.stepGate = gate
 }
 
@@ -159,13 +159,15 @@ func (fed *Federation) Degraded() bool {
 	return len(fed.downSitesLocked())+len(fed.unreachableSitesLocked()) > 0
 }
 
-// StepSite advances one site's shard by d without a barrier, on the
-// caller's goroutine (Gateway.AdvanceSite). The shard runs ahead of the
-// federated clock and the next Advance lets the clock catch up instead of
-// re-stepping it. Refused while the site is down.
+// StepSite advances one site's micro-shards by d without a barrier, on
+// the caller's goroutine (Gateway.AdvanceSite). The site runs ahead of the
+// federated clock — all of its micro-shards together, in cluster order, so
+// they stay in lockstep with each other — and the next Advance lets the
+// clock catch up instead of re-stepping them. Refused while the site is
+// down.
 func (fed *Federation) StepSite(site string, d simclock.Time) error {
 	fed.mu.Lock()
-	sh, ok := fed.bySite[site]
+	shards, ok := fed.bySite[site]
 	if !ok {
 		fed.mu.Unlock()
 		return fmt.Errorf("federation: unknown site %q", site)
@@ -174,34 +176,40 @@ func (fed *Federation) StepSite(site string, d simclock.Time) error {
 		fed.mu.Unlock()
 		return fmt.Errorf("federation: site %q is down", site)
 	}
-	fed.behind[fed.indexOf[site]] -= d
+	fed.behind[fed.siteIdx[site]] -= d
 	fed.mu.Unlock()
-	// Step outside fed.mu: the caller (gateway) already serializes this
-	// shard behind its own write lock, and other shards are unaffected.
-	sh.F.RunFor(d)
+	// Step outside fed.mu: the caller (gateway) already serializes these
+	// shards behind their own write locks, and other sites are unaffected.
+	gate := fed.stepGate
+	if gate == nil {
+		gate = func(_, _ string, step func()) { step() }
+	}
+	for _, sh := range shards {
+		gate(sh.Site, sh.Cluster, func() { sh.F.RunFor(d) })
+	}
 	return nil
 }
 
-// downSitesLocked returns the down sites in shard order. Caller holds
+// downSitesLocked returns the down sites in site order. Caller holds
 // fed.mu.
 func (fed *Federation) downSitesLocked() []string {
 	var out []string
-	for _, sh := range fed.shards {
-		if fed.grid.SiteDownAt(sh.Site, fed.now) {
-			out = append(out, sh.Site)
+	for _, site := range fed.sites {
+		if fed.grid.SiteDownAt(site, fed.now) {
+			out = append(out, site)
 		}
 	}
 	return out
 }
 
 // unreachableSitesLocked returns the partition-isolated (but not down)
-// sites in shard order. Caller holds fed.mu.
+// sites in site order. Caller holds fed.mu.
 func (fed *Federation) unreachableSitesLocked() []string {
 	iso := fed.grid.IsolatedAt(fed.now)
 	var out []string
-	for _, sh := range fed.shards {
-		if iso[sh.Site] && !fed.grid.SiteDownAt(sh.Site, fed.now) {
-			out = append(out, sh.Site)
+	for _, site := range fed.sites {
+		if iso[site] && !fed.grid.SiteDownAt(site, fed.now) {
+			out = append(out, site)
 		}
 	}
 	return out

@@ -85,22 +85,73 @@ func TestChaosOutageFreezesAndCatchesUp(t *testing.T) {
 		t.Fatalf("healed summary still degraded: %+v", sum)
 	}
 
-	// The outage filed exactly one ticket per surviving shard, closed on
-	// heal; the downed shard itself never heard of it.
-	for _, sh := range fed.Shards() {
-		b := sh.F.Bugs.BySignature("site-outage:lyon")
-		if sh.Site == "lyon" {
-			if b != nil {
-				t.Fatal("lyon should not carry its own outage ticket")
+	// The outage filed exactly one ticket per surviving site — on its
+	// coordinator micro-shard (the site's first cluster), not once per
+	// cluster — closed on heal; the downed site never heard of it.
+	for _, site := range fed.Sites() {
+		for i, sh := range fed.SiteShards(site) {
+			b := sh.F.Bugs.BySignature("site-outage:lyon")
+			if site == "lyon" || i > 0 {
+				if b != nil {
+					t.Fatalf("micro-shard %s/%s should not carry the outage ticket", sh.Site, sh.Cluster)
+				}
+				continue
 			}
-			continue
+			if b == nil {
+				t.Fatalf("coordinator %s/%s missing the outage ticket", sh.Site, sh.Cluster)
+			}
+			if b.State != bugs.Fixed {
+				t.Fatalf("coordinator %s outage ticket state = %v, want fixed after heal", sh.Site, b.State)
+			}
 		}
-		if b == nil {
-			t.Fatalf("shard %s missing the outage ticket", sh.Site)
+	}
+}
+
+// TestChaosSiteFreezeIsAtomic is the micro-sharding chaos invariant: a
+// site outage freezes every one of the site's micro-shards at the same
+// barrier (none sneaks through a tick), and heal catch-up replays them
+// back into lockstep deterministically — the same clocks and summaries
+// whether the catch-up ran serially or work-stealing.
+func TestChaosSiteFreezeIsAtomic(t *testing.T) {
+	outcomes := make([]Summary, 0, 2)
+	for _, workers := range []int{1, 4} {
+		fed := chaosFed(workers)
+		if err := fed.ScheduleChaos(faults.ScheduleEntry{
+			Kind: faults.SiteOutage, Sites: []string{"lyon"}, At: simclock.Week, Duration: 2 * simclock.Week,
+		}); err != nil {
+			t.Fatalf("schedule: %v", err)
 		}
-		if b.State != bugs.Fixed {
-			t.Fatalf("shard %s outage ticket state = %v, want fixed after heal", sh.Site, b.State)
+
+		// Two downed ticks: every lyon micro-shard must freeze at exactly
+		// 1w — atomically, as one site — while every other micro-shard
+		// keeps stepping.
+		fed.Advance(3 * simclock.Week)
+		for _, sh := range fed.SiteShards("lyon") {
+			if got := sh.F.Clock.Now(); got != simclock.Week {
+				t.Fatalf("workers=%d: lyon/%s clock = %v, want frozen at 1w with its site", workers, sh.Cluster, got)
+			}
 		}
+		for _, site := range []string{"luxembourg", "nantes"} {
+			for _, sh := range fed.SiteShards(site) {
+				if got := sh.F.Clock.Now(); got != 3*simclock.Week {
+					t.Fatalf("workers=%d: %s/%s clock = %v, want 3w", workers, site, sh.Cluster, got)
+				}
+			}
+		}
+
+		// Heal lands at 3w; the next tick replays lyon's debt. All of the
+		// site's micro-shards catch up in the same tick, back to lockstep.
+		fed.Advance(simclock.Week)
+		for _, sh := range fed.Shards() {
+			if got := sh.F.Clock.Now(); got != 4*simclock.Week {
+				t.Fatalf("workers=%d: %s/%s clock = %v, want lockstep at 4w", workers, sh.Site, sh.Cluster, got)
+			}
+		}
+		outcomes = append(outcomes, fed.Summary())
+	}
+	if !reflect.DeepEqual(outcomes[0], outcomes[1]) {
+		t.Fatalf("heal catch-up diverged between serial and work-stealing replay:\nserial:   %+v\nparallel: %+v",
+			outcomes[0], outcomes[1])
 	}
 }
 
@@ -245,8 +296,8 @@ func TestChaosSerialParallelDeterminism(t *testing.T) {
 	if serial.Merged.Builds == 0 {
 		t.Fatal("chaos campaign completed no builds")
 	}
-	// The disaster left its mark: grid tickets were filed on every shard
-	// that survived each event.
+	// The disaster left its mark: grid tickets were filed on each
+	// surviving site's coordinator shard.
 	if serial.Merged.BugsFiled == 0 {
 		t.Fatal("no bugs filed at all")
 	}

@@ -1,36 +1,48 @@
-// Package federation coordinates a campaign split into per-site shards —
-// the architecture the paper's subject actually has. Grid'5000 is not one
-// scheduler: it is a federation of sites, each running its own OAR, its
-// own monitoring and its own operations team, stitched together behind
-// common APIs. The monolithic core.Framework collapses that into a single
-// world; a Federation instead builds one complete Framework per site (its
-// own OAR shard, monitor shard, fault and operator processes, CI server,
-// bug tracker and simulated clock) and owns the barriers that keep the
-// shards' clocks in lockstep.
+// Package federation coordinates a campaign split into per-cluster
+// micro-shards behind per-site labels — the architecture the paper's
+// subject actually has. Grid'5000 is not one scheduler: it is a federation
+// of sites, each running its own OAR, its own monitoring and its own
+// operations team, stitched together behind common APIs. The monolithic
+// core.Framework collapses that into a single world; a Federation instead
+// builds one complete Framework per cluster (its own OAR shard, monitor
+// shard, fault and operator processes, CI server, bug tracker and
+// simulated clock) and owns the barriers that keep the shards' clocks in
+// lockstep. The site remains the unit of identity — chaos events, routing,
+// summaries and clock debt are all site-granular; all of a site's
+// micro-shards freeze, heal and step together — but the unit of *work* is
+// the cluster, so the barrier's critical path is the mean shard, not the
+// fattest site (nancy ≈ 2.4x luxembourg under per-site sharding).
 //
-// Determinism is the load-bearing property. Every shard draws from an
-// independent RNG stream whose seed is a pure function of (campaign seed,
-// site name) — see ShardSeed — and shards share no mutable state
-// whatsoever, so stepping them serially or across GOMAXPROCS goroutines
-// produces bit-identical campaign summaries. That is the same
-// serial ≡ parallel discipline core.Fleet proved for multi-seed sweeps,
-// now applied *inside* one campaign: Advance splits simulated time into
-// barrier ticks (a week by default), steps every shard through the tick
-// on a worker pool, waits on the barrier, and repeats. The determinism
-// test and BenchmarkE17_FederatedAdvance gate exactly this.
+// Determinism is the load-bearing property. Every micro-shard draws from
+// an independent RNG stream whose seed is a pure function of (campaign
+// seed, site name, cluster name) — see ShardSeed — and shards share no
+// mutable state whatsoever, so stepping them serially, across GOMAXPROCS
+// goroutines, or grouped whole-site-per-worker (Config.SiteGrouped, the
+// legacy schedule) produces bit-identical campaign summaries. That is the
+// same serial ≡ parallel discipline core.Fleet proved for multi-seed
+// sweeps, now applied *inside* one campaign: Advance splits simulated time
+// into barrier ticks (a week by default), steps every shard through the
+// tick, waits on the barrier, and repeats. Within a tick the workers
+// work-steal: micro-shards are queued longest-processing-time-first (by
+// node count, the deterministic cost model) and idle workers pull the next
+// unit from the queue, so uneven sites no longer serialize the tick. The
+// determinism test and BenchmarkE17/E21 gate exactly this.
 //
 // Reporting merges shard outcomes the way the real federation's status
-// pages do: weekly verdict counters sum across sites week by week, bug
-// and build counters sum, and the trend endpoints are re-selected from
-// the merged report with the same volume threshold a monolithic campaign
-// uses (core.TrendWeeks).
+// pages do: per-site summaries fold a site's micro-shards back into one
+// SiteSummary (weekly verdict counters sum week by week, bug and build
+// counters sum), and the trend endpoints are re-selected from the merged
+// report with the same volume threshold a monolithic campaign uses
+// (core.TrendWeeks).
 package federation
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bugs"
 	"repro/internal/core"
@@ -41,18 +53,18 @@ import (
 
 // Config parameterises a federated campaign.
 type Config struct {
-	// Seed is the campaign seed; each shard derives its own stream from it
-	// via ShardSeed.
+	// Seed is the campaign seed; each micro-shard derives its own stream
+	// from it via ShardSeed.
 	Seed int64
 
 	// Spec is the cluster specification to federate (nil =
-	// testbed.DefaultSpec). Shards are carved per distinct Site, in first-
-	// appearance order.
+	// testbed.DefaultSpec). Micro-shards are carved per cluster, grouped by
+	// distinct Site in first-appearance order.
 	Spec []testbed.ClusterSpec
 
-	// Workers bounds how many shards advance concurrently inside one
-	// barrier tick. 0 means GOMAXPROCS; 1 steps shards serially. The
-	// campaign outcome is identical either way.
+	// Workers bounds how many barrier workers pull micro-shards
+	// concurrently inside one tick. 0 means GOMAXPROCS; 1 steps shards
+	// serially. The campaign outcome is identical either way.
 	Workers int
 
 	// Barrier is the tick length between cross-site clock barriers
@@ -61,29 +73,45 @@ type Config struct {
 	// lockstep.
 	Barrier simclock.Time
 
-	// Configure builds a shard's campaign profile (nil =
-	// core.DefaultConfig). The returned Config's Seed and Spec are
-	// overridden with the shard's derived seed and site clusters.
+	// SiteGrouped restores the legacy per-site schedule: each barrier
+	// worker steps one whole site's micro-shards back to back, so a tick's
+	// critical path is the fattest site (exactly the old shard-per-site
+	// fan-out). The simulation itself is identical — same micro-shards,
+	// same seeds — which is why serial, work-stealing and site-grouped
+	// advances are all bit-identical; only the wall-clock shape differs.
+	SiteGrouped bool
+
+	// Configure builds a shard's campaign profile from its site label (nil
+	// = core.DefaultConfig). The returned Config's Seed and Spec are
+	// overridden with the micro-shard's derived seed and single cluster.
 	Configure func(site string, seed int64) core.Config
 }
 
-// Shard is one site's slice of the federated campaign: a complete
-// framework over just that site's clusters.
+// Shard is one cluster's slice of the federated campaign: a complete
+// framework over just that cluster, labeled with the site that owns it.
 type Shard struct {
-	Site string
-	Seed int64
-	F    *core.Framework
+	Site    string
+	Cluster string
+	Seed    int64
+	// Nodes is the shard's node count — the deterministic cost model the
+	// work-stealing barrier orders its queue by.
+	Nodes int
+	F     *core.Framework
+
+	idx int // position in Federation.shards
 }
 
-// Federation owns the per-site shards and their lockstep clocks.
+// Federation owns the per-cluster micro-shards and their lockstep clocks.
 type Federation struct {
-	cfg     Config
-	shards  []*Shard
-	bySite  map[string]*Shard
-	indexOf map[string]int
-	workers int
-	barrier simclock.Time
-	started bool
+	cfg         Config
+	shards      []*Shard            // site-grouped, cluster order within a site
+	sites       []string            // distinct site labels, first-appearance order
+	siteIdx     map[string]int      // site → index into sites/behind
+	bySite      map[string][]*Shard // site → its micro-shards in cluster order
+	workers     int
+	barrier     simclock.Time
+	siteGrouped bool
+	started     bool
 
 	// mu guards the federated clock and all chaos state below. Shard
 	// frameworks are never touched under mu: Advance plans a tick under the
@@ -93,10 +121,12 @@ type Federation struct {
 	mu  sync.Mutex
 	now simclock.Time
 
-	// behind[i] is how far shard i's clock lags the federated clock: a
-	// downed shard accrues debt each tick it sits frozen at the barrier,
-	// and repays it with catch-up ticks on heal. Negative values mean the
-	// shard ran ahead (Gateway.AdvanceSite).
+	// behind[i] is how far site i's micro-shard clocks lag the federated
+	// clock: a downed site accrues debt each tick it sits frozen at the
+	// barrier, and repays it with catch-up ticks on heal. Negative values
+	// mean the site ran ahead (Gateway.AdvanceSite). Debt is site-granular
+	// because chaos is: all of a site's micro-shards freeze and catch up
+	// together, which is what keeps them in lockstep with each other.
 	behind []simclock.Time
 
 	// grid owns the active site-scale events; pending/pendingHeals hold
@@ -108,9 +138,10 @@ type Federation struct {
 	announced     map[int]bool
 	healAnnounced map[int]bool
 
-	// stepGate, when set, wraps every shard step so an embedder (the
-	// gateway) can interleave its own locking with the barrier ticks.
-	stepGate func(site string, step func())
+	// stepGate, when set, wraps every micro-shard step so an embedder (the
+	// gateway) can interleave its own per-shard locking with the barrier
+	// ticks.
+	stepGate func(site, cluster string, step func())
 
 	// gridListener, when set, is invoked (outside fed.mu) after any call
 	// that can change grid availability or the federated clock: InjectGrid,
@@ -126,20 +157,29 @@ type pendingHeal struct {
 	at simclock.Time
 }
 
-// ShardSeed derives a shard's RNG seed from the campaign seed and its site
-// name (FNV-1a over the name, mixed into the base). The function is pure,
-// so a shard's entire campaign depends only on (seed, site, profile) — not
-// on shard order, worker count or scheduling.
-func ShardSeed(base int64, site string) int64 {
+// ShardSeed derives a micro-shard's RNG seed from the campaign seed, its
+// site label and its cluster name (FNV-1a over site, a zero separator
+// byte, then cluster, mixed into the base). The separator keeps the
+// (site, cluster) split unambiguous — ("a","b") and ("ab","") hash apart —
+// and the function is pure, so a shard's entire campaign depends only on
+// (seed, site, cluster, profile): not on shard order, worker count,
+// scheduling, or which other clusters the spec carries.
+func ShardSeed(base int64, site, cluster string) int64 {
+	const prime = 1099511628211
 	h := uint64(1469598103934665603)
 	for _, b := range []byte(site) {
-		h = (h ^ uint64(b)) * 1099511628211
+		h = (h ^ uint64(b)) * prime
+	}
+	h = (h ^ 0) * prime // separator: site/cluster boundary
+	for _, b := range []byte(cluster) {
+		h = (h ^ uint64(b)) * prime
 	}
 	return base ^ int64(h&0x7fffffffffffffff)
 }
 
-// New carves the spec into per-site shards and builds their frameworks.
-// Nothing runs until Start.
+// New carves the spec into per-cluster micro-shards (grouped by site in
+// first-appearance order) and builds their frameworks. Nothing runs until
+// Start.
 func New(cfg Config) *Federation {
 	spec := cfg.Spec
 	if spec == nil {
@@ -162,10 +202,12 @@ func New(cfg Config) *Federation {
 
 	fed := &Federation{
 		cfg:           cfg,
-		bySite:        make(map[string]*Shard, len(sites)),
-		indexOf:       make(map[string]int, len(sites)),
+		sites:         sites,
+		siteIdx:       make(map[string]int, len(sites)),
+		bySite:        make(map[string][]*Shard, len(sites)),
 		workers:       cfg.Workers,
 		barrier:       cfg.Barrier,
+		siteGrouped:   cfg.SiteGrouped,
 		grid:          faults.NewGridInjector(),
 		announced:     map[int]bool{},
 		healAnnounced: map[int]bool{},
@@ -176,41 +218,57 @@ func New(cfg Config) *Federation {
 	if fed.barrier <= 0 {
 		fed.barrier = simclock.Week
 	}
-	for i, site := range sites {
-		seed := ShardSeed(cfg.Seed, site)
-		c := configure(site, seed)
-		c.Seed = seed
-		c.Spec = bySiteSpec[site]
-		sh := &Shard{Site: site, Seed: seed, F: core.New(c)}
-		fed.shards = append(fed.shards, sh)
-		fed.bySite[site] = sh
-		fed.indexOf[site] = i
+	for si, site := range sites {
+		fed.siteIdx[site] = si
+		for _, cs := range bySiteSpec[site] {
+			seed := ShardSeed(cfg.Seed, site, cs.Name)
+			c := configure(site, seed)
+			c.Seed = seed
+			c.Spec = []testbed.ClusterSpec{cs}
+			sh := &Shard{
+				Site:    site,
+				Cluster: cs.Name,
+				Seed:    seed,
+				Nodes:   cs.NodeCount,
+				F:       core.New(c),
+				idx:     len(fed.shards),
+			}
+			fed.shards = append(fed.shards, sh)
+			fed.bySite[site] = append(fed.bySite[site], sh)
+		}
 	}
-	fed.behind = make([]simclock.Time, len(fed.shards))
+	fed.behind = make([]simclock.Time, len(fed.sites))
 	return fed
 }
 
-// Shards returns the shards in site order.
+// Shards returns the micro-shards, grouped by site in first-appearance
+// order, cluster order within a site.
 func (fed *Federation) Shards() []*Shard { return fed.shards }
 
-// Workers returns the shard-step concurrency bound (resolved, never 0).
+// Workers returns the barrier-worker concurrency bound (resolved, never 0).
 func (fed *Federation) Workers() int { return fed.workers }
 
-// Shard returns the shard owning the named site, or nil.
-func (fed *Federation) Shard(site string) *Shard { return fed.bySite[site] }
-
-// Sites returns the shard site names in shard order.
-func (fed *Federation) Sites() []string {
-	out := make([]string, len(fed.shards))
-	for i, sh := range fed.shards {
-		out[i] = sh.Site
+// Shard returns the named site's first micro-shard (its coordinator
+// cluster), or nil. All of a site's micro-shards share one clock lockstep,
+// so the coordinator answers site-level clock and topology questions.
+func (fed *Federation) Shard(site string) *Shard {
+	shards := fed.bySite[site]
+	if len(shards) == 0 {
+		return nil
 	}
-	return out
+	return shards[0]
 }
 
-// Now returns the federated clock: the simulated time every healthy shard
+// SiteShards returns the named site's micro-shards in cluster order (nil
+// for an unknown site).
+func (fed *Federation) SiteShards(site string) []*Shard { return fed.bySite[site] }
+
+// Sites returns the distinct site labels in first-appearance order.
+func (fed *Federation) Sites() []string { return fed.sites }
+
+// Now returns the federated clock: the simulated time every healthy site
 // has been advanced to (they finish every Advance in lockstep; a downed
-// shard lags by its accrued debt until it heals and catches up).
+// site lags by its accrued debt until it heals and catches up).
 func (fed *Federation) Now() simclock.Time {
 	fed.mu.Lock()
 	defer fed.mu.Unlock()
@@ -231,16 +289,19 @@ func (fed *Federation) Start() {
 
 // Advance steps every shard by d of simulated time, in barrier ticks: all
 // shards complete tick k before any shard begins tick k+1. Within a tick
-// shards step on up to Workers goroutines; because they share no state,
-// the outcome is bit-identical to the serial order.
+// the workers pull micro-shards from a deterministic cost-ordered queue
+// (longest-processing-time-first by node count); because the shards share
+// no state and the queue is fixed before the first pull, the outcome is
+// bit-identical to the serial order no matter how the pulls interleave.
 //
 // Chaos events interleave deterministically with the barriers: before each
-// tick the due part of the disaster schedule is applied, a shard downed by
-// an active event is frozen for the tick (it accrues clock debt instead of
-// stepping), and a healed shard repays its debt with catch-up ticks before
-// rejoining the lockstep. Because the plan for a tick is computed once
-// under the federation lock and the shards share nothing, serial and
-// parallel advances stay bit-identical even mid-disaster.
+// tick the due part of the disaster schedule is applied, a site downed by
+// an active event is frozen for the tick (every one of its micro-shards
+// skips it atomically; the site accrues clock debt instead of stepping),
+// and a healed site repays its debt with catch-up ticks before rejoining
+// the lockstep. Because the plan for a tick is computed once under the
+// federation lock and the shards share nothing, serial and parallel
+// advances stay bit-identical even mid-disaster.
 func (fed *Federation) Advance(d simclock.Time) {
 	for d > 0 {
 		fed.mu.Lock()
@@ -262,8 +323,10 @@ func (fed *Federation) Advance(d simclock.Time) {
 	fed.notifyGrid()
 }
 
-// shardWork is one shard's slice of a tick plan: how far to step and which
-// grid-event tickets to file or close in the shard's bug tracker first.
+// shardWork is one micro-shard's slice of a tick plan: how far to step and
+// which grid-event tickets to file or close in the shard's bug tracker
+// first. Tickets ride only on a site's coordinator shard (its first
+// cluster) — one root cause is one ticket per site, not one per cluster.
 type shardWork struct {
 	idx  int
 	step simclock.Time
@@ -284,8 +347,8 @@ func (fed *Federation) planTickLocked(tick simclock.Time) []shardWork {
 	fed.applyDueLocked()
 
 	// Grid events announce themselves to the shard bug trackers exactly
-	// once: a fresh event files one ticket per reachable shard (one root
-	// cause, not N node tickets), a fresh heal closes them.
+	// once: a fresh event files one ticket per reachable site (one root
+	// cause, not N cluster tickets), a fresh heal closes them.
 	var file []gridTicket
 	var fix []string
 	for _, e := range fed.grid.Active() {
@@ -313,27 +376,33 @@ func (fed *Federation) planTickLocked(tick simclock.Time) []shardWork {
 	}
 
 	plan := make([]shardWork, 0, len(fed.shards))
-	for i, sh := range fed.shards {
-		w := shardWork{idx: i}
-		if fed.grid.SiteDownAt(sh.Site, fed.now) {
-			// Frozen at the barrier: the shard skips the tick and accrues
-			// clock debt to repay on heal.
-			fed.behind[i] += tick
-		} else {
-			due := fed.behind[i] + tick
-			if due > 0 {
-				w.step = due
-				fed.behind[i] = 0
-			} else {
-				// The shard ran ahead via Gateway.AdvanceSite; let the
-				// federation clock catch up to it instead.
-				fed.behind[i] = due
-			}
-			w.file = file
-			w.fix = fix
+	for si, site := range fed.sites {
+		if fed.grid.SiteDownAt(site, fed.now) {
+			// Frozen at the barrier: every micro-shard of the site skips the
+			// tick atomically and the site accrues clock debt to repay on
+			// heal.
+			fed.behind[si] += tick
+			continue
 		}
-		if w.step > 0 || len(w.file) > 0 || len(w.fix) > 0 {
-			plan = append(plan, w)
+		due := fed.behind[si] + tick
+		step := simclock.Time(0)
+		if due > 0 {
+			step = due
+			fed.behind[si] = 0
+		} else {
+			// The site ran ahead via Gateway.AdvanceSite; let the federation
+			// clock catch up to it instead.
+			fed.behind[si] = due
+		}
+		for ci, sh := range fed.bySite[site] {
+			w := shardWork{idx: sh.idx, step: step}
+			if ci == 0 {
+				w.file = file
+				w.fix = fix
+			}
+			if w.step > 0 || len(w.file) > 0 || len(w.fix) > 0 {
+				plan = append(plan, w)
+			}
 		}
 	}
 	fed.now += tick
@@ -379,14 +448,71 @@ func (fed *Federation) applyDueLocked() {
 	fed.grid.AutoHeal(fed.now)
 }
 
+// workUnit is one pull from the barrier's work-stealing queue: either a
+// single micro-shard (the default) or a whole site's micro-shards back to
+// back (SiteGrouped). cost is the unit's node count; first is the lowest
+// shard index inside, the deterministic tiebreak.
+type workUnit struct {
+	cost  int
+	first int
+	work  []shardWork
+}
+
+// planUnits folds a tick plan into scheduler work units and sorts them
+// longest-processing-time-first (node count descending, shard index
+// ascending on ties) — the classic LPT heuristic: with uniform per-node
+// cost it bounds the barrier's makespan at (4/3 − 1/3w)× optimal, and the
+// order is a pure function of the plan, so every run pulls from the same
+// queue.
+func (fed *Federation) planUnits(plan []shardWork) []workUnit {
+	var units []workUnit
+	if fed.siteGrouped {
+		// Legacy schedule: one unit per site. The plan is site-contiguous,
+		// so grouping consecutive entries by site label suffices.
+		for start := 0; start < len(plan); {
+			site := fed.shards[plan[start].idx].Site
+			end := start
+			cost := 0
+			for end < len(plan) && fed.shards[plan[end].idx].Site == site {
+				cost += fed.shards[plan[end].idx].Nodes
+				end++
+			}
+			units = append(units, workUnit{cost: cost, first: plan[start].idx, work: plan[start:end]})
+			start = end
+		}
+	} else {
+		for i := range plan {
+			units = append(units, workUnit{
+				cost:  fed.shards[plan[i].idx].Nodes,
+				first: plan[i].idx,
+				work:  plan[i : i+1],
+			})
+		}
+	}
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].cost != units[j].cost {
+			return units[i].cost > units[j].cost
+		}
+		return units[i].first < units[j].first
+	})
+	return units
+}
+
 // runPlan executes one tick's plan: every planned shard files/closes its
-// grid tickets and steps its campaign, on up to Workers goroutines. Shards
-// share nothing and the plan is fixed, so worker count cannot change the
-// outcome.
+// grid tickets and steps its campaign. With more than one worker the units
+// are pulled work-stealing style — an atomic cursor over the LPT-ordered
+// queue — so an idle worker immediately takes the next-heaviest remaining
+// unit instead of waiting on a static assignment. Shards share nothing and
+// the queue is fixed before the first pull, so worker count and pull
+// interleaving cannot change the outcome.
 func (fed *Federation) runPlan(plan []shardWork) {
+	if len(plan) == 0 {
+		return
+	}
+	units := fed.planUnits(plan)
 	workers := fed.workers
-	if workers > len(plan) {
-		workers = len(plan)
+	if workers > len(units) {
+		workers = len(units)
 	}
 	if workers <= 1 {
 		for _, w := range plan {
@@ -394,37 +520,39 @@ func (fed *Federation) runPlan(plan []shardWork) {
 		}
 		return
 	}
-	jobs := make(chan shardWork)
+	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		//g5k:allow baregoroutine barrier workers step share-nothing shards; serial and parallel schedules are bit-identical (E17/E18 gates)
+		//g5k:allow baregoroutine work-stealing barrier workers pull share-nothing micro-shards from a queue fixed before the first pull; pull interleaving cannot change the outcome (E17/E18/E21 gates)
 		go func() {
 			defer wg.Done()
-			for w := range jobs {
-				fed.runShardWork(w)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(units) {
+					return
+				}
+				for _, w := range units[i].work {
+					fed.runShardWork(w)
+				}
 			}
 		}()
 	}
-	for _, w := range plan {
-		jobs <- w
-	}
-	close(jobs)
 	wg.Wait()
 }
 
-// runShardWork applies one shard's slice of a tick plan. Ticket work and
-// each catch-up chunk pass through the step gate separately, so an embedder
-// holding per-shard locks (the gateway) never blocks readers for longer
-// than one barrier tick.
+// runShardWork applies one micro-shard's slice of a tick plan. Ticket work
+// and each catch-up chunk pass through the step gate separately, so an
+// embedder holding per-shard locks (the gateway) never blocks readers for
+// longer than one barrier tick.
 func (fed *Federation) runShardWork(w shardWork) {
 	sh := fed.shards[w.idx]
 	gate := fed.stepGate
 	if gate == nil {
-		gate = func(_ string, step func()) { step() }
+		gate = func(_, _ string, step func()) { step() }
 	}
 	if len(w.file) > 0 || len(w.fix) > 0 {
-		gate(sh.Site, func() {
+		gate(sh.Site, sh.Cluster, func() {
 			for _, t := range w.file {
 				sh.F.Bugs.File(t.sig, t.title, "grid", t.target)
 			}
@@ -440,7 +568,7 @@ func (fed *Federation) runShardWork(w shardWork) {
 		if chunk > rest {
 			chunk = rest
 		}
-		gate(sh.Site, func() { sh.F.RunFor(chunk) })
+		gate(sh.Site, sh.Cluster, func() { sh.F.RunFor(chunk) })
 		rest -= chunk
 	}
 }
@@ -483,9 +611,32 @@ func (fed *Federation) WeeklyReport() []core.WeekCounts {
 	return MergeWeekly(reports...)
 }
 
-// SiteSummary is one shard's slice of a federated summary. The struct stays
-// comparable (==) on purpose: the determinism gates compare serial and
-// parallel site summaries with plain equality.
+// siteSummary folds one site's micro-shard campaigns into a single
+// CampaignSummary, exactly as a per-site shard would have reported it:
+// counters sum across clusters, the trend endpoints are re-selected from
+// the site's merged weekly report, and Duration is the site's lockstep
+// clock (every micro-shard of a site shares it by construction).
+func (fed *Federation) siteSummary(site string) core.CampaignSummary {
+	var out core.CampaignSummary
+	var weeklies [][]core.WeekCounts
+	for _, sh := range fed.bySite[site] {
+		s := sh.F.Summary()
+		out.Duration = s.Duration
+		out.Builds += s.Builds
+		out.BugsFiled += s.BugsFiled
+		out.BugsFixed += s.BugsFixed
+		out.BugsOpen += s.BugsOpen
+		out.ActiveFaults += s.ActiveFaults
+		weeklies = append(weeklies, sh.F.WeeklyReport())
+	}
+	out.FirstWeek, out.LastWeek = core.TrendWeeks(MergeWeekly(weeklies...))
+	return out
+}
+
+// SiteSummary is one site's slice of a federated summary — its
+// micro-shards folded back into the per-site view. The struct stays
+// comparable (==) on purpose: the determinism gates compare serial,
+// parallel and site-grouped summaries with plain equality.
 type SiteSummary struct {
 	Site    string
 	Summary core.CampaignSummary
@@ -497,7 +648,7 @@ type SiteSummary struct {
 }
 
 // Summary is the outcome of a federated campaign: the cross-site merge
-// plus every site's own summary (in shard order). While the federation is
+// plus every site's own summary (in site order). While the federation is
 // degraded, Merged covers only the reachable sites — the partitioned
 // groups' numbers reconcile into the merge once the events heal.
 type Summary struct {
@@ -529,7 +680,7 @@ func (fed *Federation) Summary() Summary {
 	fed.mu.Unlock()
 
 	out := Summary{
-		Sites:            make([]SiteSummary, len(fed.shards)),
+		Sites:            make([]SiteSummary, len(fed.sites)),
 		Degraded:         len(down)+len(unreachable) > 0,
 		DownSites:        down,
 		UnreachableSites: unreachable,
@@ -538,15 +689,15 @@ func (fed *Federation) Summary() Summary {
 	isUnreachable := sliceSet(unreachable)
 	out.Merged.Duration = now
 	var mergedReports [][]core.WeekCounts
-	for i, sh := range fed.shards {
-		s := sh.F.Summary()
+	for i, site := range fed.sites {
+		s := fed.siteSummary(site)
 		out.Sites[i] = SiteSummary{
-			Site:        sh.Site,
+			Site:        site,
 			Summary:     s,
-			Down:        isDown[sh.Site],
-			Unreachable: isUnreachable[sh.Site],
+			Down:        isDown[site],
+			Unreachable: isUnreachable[site],
 		}
-		if isDown[sh.Site] || isUnreachable[sh.Site] {
+		if isDown[site] || isUnreachable[site] {
 			continue
 		}
 		out.Merged.Builds += s.Builds
@@ -554,7 +705,9 @@ func (fed *Federation) Summary() Summary {
 		out.Merged.BugsFixed += s.BugsFixed
 		out.Merged.BugsOpen += s.BugsOpen
 		out.Merged.ActiveFaults += s.ActiveFaults
-		mergedReports = append(mergedReports, sh.F.WeeklyReport())
+		for _, sh := range fed.bySite[site] {
+			mergedReports = append(mergedReports, sh.F.WeeklyReport())
+		}
 	}
 	out.Merged.FirstWeek, out.Merged.LastWeek = core.TrendWeeks(MergeWeekly(mergedReports...))
 	return out

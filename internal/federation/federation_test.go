@@ -27,27 +27,33 @@ func subSpec(sites ...string) []testbed.ClusterSpec {
 
 func TestShardLayout(t *testing.T) {
 	fed := New(Config{Seed: 1})
-	if got := len(fed.Shards()); got != 8 {
-		t.Fatalf("default federation has %d shards, want 8", got)
+	if got := len(fed.Shards()); got != 32 {
+		t.Fatalf("default federation has %d micro-shards, want 32 (one per cluster)", got)
+	}
+	if got := len(fed.Sites()); got != 8 {
+		t.Fatalf("default federation has %d sites, want 8", got)
 	}
 	seeds := map[int64]string{}
 	for _, sh := range fed.Shards() {
 		st := sh.F.TB.Stats()
-		if st.Sites != 1 {
-			t.Fatalf("shard %q spans %d sites", sh.Site, st.Sites)
+		if st.Sites != 1 || st.Clusters != 1 {
+			t.Fatalf("micro-shard %s/%s spans %d sites, %d clusters", sh.Site, sh.Cluster, st.Sites, st.Clusters)
 		}
 		if names := sh.F.TB.SiteNames(); len(names) != 1 || names[0] != sh.Site {
-			t.Fatalf("shard %q testbed claims sites %v", sh.Site, names)
+			t.Fatalf("micro-shard %s/%s testbed claims sites %v", sh.Site, sh.Cluster, names)
 		}
 		if prev, dup := seeds[sh.Seed]; dup {
-			t.Fatalf("shards %q and %q derived the same seed %d", prev, sh.Site, sh.Seed)
+			t.Fatalf("micro-shards %q and %s/%s derived the same seed %d", prev, sh.Site, sh.Cluster, sh.Seed)
 		}
-		seeds[sh.Seed] = sh.Site
-		if sh.Seed != ShardSeed(1, sh.Site) {
-			t.Fatalf("shard %q seed %d is not ShardSeed(1, site)", sh.Site, sh.Seed)
+		seeds[sh.Seed] = sh.Site + "/" + sh.Cluster
+		if sh.Seed != ShardSeed(1, sh.Site, sh.Cluster) {
+			t.Fatalf("micro-shard %s/%s seed %d is not ShardSeed(1, site, cluster)", sh.Site, sh.Cluster, sh.Seed)
+		}
+		if st.Nodes != sh.Nodes {
+			t.Fatalf("micro-shard %s/%s cost label %d, testbed has %d nodes", sh.Site, sh.Cluster, sh.Nodes, st.Nodes)
 		}
 	}
-	// The shard union covers the whole paper-scale testbed.
+	// The micro-shard union covers the whole paper-scale testbed.
 	var nodes, cores int
 	for _, sh := range fed.Shards() {
 		st := sh.F.TB.Stats()
@@ -55,33 +61,53 @@ func TestShardLayout(t *testing.T) {
 		cores += st.Cores
 	}
 	if nodes != 894 || cores != 8490 {
-		t.Fatalf("shard union = %d nodes, %d cores; want 894, 8490", nodes, cores)
+		t.Fatalf("micro-shard union = %d nodes, %d cores; want 894, 8490", nodes, cores)
 	}
 	if fed.Shard("nancy") == nil || fed.Shard("atlantis") != nil {
 		t.Fatal("Shard lookup broken")
 	}
+	// Shard returns the site's coordinator: its first cluster in spec order.
+	if sh := fed.Shard("nancy"); sh.Cluster != "graphene" {
+		t.Fatalf("nancy coordinator cluster = %q, want graphene", sh.Cluster)
+	}
+	if got := len(fed.SiteShards("nancy")); got != 7 {
+		t.Fatalf("nancy has %d micro-shards, want 7", got)
+	}
+	if fed.SiteShards("atlantis") != nil {
+		t.Fatal("SiteShards invented an unknown site")
+	}
 }
 
 func TestShardSeedIsPure(t *testing.T) {
-	if ShardSeed(42, "nancy") != ShardSeed(42, "nancy") {
+	if ShardSeed(42, "nancy", "graphene") != ShardSeed(42, "nancy", "graphene") {
 		t.Fatal("ShardSeed not deterministic")
 	}
-	if ShardSeed(42, "nancy") == ShardSeed(42, "lyon") {
+	if ShardSeed(42, "nancy", "graphene") == ShardSeed(42, "lyon", "graphene") {
 		t.Fatal("ShardSeed does not separate sites")
 	}
-	if ShardSeed(42, "nancy") == ShardSeed(43, "nancy") {
+	if ShardSeed(42, "nancy", "graphene") == ShardSeed(42, "nancy", "graoully") {
+		t.Fatal("ShardSeed does not separate clusters")
+	}
+	if ShardSeed(42, "nancy", "graphene") == ShardSeed(43, "nancy", "graphene") {
 		t.Fatal("ShardSeed does not separate campaign seeds")
+	}
+	// The site/cluster boundary is unambiguous: shifting bytes across it
+	// must change the stream.
+	if ShardSeed(42, "a", "b") == ShardSeed(42, "ab", "") {
+		t.Fatal("ShardSeed aliases across the site/cluster boundary")
 	}
 }
 
 // runFederated simulates a federated campaign at the given worker count
-// and returns its outcome.
-func runFederated(t *testing.T, workers int) (Summary, []core.WeekCounts) {
+// (optionally under the legacy site-grouped schedule) and returns its
+// outcome.
+func runFederated(t *testing.T, workers int, siteGrouped bool) (Summary, []core.WeekCounts) {
 	t.Helper()
 	fed := New(Config{
-		Seed:    77,
-		Spec:    subSpec("luxembourg", "nantes", "lyon", "sophia"),
-		Workers: workers,
+		Seed:        77,
+		Spec:        subSpec("luxembourg", "nantes", "lyon", "sophia"),
+		Workers:     workers,
+		SiteGrouped: siteGrouped,
 		Configure: func(site string, seed int64) core.Config {
 			cfg := core.DefaultConfig()
 			cfg.InitialFaults = 10
@@ -102,27 +128,36 @@ func runFederated(t *testing.T, workers int) (Summary, []core.WeekCounts) {
 }
 
 // TestFederationSerialParallelDeterminism is the load-bearing property of
-// the whole layer: stepping the shards serially or across 4 goroutines
-// must produce bit-identical campaign summaries, per site and merged.
+// the whole layer: stepping the micro-shards serially, across 4
+// work-stealing workers, or under the legacy site-grouped schedule
+// (one whole site per worker pull — the old per-site sharding) must
+// produce bit-identical campaign summaries, per site and merged.
 // CI also runs this under -race (make fed-check).
 func TestFederationSerialParallelDeterminism(t *testing.T) {
-	serial, serialWeekly := runFederated(t, 1)
-	parallel, parallelWeekly := runFederated(t, 4)
+	serial, serialWeekly := runFederated(t, 1, false)
+	parallel, parallelWeekly := runFederated(t, 4, false)
+	legacy, legacyWeekly := runFederated(t, 4, true)
 
-	if len(serial.Sites) != len(parallel.Sites) {
-		t.Fatalf("site counts diverged: %d vs %d", len(serial.Sites), len(parallel.Sites))
-	}
-	for i := range serial.Sites {
-		if serial.Sites[i] != parallel.Sites[i] {
-			t.Fatalf("site %s diverged between serial and parallel stepping:\nserial:   %+v\nparallel: %+v",
-				serial.Sites[i].Site, serial.Sites[i].Summary, parallel.Sites[i].Summary)
+	for _, alt := range []struct {
+		name   string
+		sum    Summary
+		weekly []core.WeekCounts
+	}{{"parallel", parallel, parallelWeekly}, {"site-grouped", legacy, legacyWeekly}} {
+		if len(serial.Sites) != len(alt.sum.Sites) {
+			t.Fatalf("site counts diverged: serial %d vs %s %d", len(serial.Sites), alt.name, len(alt.sum.Sites))
 		}
-	}
-	if serial.Merged != parallel.Merged {
-		t.Fatalf("merged summary diverged:\nserial:   %+v\nparallel: %+v", serial.Merged, parallel.Merged)
-	}
-	if !reflect.DeepEqual(serialWeekly, parallelWeekly) {
-		t.Fatalf("merged weekly reports diverged:\nserial:   %+v\nparallel: %+v", serialWeekly, parallelWeekly)
+		for i := range serial.Sites {
+			if serial.Sites[i] != alt.sum.Sites[i] {
+				t.Fatalf("site %s diverged between serial and %s stepping:\nserial: %+v\n%s: %+v",
+					serial.Sites[i].Site, alt.name, serial.Sites[i].Summary, alt.name, alt.sum.Sites[i].Summary)
+			}
+		}
+		if serial.Merged != alt.sum.Merged {
+			t.Fatalf("merged summary diverged:\nserial: %+v\n%s: %+v", serial.Merged, alt.name, alt.sum.Merged)
+		}
+		if !reflect.DeepEqual(serialWeekly, alt.weekly) {
+			t.Fatalf("merged weekly reports diverged:\nserial: %+v\n%s: %+v", serialWeekly, alt.name, alt.weekly)
+		}
 	}
 	// Sanity: the campaign actually did something on every site.
 	if serial.Merged.Builds == 0 {

@@ -19,26 +19,28 @@ import (
 	"repro/internal/oar"
 )
 
-// shardBackend adapts one gateway shard to the admission controller's
-// placement surface. All OAR access happens under the shard's read gate,
-// so probes never block another site's barrier ticks.
-type shardBackend struct {
-	g *Gateway
-	s *shard
+// siteBackend adapts one site's shard set to the admission controller's
+// placement surface — the site is the admission unit even when carved into
+// per-cluster micro-shards. All OAR access happens under the owning
+// shard's read gate, so probes never block another shard's barrier ticks.
+type siteBackend struct {
+	g      *Gateway
+	site   string
+	shards []*shard
 }
 
-func (b *shardBackend) Site() string { return b.s.site }
+func (b *siteBackend) Site() string { return b.site }
 
 // Available reports whether placement may consider the site: down sites
 // are out, and so are partition-isolated ones — a job placed on a shard
 // the merge plane cannot reach would vanish from every federated view.
-func (b *shardBackend) Available() bool {
-	if !b.g.siteAvailable(b.s.site) {
+func (b *siteBackend) Available() bool {
+	if !b.g.siteAvailable(b.site) {
 		return false
 	}
 	if b.g.chaos != nil {
 		for _, site := range b.g.chaos.UnreachableSites() {
-			if site == b.s.site {
+			if site == b.site {
 				return false
 			}
 		}
@@ -46,32 +48,46 @@ func (b *shardBackend) Available() bool {
 	return true
 }
 
-func (b *shardBackend) Capacity() (busy, total int) {
-	b.s.rlocked(func() {
-		busy = b.s.cfg.OAR.BusyNodes()
-		if b.s.cfg.TB != nil {
-			total = b.s.cfg.TB.TotalNodes()
-		}
-	})
+// Capacity sums over the site's shards — the admission layer balances
+// against site-level load, never a single cluster's.
+func (b *siteBackend) Capacity() (busy, total int) {
+	for _, s := range b.shards {
+		s.rlocked(func() {
+			busy += s.cfg.OAR.BusyNodes()
+			if s.cfg.TB != nil {
+				total += s.cfg.TB.TotalNodes()
+			}
+		})
+	}
 	return busy, total
 }
 
-func (b *shardBackend) CanPlace(req oar.Request) bool {
-	pinned := req.PinnedToSite(b.s.site)
-	var ok bool
-	b.s.rlocked(func() { ok = b.s.cfg.OAR.CanStartNowReq(pinned) })
-	return ok
+// CanPlace probes the site's shards in cluster order: any one that could
+// start the pinned request now admits the site.
+func (b *siteBackend) CanPlace(req oar.Request) bool {
+	pinned := req.PinnedToSite(b.site)
+	for _, s := range b.shards {
+		var ok bool
+		s.rlocked(func() { ok = s.cfg.OAR.CanStartNowReq(pinned) })
+		if ok {
+			return true
+		}
+	}
+	return false
 }
 
-func (b *shardBackend) Place(req oar.Request, user string) (oar.JobInfo, error) {
+// Place submits on the first shard that can start the request now, falling
+// back to the coordinator, which queues it.
+func (b *siteBackend) Place(req oar.Request, user string) (oar.JobInfo, error) {
 	if !b.Available() {
-		return oar.JobInfo{}, fmt.Errorf("site %s is not accepting submissions", b.s.site)
+		return oar.JobInfo{}, fmt.Errorf("site %s is not accepting submissions", b.site)
 	}
-	pinned := req.PinnedToSite(b.s.site)
+	pinned := req.PinnedToSite(b.site)
+	target := pickSiteShard(b.shards, pinned)
 	var info oar.JobInfo
-	b.s.rlocked(func() {
-		j := b.s.cfg.OAR.SubmitReq(pinned, oar.SubmitOptions{User: user})
-		info, _ = b.s.cfg.OAR.JobInfoByID(j.ID)
+	target.rlocked(func() {
+		j := target.cfg.OAR.SubmitReq(pinned, oar.SubmitOptions{User: user})
+		info, _ = target.cfg.OAR.JobInfoByID(j.ID)
 	})
 	return info, nil
 }
@@ -93,18 +109,28 @@ func parallelScatter(tasks []func()) {
 	wg.Wait()
 }
 
-// EnableAdmission builds the admission controller over every site-labeled
-// OAR shard. cfg.Now is required; a nil cfg.Scatter gets the parallel
-// fan-out (pass a serial func to force serial probing, as the determinism
-// gate does). No-op when no shard qualifies — monolithic gateways keep
-// their pre-admission behavior.
+// EnableAdmission builds the admission controller over every site with at
+// least one site-labeled OAR shard (micro-shards group under their site).
+// cfg.Now is required; a nil cfg.Scatter gets the parallel fan-out (pass a
+// serial func to force serial probing, as the determinism gate does).
+// No-op when no site qualifies — monolithic gateways keep their
+// pre-admission behavior.
 func (g *Gateway) EnableAdmission(cfg admit.Config) {
 	var backends []admit.Backend
-	for _, s := range g.oarShards() {
-		if s.site == "" {
+	for _, site := range g.sites {
+		if site == "" {
 			continue
 		}
-		backends = append(backends, &shardBackend{g: g, s: s})
+		var shards []*shard
+		for _, s := range g.siteShards[site] {
+			if s.site == site && s.cfg.OAR != nil {
+				shards = append(shards, s)
+			}
+		}
+		if len(shards) == 0 {
+			continue
+		}
+		backends = append(backends, &siteBackend{g: g, site: site, shards: shards})
 	}
 	if len(backends) == 0 {
 		return

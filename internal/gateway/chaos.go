@@ -110,9 +110,9 @@ func (g *Gateway) degradedMarker() *DegradedJSON {
 		cut[s] = true
 	}
 	marker := &DegradedJSON{DownSites: down, UnreachableSites: unreachable}
-	for _, s := range g.shards {
-		if !cut[s.site] {
-			marker.SurvivingSites = append(marker.SurvivingSites, s.site)
+	for _, site := range g.sites {
+		if !cut[site] {
+			marker.SurvivingSites = append(marker.SurvivingSites, site)
 		}
 	}
 	return marker

@@ -48,8 +48,13 @@ func (g *Gateway) shardDown(s *shard) bool {
 
 // oarShards returns the shards carrying an OAR server.
 func (g *Gateway) oarShards() []*shard {
+	return oarShardsOf(g.shards)
+}
+
+// oarShardsOf filters a shard set down to those carrying an OAR server.
+func oarShardsOf(shards []*shard) []*shard {
 	var out []*shard
-	for _, s := range g.shards {
+	for _, s := range shards {
 		if s.cfg.OAR != nil {
 			out = append(out, s)
 		}
@@ -87,17 +92,21 @@ func (g *Gateway) serveOARResources(w http.ResponseWriter, r *http.Request, fixe
 	var degraded *DegradedJSON
 	switch {
 	case site != "":
-		s := g.siteOf[site]
-		if s == nil || s.cfg.OAR == nil {
+		ss := oarShardsOf(g.siteShards[site])
+		if len(ss) == 0 {
 			// The ?site= filter contract: unknown sites are a client error.
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown site %q", site))
 			return
 		}
-		if g.shardDown(s) {
+		if g.shardDown(ss[0]) {
 			siteUnavailable(w, site)
 			return
 		}
-		nodes = s.resourcesScoped(cluster, site)
+		// Micro-sharded sites concatenate their cluster shards in cluster
+		// order — the same node order one whole-site shard would render.
+		for _, s := range ss {
+			nodes = append(nodes, s.resourcesScoped(cluster, site)...)
+		}
 		if cluster != "" && len(nodes) == 0 {
 			httpError(w, http.StatusNotFound,
 				fmt.Sprintf("no cluster %q at site %q", cluster, site))
@@ -167,18 +176,20 @@ func (g *Gateway) handleOARJobs(w http.ResponseWriter, r *http.Request) {
 	g.serveOARJobs(w, r, nil, "")
 }
 
-// serveOARJobs implements /oar/jobs; a non-nil only pins one shard (the
-// site-scoped route, with site naming the requested site). When the
-// pinned shard spans several sites (monolithic assembly), the job list is
-// narrowed to jobs tied to the site — allocated there, or anchored there
-// while waiting; the submitted/started/canceled counters stay shard-wide
-// (OAR does not attribute submissions to sites).
-func (g *Gateway) serveOARJobs(w http.ResponseWriter, r *http.Request, only *shard, site string) {
+// serveOARJobs implements /oar/jobs; a non-nil only pins a site's shard
+// set (the site-scoped route, with site naming the requested site) — one
+// shard per cluster under micro-sharding, whose newest-first lists merge
+// like the federated view's. When the pinned shard spans several sites
+// (monolithic assembly), the job list is narrowed to jobs tied to the
+// site — allocated there, or anchored there while waiting; the
+// submitted/started/canceled counters stay shard-wide (OAR does not
+// attribute submissions to sites).
+func (g *Gateway) serveOARJobs(w http.ResponseWriter, r *http.Request, only []*shard, site string) {
 	shards := g.oarShards()
 	if only != nil {
-		shards = []*shard{only}
+		shards = oarShardsOf(only)
 	}
-	if len(shards) == 0 || (only != nil && only.cfg.OAR == nil) {
+	if len(shards) == 0 {
 		notConfigured(w, "oar")
 		return
 	}
@@ -187,7 +198,7 @@ func (g *Gateway) serveOARJobs(w http.ResponseWriter, r *http.Request, only *sha
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	narrow := only != nil && shardSpansSites(only, site)
+	narrow := len(only) == 1 && shardSpansSites(only[0], site)
 	var out OARJobsJSON
 	if only == nil {
 		out.Degraded = g.degradedMarker()
@@ -207,7 +218,7 @@ func (g *Gateway) serveOARJobs(w http.ResponseWriter, r *http.Request, only *sha
 	if narrow {
 		kept := out.Jobs[:0]
 		for _, j := range out.Jobs {
-			if jobTouchesSite(j, site, only.cfg.TB) {
+			if jobTouchesSite(j, site, only[0].cfg.TB) {
 				kept = append(kept, j)
 			}
 		}
@@ -314,40 +325,115 @@ func hasAnchoredSegment(req oar.Request) bool {
 	return false
 }
 
-// shardForOARRequest routes a parsed resource request to the single shard
-// owning every anchored site/cluster/host. Unanchored segments are skipped
-// here — the caller pins them to the resolved site (mixed requests) or
-// routes the whole request through the admission layer (fully unanchored).
-func (g *Gateway) shardForOARRequest(req oar.Request) (*shard, error) {
+// resolveOARRequest routes a parsed resource request to the single site
+// owning every anchored site/cluster/host — and, when cluster or host
+// anchors name one, the specific shard. A nil shard with a non-empty site
+// means only site-level anchors resolved (micro-sharding: the caller
+// probes the site's cluster shards). Unanchored segments are skipped here
+// — the caller pins them to the resolved site (mixed requests) or routes
+// the whole request through the admission layer (fully unanchored).
+func (g *Gateway) resolveOARRequest(req oar.Request) (string, *shard, error) {
+	var site string
 	var target *shard
 	for i, seg := range req.Segments {
 		key, val := seg.Anchor()
 		var s *shard
+		var owner string
 		switch key {
 		case "cluster":
-			s = g.shardForCluster(val)
+			if s = g.shardForCluster(val); s != nil {
+				owner = s.site
+			}
 		case "site":
-			s = g.siteOf[val]
+			if len(g.siteShards[val]) > 0 {
+				owner = val
+			}
 		case "host":
-			s = g.shardForNode(val)
+			if s = g.shardForNode(val); s != nil {
+				owner = s.site
+			}
 		default:
 			continue
 		}
-		if s == nil {
-			return nil, fmt.Errorf("federated submit: segment %d anchors to unknown %s %q", i+1, key, val)
+		if owner == "" {
+			return "", nil, fmt.Errorf("federated submit: segment %d anchors to unknown %s %q", i+1, key, val)
 		}
-		if target != nil && s != target {
-			return nil, fmt.Errorf("federated submit: request spans more than one site")
+		if site != "" && owner != site {
+			return "", nil, fmt.Errorf("federated submit: request spans more than one site")
 		}
-		target = s
+		site = owner
+		if s != nil {
+			if target != nil && s != target {
+				return "", nil, fmt.Errorf("federated submit: request spans more than one cluster shard of site %q", site)
+			}
+			target = s
+		}
 	}
-	if target == nil {
-		return nil, fmt.Errorf("federated submit: no segment is anchored to a site, cluster or host (admission not enabled)")
+	if site == "" {
+		return "", nil, fmt.Errorf("federated submit: no segment is anchored to a site, cluster or host (admission not enabled)")
 	}
-	if target.cfg.OAR == nil {
-		return nil, fmt.Errorf("federated submit: no shard serves this request")
+	if target != nil && target.cfg.OAR == nil {
+		return "", nil, fmt.Errorf("federated submit: no shard serves this request")
 	}
-	return target, nil
+	return site, target, nil
+}
+
+// clusterShardIn returns the shard in the set whose testbed owns the named
+// cluster at the site, or nil.
+func clusterShardIn(shards []*shard, name, site string) *shard {
+	for _, s := range shards {
+		if s.cfg.TB == nil {
+			continue
+		}
+		if cl := s.cfg.TB.Cluster(name); cl != nil && cl.Site == site {
+			return s
+		}
+	}
+	return nil
+}
+
+// nodeShardIn returns the shard in the set whose testbed owns the named
+// node at the site, or nil.
+func nodeShardIn(shards []*shard, name, site string) *shard {
+	for _, s := range shards {
+		if s.cfg.TB == nil {
+			continue
+		}
+		if n := s.cfg.TB.Node(name); n != nil && n.Site == site {
+			return s
+		}
+	}
+	return nil
+}
+
+// shardsHaveTB reports whether any shard in the set carries a testbed
+// (partial assemblies without one skip anchor validation, like the
+// pre-federation gateway did).
+func shardsHaveTB(shards []*shard) bool {
+	for _, s := range shards {
+		if s.cfg.TB != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// pickSiteShard resolves which of a site's shards takes a site-scoped (or
+// site-resolved) submission when no cluster/host anchor named one:
+// the shards are probed in cluster order for one that could start the
+// pinned request now, falling back to the coordinator, which queues it.
+func pickSiteShard(shards []*shard, pinned oar.Request) *shard {
+	if len(shards) == 1 {
+		return shards[0]
+	}
+	for _, s := range shards {
+		ok := false
+		s.rlocked(func() { ok = s.cfg.OAR.CanStartNowReq(pinned) })
+		if ok {
+			return s
+		}
+	}
+	return shards[0]
 }
 
 func (g *Gateway) handleOARSubmit(w http.ResponseWriter, r *http.Request) {
@@ -355,10 +441,12 @@ func (g *Gateway) handleOARSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // anchorsWithinSite verifies that every anchored segment of a request
-// falls inside the named site (a cluster at the site, a host at the site,
-// or the site itself). Unanchored segments pass — the caller pins them
-// with Request.PinnedToSite.
-func anchorsWithinSite(req oar.Request, site string, tb *testbed.Testbed) error {
+// falls inside the named site, against the site's shard set (a cluster or
+// host is at the site when any of its shards owns it, which under
+// micro-sharding is exactly one). Unanchored segments pass — the caller
+// pins them with Request.PinnedToSite.
+func anchorsWithinSite(req oar.Request, site string, shards []*shard) error {
+	hasTB := shardsHaveTB(shards)
 	for i, seg := range req.Segments {
 		key, val := seg.Anchor()
 		switch key {
@@ -367,30 +455,34 @@ func anchorsWithinSite(req oar.Request, site string, tb *testbed.Testbed) error 
 				return fmt.Errorf("segment %d anchors to site %q, not %q", i+1, val, site)
 			}
 		case "cluster":
-			if tb != nil {
-				if cl := tb.Cluster(val); cl == nil || cl.Site != site {
-					return fmt.Errorf("segment %d anchors to cluster %q, which is not at site %q", i+1, val, site)
-				}
+			if hasTB && clusterShardIn(shards, val, site) == nil {
+				return fmt.Errorf("segment %d anchors to cluster %q, which is not at site %q", i+1, val, site)
 			}
 		case "host":
-			if tb != nil {
-				if n := tb.Node(val); n == nil || n.Site != site {
-					return fmt.Errorf("segment %d anchors to host %q, which is not at site %q", i+1, val, site)
-				}
+			if hasTB && nodeShardIn(shards, val, site) == nil {
+				return fmt.Errorf("segment %d anchors to host %q, which is not at site %q", i+1, val, site)
 			}
 		}
 	}
 	return nil
 }
 
-// serveOARSubmit implements POST /oar/submit; a non-nil only pins the
-// shard (the site-scoped route, with site naming the requested site).
-// Site-scoped submissions are validated against the site — anchors
+// serveOARSubmit implements POST /oar/submit; a non-nil only pins a
+// site's shard set (the site-scoped route, with site naming the requested
+// site). Site-scoped submissions are validated against the site — anchors
 // elsewhere are 400 — and unanchored segments are pinned to it, so
 // /sites/X/oar/submit can never allocate outside X, monolithic or not.
-func (g *Gateway) serveOARSubmit(w http.ResponseWriter, r *http.Request, only *shard, site string) {
+// Under micro-sharding, cluster and host anchors name the owning cluster
+// shard (a request cannot span two — each shard is its own OAR); without
+// one, the site's shards are probed in cluster order and the coordinator
+// queues what nothing can start.
+func (g *Gateway) serveOARSubmit(w http.ResponseWriter, r *http.Request, only []*shard, site string) {
 	shards := g.oarShards()
-	if len(shards) == 0 || (only != nil && only.cfg.OAR == nil) {
+	siteSet := only
+	if only != nil {
+		siteSet = oarShardsOf(only)
+	}
+	if len(shards) == 0 || (only != nil && len(siteSet) == 0) {
 		notConfigured(w, "oar")
 		return
 	}
@@ -403,20 +495,46 @@ func (g *Gateway) serveOARSubmit(w http.ResponseWriter, r *http.Request, only *s
 		httpError(w, http.StatusBadRequest, "missing request")
 		return
 	}
-	target := only
+	var target *shard
 	var pinned *oar.Request
-	if target != nil {
+	if only != nil {
 		parsed, err := oar.ParseRequest(req.Request)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		if err := anchorsWithinSite(parsed, site, target.cfg.TB); err != nil {
+		if err := anchorsWithinSite(parsed, site, siteSet); err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		p := parsed.PinnedToSite(site)
 		pinned = &p
+		if len(siteSet) > 1 && shardsHaveTB(siteSet) {
+			for _, seg := range parsed.Segments {
+				key, val := seg.Anchor()
+				var s *shard
+				switch key {
+				case "cluster":
+					s = clusterShardIn(siteSet, val, site)
+				case "host":
+					s = nodeShardIn(siteSet, val, site)
+				default:
+					continue
+				}
+				if s == nil {
+					continue // vetted above; nil only for TB-less shards
+				}
+				if target != nil && s != target {
+					httpError(w, http.StatusBadRequest,
+						fmt.Sprintf("request spans more than one cluster shard of site %q", site))
+					return
+				}
+				target = s
+			}
+		}
+		if target == nil {
+			target = pickSiteShard(siteSet, p)
+		}
 	} else if len(shards) == 1 {
 		target = shards[0]
 	} else {
@@ -431,16 +549,31 @@ func (g *Gateway) serveOARSubmit(w http.ResponseWriter, r *http.Request, only *s
 			g.serveAdmission(w, req, parsed)
 			return
 		}
-		target, err = g.shardForOARRequest(parsed)
+		targetSite, anchored, err := g.resolveOARRequest(parsed)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		if hasUnanchoredSegment(parsed) {
-			// Mixed request: the anchored segments resolved the site, pin
-			// the unanchored ones to it so the whole request lands there.
-			p := parsed.PinnedToSite(target.site)
+		target = anchored
+		if target == nil || hasUnanchoredSegment(parsed) {
+			// The anchored segments resolved only the site (or left some
+			// segments floating): pin the request to it so the whole thing
+			// lands there.
+			p := parsed.PinnedToSite(targetSite)
 			pinned = &p
+		}
+		if target == nil {
+			// Site-level anchors under micro-sharding: pick a cluster shard.
+			ss := oarShardsOf(g.siteShards[targetSite])
+			if len(ss) == 0 {
+				httpError(w, http.StatusBadRequest, "federated submit: no shard serves this request")
+				return
+			}
+			if !g.siteAvailable(targetSite) {
+				siteUnavailable(w, targetSite)
+				return
+			}
+			target = pickSiteShard(ss, *pinned)
 		}
 	}
 	if g.shardDown(target) {
@@ -547,18 +680,17 @@ func (g *Gateway) serveMonitorMetrics(w http.ResponseWriter, r *http.Request, fi
 	}
 	var s *shard
 	if site != "" {
-		s = g.siteOf[site]
-		if s == nil {
+		ss := g.siteShards[site]
+		if len(ss) == 0 {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown site %q", site))
 			return
 		}
-		if s.cfg.TB != nil {
-			tbNode := s.cfg.TB.Node(node)
-			if tbNode == nil || tbNode.Site != site {
-				httpError(w, http.StatusBadRequest,
-					fmt.Sprintf("node %q is not at site %q", node, site))
-				return
-			}
+		if !shardsHaveTB(ss) {
+			s = ss[0]
+		} else if s = nodeShardIn(ss, node, site); s == nil {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("node %q is not at site %q", node, site))
+			return
 		}
 	} else if s = g.shardForNode(node); s == nil {
 		if g.federated() || g.shards[0].cfg.TB != nil {

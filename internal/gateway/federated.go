@@ -4,24 +4,28 @@ package gateway
 // federation dependency stays out of the core gateway machinery.
 
 import (
+	"time"
+
 	"repro/internal/admit"
 	"repro/internal/federation"
 	"repro/internal/sched"
-	"repro/internal/simclock"
 )
 
-// ForFederation mounts one gateway shard per federation shard: each site's
-// OAR, Reference API store, monitor, bug tracker and CI server is served
-// behind that site's own lock. Time is wired through the federation's
-// barrier engine in both directions:
+// ForFederation mounts one gateway shard per federation micro-shard: each
+// cluster's OAR, Reference API store, monitor, bug tracker and CI server
+// is served behind that micro-shard's own lock, labeled with the owning
+// site. Time is wired through the federation's barrier engine in both
+// directions:
 //
 //   - Gateway.Advance delegates to Federation.Advance, whose per-shard
 //     barrier ticks run under the owning gateway shard's write lock (the
-//     step gate below) — so downed shards freeze, heals replay catch-up
-//     ticks, and reads against live shards keep flowing throughout;
+//     step gate below) — so downed sites freeze all of their micro-shards,
+//     heals replay catch-up ticks, and reads against live shards keep
+//     flowing throughout;
 //   - Gateway.AdvanceSite steps exactly one site through
-//     Federation.StepSite, which runs the shard ahead of the federated
-//     clock and lets the next Advance skip it rather than double-step.
+//     Federation.StepSite, which runs all of the site's micro-shards ahead
+//     of the federated clock in lockstep and lets the next Advance skip
+//     them rather than double-step.
 //
 // The federation is also installed as the gateway's chaos controller, so
 // grid events injected via POST /chaos/inject (or a schedule) drive the
@@ -30,9 +34,9 @@ func ForFederation(fed *federation.Federation) *Gateway {
 	var shards []ShardConfig
 	for _, sh := range fed.Shards() {
 		f := sh.F
-		site := sh.Site
 		shards = append(shards, ShardConfig{
-			Site: site,
+			Site:    sh.Site,
+			Cluster: sh.Cluster,
 			Config: Config{
 				Clock:   f.Clock,
 				TB:      f.TB,
@@ -41,11 +45,9 @@ func ForFederation(fed *federation.Federation) *Gateway {
 				Monitor: f.Monitor,
 				Bugs:    f.Bugs,
 				CI:      f.CI,
-				Advance: func(d simclock.Time) {
-					// AdvanceSite pre-checks availability and holds this
-					// shard's write lock; unknown-site cannot happen here.
-					fed.StepSite(site, d) //nolint:errcheck
-				},
+				// No per-shard Advance hook: every step — barrier ticks and
+				// AdvanceSite alike — reaches the micro-shards through the
+				// federation, which locks each via the step gate below.
 			},
 		})
 	}
@@ -53,15 +55,18 @@ func ForFederation(fed *federation.Federation) *Gateway {
 	gw.SetAdvanceWorkers(fed.Workers())
 	gw.SetChaos(fed)
 	gw.SetAdvance(fed.Advance)
-	fed.SetStepGate(func(site string, step func()) {
-		s := gw.siteOf[site]
+	gw.siteAdvance = fed.StepSite
+	fed.SetStepGate(func(site, cluster string, step func()) {
+		s := gw.shardFor(site, cluster)
 		if s == nil {
 			step()
 			return
 		}
 		s.sim.Lock()
 		defer s.sim.Unlock()
+		start := time.Now()
 		step()
+		gw.lockHold.record(time.Since(start))
 	})
 	// Grid admission: unanchored submissions route to the least-loaded live
 	// site or queue against freed capacity; the federation's grid listener

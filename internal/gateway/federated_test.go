@@ -58,8 +58,8 @@ func TestFederatedSitesAndResources(t *testing.T) {
 		t.Fatalf("/sites status = %d", resp.StatusCode)
 	}
 	sites := decode[SitesJSON](t, body)
-	if sites.Shards != 2 || len(sites.Sites) != 2 {
-		t.Fatalf("/sites = %d shards, %d sites; want 2, 2", sites.Shards, len(sites.Sites))
+	if sites.Shards != len(fed.Shards()) || len(sites.Sites) != 2 {
+		t.Fatalf("/sites = %d shards, %d sites; want %d, 2", sites.Shards, len(sites.Sites), len(fed.Shards()))
 	}
 	if sites.Sites[0].Name != "luxembourg" || sites.Sites[1].Name != "nantes" {
 		t.Fatalf("site order = %s, %s", sites.Sites[0].Name, sites.Sites[1].Name)
@@ -67,7 +67,7 @@ func TestFederatedSitesAndResources(t *testing.T) {
 	wantNodes := map[string]int{}
 	total := 0
 	for _, sh := range fed.Shards() {
-		wantNodes[sh.Site] = sh.F.TB.TotalNodes()
+		wantNodes[sh.Site] += sh.F.TB.TotalNodes()
 		total += sh.F.TB.TotalNodes()
 	}
 	for _, s := range sites.Sites {
@@ -345,12 +345,16 @@ func TestFederatedStatusAndRef(t *testing.T) {
 		t.Fatalf("post-update conditional status = %d, want 200", resp3.StatusCode)
 	}
 
-	// Archived versions are per-site: the federated path rejects ?version=
-	// and points at the site route, which serves it.
+	// Archived versions are per cluster store: the federated path rejects
+	// ?version= and points at the site route, which needs ?cluster= on a
+	// micro-sharded site and then serves it.
 	if resp, _ := get(t, c, "/ref/inventory?version=1"); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("federated ?version= status = %d, want 400", resp.StatusCode)
 	}
-	resp, body = get(t, c, "/sites/nantes/ref/inventory?version=1")
+	if resp, _ := get(t, c, "/sites/nantes/ref/inventory?version=1"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("site ?version= without ?cluster= status = %d, want 400", resp.StatusCode)
+	}
+	resp, body = get(t, c, "/sites/nantes/ref/inventory?version=1&cluster=econome")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("site-scoped archived inventory status = %d", resp.StatusCode)
 	}
@@ -375,7 +379,7 @@ func TestFederatedStatusAndRef(t *testing.T) {
 	if resp, _ := get(t, c, "/ref/diff?from=1"); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("federated diff ?from= status = %d, want 400", resp.StatusCode)
 	}
-	resp, _ = get(t, c, "/sites/nantes/ref/diff?from=1&to=2")
+	resp, _ = get(t, c, "/sites/nantes/ref/diff?from=1&to=2&cluster=econome")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("site-scoped diff status = %d", resp.StatusCode)
 	}
@@ -524,8 +528,7 @@ func TestSiteReadsUnblockedByOtherShardAdvance(t *testing.T) {
 	fed.Start()
 	fed.Advance(simclock.Hour)
 
-	shards := fed.Shards()
-	a, b := shards[0], shards[1]
+	a, b := fed.Shard("luxembourg"), fed.Shard("nantes")
 	started := make(chan struct{})
 	release := make(chan struct{})
 	mk := func(sh *federation.Shard) Config {

@@ -42,30 +42,39 @@
 //	GET  /status/trend     historical success rate (?bucket_sec=S)
 //	GET  /metrics          per-endpoint request/error/latency counters
 //	     /ci/...           the CI REST API, proxied to ci.Handler
-//	     /sites/{site}/... site-scoped views of the shard owning the site:
-//	                       oar/resources, oar/jobs, oar/submit,
+//	     /sites/{site}/... site-scoped views over the shard(s) owning the
+//	                       site: oar/resources, oar/jobs, oar/submit,
 //	                       monitor/metrics, ref/inventory, ref/diff, ci/...
+//	                       (ci proxies to the coordinator cluster's server)
 //
 // # Sharding and concurrency
 //
 // The gateway serves one or more *shards*. A monolithic campaign
 // (ForFramework / New) is the single-shard case: one subsystem set covering
 // every site. A federated campaign (ForFederation / NewFederated) mounts
-// one shard per site, each with its own OAR, monitor, Reference API store,
-// CI server and bug tracker — internal/federation builds exactly that.
+// one shard per cluster *micro-shard*, each with its own OAR, monitor,
+// Reference API store, CI server and bug tracker — internal/federation
+// carves exactly that layout. Shards are labeled with the site that owns
+// them plus their cluster, but the *site* stays the unit of identity for
+// routing: /sites/{site}/... addresses all of a site's micro-shards at
+// once (merging where the route reads, probing in cluster order where it
+// writes), chaos freezes and heals whole sites, admission places against
+// site-level capacity, and the intel archives report per-store versions
+// under the site label.
 //
 // Each shard carries its own RWMutex: request handlers hold the read side
 // of only the shard(s) they touch, and Advance — which steps the simulated
-// campaign — holds a shard's write side only while that shard steps. A
-// site-scoped read (/sites/A/oar/resources) therefore never waits on an
-// Advance that is busy stepping site B; that read-availability property is
-// asserted by BenchmarkE17_FederatedAdvance. Federated endpoints
-// (/oar/resources and friends) scatter over the shards, snapshotting each
-// under its own read lock, and gather the merged answer outside any lock.
-// Subsystems guard their own state with their own mutexes; the shard gates
-// only serialize requests against campaign progress. Monitoring queries
-// additionally serialize per shard because a flaky-kwapi roll draws from
-// that shard's campaign RNG.
+// campaign — holds a shard's write side only while that micro-shard steps.
+// A site-scoped read (/sites/A/oar/resources) therefore never waits on an
+// Advance that is busy stepping site B — and under micro-sharding a read
+// against cluster A1 does not even wait on a step of A2; that
+// read-availability property is asserted by BenchmarkE17_FederatedAdvance.
+// Federated endpoints (/oar/resources and friends) scatter over the
+// shards, snapshotting each under its own read lock, and gather the merged
+// answer outside any lock. Subsystems guard their own state with their own
+// mutexes; the shard gates only serialize requests against campaign
+// progress. Monitoring queries additionally serialize per shard because a
+// flaky-kwapi roll draws from that shard's campaign RNG.
 //
 // The /ref endpoints are read-optimized: responses carry a strong ETag
 // derived from the store's version counter (federated: the joined counters
@@ -124,18 +133,24 @@ type Config struct {
 }
 
 // ShardConfig names one shard of a federated assembly. Site labels the
-// shard; its TB decides which site names route to it (a monolithic shard
-// whose testbed spans many sites serves them all).
+// shard; Cluster narrows the label when the site is split into per-cluster
+// micro-shards (internal/federation's layout — every micro-shard of a
+// site shares its Site and carries its own Cluster). A shard's TB decides
+// which site names route to it (a monolithic shard whose testbed spans
+// many sites serves them all).
 type ShardConfig struct {
-	Site string
+	Site    string
+	Cluster string
 	Config
 }
 
 // shard is one site's serving state: its subsystem set, its campaign gate,
 // and its rendered-body caches for the hot /ref reads.
 type shard struct {
-	site string
-	cfg  Config
+	site    string
+	cluster string // micro-shard label; "" for whole-site and monolithic shards
+	idx     int    // position in Gateway.shards (the /sites "shard" column)
+	cfg     Config
 
 	// sites is the shard's precomputed site topology (names, clusters,
 	// node lists, core counts) — immutable after assembly, so the /sites
@@ -174,9 +189,14 @@ type Gateway struct {
 	started time.Time
 
 	shards []*shard
-	// siteOf routes a site name to the shard serving it. A monolithic
-	// shard claims every site of its testbed.
-	siteOf map[string]*shard
+	// sites keeps the routed site names in first-claimed (shard) order;
+	// siteShards maps a site name to the shards serving it — one for
+	// monolithic and whole-site layouts, one per cluster under
+	// micro-sharding. A site's first shard is its *coordinator* (the
+	// federation files grid tickets there, and the site CI proxy targets
+	// it). A monolithic shard claims every site of its testbed.
+	sites      []string
+	siteShards map[string][]*shard
 
 	// metrics is keyed by mux pattern; read-only after assembly.
 	metrics map[string]*endpointMetrics
@@ -196,6 +216,16 @@ type Gateway struct {
 	// semantics (frozen shards, catch-up ticks) apply to HTTP-driven time.
 	advanceOverride func(simclock.Time)
 
+	// siteAdvance, when set (ForFederation), replaces the per-shard loop of
+	// AdvanceSite with the federation's own site stepper, which keeps the
+	// site's micro-shards in lockstep and reaches back into their write
+	// locks through the step gate.
+	siteAdvance func(site string, d simclock.Time) error
+
+	// lockHold samples how long campaign steps hold shard write locks —
+	// the advance-side half of the E16 p99 investigation (AdvanceLockStats).
+	lockHold lockHoldStats
+
 	// admission, when set (EnableAdmission), routes unanchored federated
 	// submissions through the grid admission layer: least-loaded placement,
 	// a bounded reservation queue and 429 load shedding (see admission.go).
@@ -208,6 +238,12 @@ type Gateway struct {
 	fedInvBody  []byte
 	fedDiffKey  string
 	fedDiffBody []byte
+
+	// Joined site-scoped /ref caches for micro-sharded sites, keyed by
+	// site; each entry carries its own joined-version key (see ref.go).
+	siteRefMu     sync.Mutex
+	siteInvCache  map[string]siteRefCache
+	siteDiffCache map[string]siteRefCache
 
 	// Grid intelligence (internal/intel): the federated archive and
 	// tracker sources assembled over the shards at construction, and the
@@ -237,30 +273,36 @@ func New(cfg Config) *Gateway {
 
 // NewFederated assembles a gateway over one shard per entry. Site names
 // are claimed from each shard's testbed (plus its explicit Site label);
-// claiming a site twice panics — that is a wiring bug, not a request-time
-// condition.
+// several shards claiming one site is the micro-shard layout, and they
+// serve it together in entry order (the first is the coordinator).
 func NewFederated(shardCfgs []ShardConfig) *Gateway {
 	if len(shardCfgs) == 0 {
 		panic("gateway: no shards")
 	}
 	g := &Gateway{
-		mux:     http.NewServeMux(),
-		started: time.Now(),
-		metrics: map[string]*endpointMetrics{},
-		siteOf:  map[string]*shard{},
+		mux:        http.NewServeMux(),
+		started:    time.Now(),
+		metrics:    map[string]*endpointMetrics{},
+		siteShards: map[string][]*shard{},
 	}
-	for _, sc := range shardCfgs {
-		s := &shard{site: sc.Site, cfg: sc.Config, invCache: map[int][]byte{}}
+	for i, sc := range shardCfgs {
+		s := &shard{site: sc.Site, cluster: sc.Cluster, idx: i, cfg: sc.Config, invCache: map[int][]byte{}}
 		if sc.CI != nil {
 			s.statusClient = status.NewLocalClient(sc.CI.Handler())
 		}
 		s.sites = siteTopology(sc.Site, sc.TB)
 		g.shards = append(g.shards, s)
 		claim := func(site string) {
-			if prev, ok := g.siteOf[site]; ok && prev != s {
-				panic(fmt.Sprintf("gateway: site %q claimed by two shards", site))
+			ss := g.siteShards[site]
+			for _, prev := range ss {
+				if prev == s {
+					return
+				}
 			}
-			g.siteOf[site] = s
+			if len(ss) == 0 {
+				g.sites = append(g.sites, site)
+			}
+			g.siteShards[site] = append(ss, s)
 		}
 		if sc.TB != nil {
 			for _, name := range sc.TB.SiteNames() {
@@ -282,7 +324,7 @@ func NewFederated(shardCfgs []ShardConfig) *Gateway {
 			label = "local"
 		}
 		if s.cfg.Ref != nil {
-			arcs = append(arcs, intel.SiteArchive{Site: label, Ref: s.cfg.Ref, Gate: s.rlocked})
+			arcs = append(arcs, intel.SiteArchive{Site: label, Cluster: s.cluster, Ref: s.cfg.Ref, Gate: s.rlocked})
 		}
 		if s.cfg.Bugs != nil {
 			g.trackers = append(g.trackers, intel.SiteTracker{Site: label, Bugs: s.cfg.Bugs, Gate: s.rlocked})
@@ -384,22 +426,44 @@ func (g *Gateway) Advance(d simclock.Time) {
 	wg.Wait()
 }
 
-// AdvanceSite steps only the shard owning the named site, holding only
-// that shard's write lock — reads against every other site proceed
-// untouched. On a monolithic (single-shard) gateway the one shard owns
-// every site, so this advances the whole campaign.
+// AdvanceSite steps only the shards owning the named site — all of its
+// micro-shards together, in cluster order, so they stay in lockstep with
+// each other — holding only those shards' write locks one at a time. Reads
+// against every other site (and, under micro-sharding, against this
+// site's not-currently-stepping clusters) proceed untouched. On a
+// monolithic (single-shard) gateway the one shard owns every site, so
+// this advances the whole campaign.
 func (g *Gateway) AdvanceSite(site string, d simclock.Time) error {
-	s := g.siteOf[site]
-	if s == nil {
+	ss := g.siteShards[site]
+	if len(ss) == 0 {
 		return fmt.Errorf("gateway: unknown site %q", site)
 	}
-	if s.cfg.Advance == nil {
-		return fmt.Errorf("gateway: site %q has no advance hook", site)
+	if g.siteAdvance == nil {
+		hooked := false
+		for _, s := range ss {
+			if s.cfg.Advance != nil {
+				hooked = true
+				break
+			}
+		}
+		if !hooked {
+			return fmt.Errorf("gateway: site %q has no advance hook", site)
+		}
 	}
 	if !g.siteAvailable(site) {
 		return fmt.Errorf("gateway: site %q is down", site)
 	}
-	g.advanceShard(s, d)
+	if g.siteAdvance != nil {
+		// The federation steps the site's micro-shards itself, taking each
+		// shard's write lock through the step gate.
+		if err := g.siteAdvance(site, d); err != nil {
+			return err
+		}
+	} else {
+		for _, s := range ss {
+			g.advanceShard(s, d)
+		}
+	}
 	// The stepped site may have freed capacity a queued reservation fits.
 	g.pumpAdmission()
 	return nil
@@ -411,17 +475,38 @@ func (g *Gateway) advanceShard(s *shard, d simclock.Time) {
 	}
 	s.sim.Lock()
 	defer s.sim.Unlock()
+	start := time.Now()
 	s.cfg.Advance(d)
+	g.lockHold.record(time.Since(start))
 }
 
 // Sites returns the site names the gateway routes, sorted.
 func (g *Gateway) Sites() []string {
-	out := make([]string, 0, len(g.siteOf))
-	for name := range g.siteOf {
-		out = append(out, name)
-	}
+	out := append([]string(nil), g.sites...)
 	sort.Strings(out)
 	return out
+}
+
+// coordinator returns the first shard claimed for the site — under
+// micro-sharding, the site's first cluster in spec order — or nil for an
+// unknown site.
+func (g *Gateway) coordinator(site string) *shard {
+	if ss := g.siteShards[site]; len(ss) > 0 {
+		return ss[0]
+	}
+	return nil
+}
+
+// shardFor returns the site's shard carrying the given cluster label, or
+// nil. Shards without a cluster label (monolithic, whole-site) match any
+// cluster: they gate the whole site behind one lock.
+func (g *Gateway) shardFor(site, cluster string) *shard {
+	for _, s := range g.siteShards[site] {
+		if s.cluster == cluster || s.cluster == "" {
+			return s
+		}
+	}
+	return nil
 }
 
 // federated reports whether this gateway fronts more than one shard.
@@ -538,6 +623,51 @@ func (m *endpointMetrics) record(code int, d time.Duration) {
 			return
 		}
 	}
+}
+
+// lockHoldStats samples how long campaign steps hold a shard's write
+// lock. All fields are atomics: recording never contends with the readers
+// those holds block.
+type lockHoldStats struct {
+	steps   atomic.Int64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+func (l *lockHoldStats) record(d time.Duration) {
+	ns := d.Nanoseconds()
+	l.steps.Add(1)
+	l.totalNs.Add(ns)
+	for {
+		cur := l.maxNs.Load()
+		if ns <= cur || l.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// LockHoldStats reports the advance-side write-lock hold distribution:
+// how many per-shard campaign steps ran and the mean and worst hold. Read
+// next to an endpoint's p99 latency, it says whether slow reads were
+// *blocked* (holds comparable to the p99) or merely slow themselves.
+type LockHoldStats struct {
+	Steps     int64   `json:"steps"`
+	AvgMicros float64 `json:"avg_us"`
+	MaxMicros float64 `json:"max_us"`
+}
+
+// AdvanceLockStats snapshots the write-lock hold sampling accumulated by
+// every campaign step since assembly (Advance, AdvanceSite, and federated
+// barrier ticks through the step gate).
+func (g *Gateway) AdvanceLockStats() LockHoldStats {
+	out := LockHoldStats{
+		Steps:     g.lockHold.steps.Load(),
+		MaxMicros: float64(g.lockHold.maxNs.Load()) / 1e3,
+	}
+	if out.Steps > 0 {
+		out.AvgMicros = float64(g.lockHold.totalNs.Load()) / float64(out.Steps) / 1e3
+	}
+	return out
 }
 
 // statusWriter captures the response code for the instrumentation layer.

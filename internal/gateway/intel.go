@@ -73,9 +73,11 @@ func allZero(vec []intel.SiteVersion) bool {
 
 // ---- GET /grid/at -----------------------------------------------------------
 
-// GridSiteJSON is one site's slice of a GET /grid/at answer.
+// GridSiteJSON is one store's slice of a GET /grid/at answer: a whole
+// site (Cluster empty) or one cluster micro-shard of it.
 type GridSiteJSON struct {
 	Site       string           `json:"site"`
+	Cluster    string           `json:"cluster,omitempty"`
 	Version    int              `json:"version"`
 	TakenAtSec float64          `json:"taken_at_sec"`
 	Inventory  *refapi.Snapshot `json:"inventory"`
@@ -140,6 +142,7 @@ func (g *Gateway) handleGridAt(w http.ResponseWriter, r *http.Request) {
 		for _, sc := range snap.Sites {
 			out.Sites = append(out.Sites, GridSiteJSON{
 				Site:       sc.Site,
+				Cluster:    sc.Cluster,
 				Version:    sc.Version,
 				TakenAtSec: sc.TakenAt.Seconds(),
 				Inventory:  sc.Snapshot,
@@ -160,11 +163,12 @@ func (g *Gateway) handleGridAt(w http.ResponseWriter, r *http.Request) {
 
 // ---- GET /grid/diff ---------------------------------------------------------
 
-// GridDiffSiteJSON is one site's section of a GET /grid/diff answer.
-// FromVersion 0 means the site had no capture at the earlier instant: its
+// GridDiffSiteJSON is one store's section of a GET /grid/diff answer.
+// FromVersion 0 means the store had no capture at the earlier instant: its
 // differences read as "missing → present".
 type GridDiffSiteJSON struct {
 	Site        string              `json:"site"`
+	Cluster     string              `json:"cluster,omitempty"`
 	FromVersion int                 `json:"from_version"`
 	ToVersion   int                 `json:"to_version"`
 	Differences []refapi.Difference `json:"differences"`
@@ -237,6 +241,7 @@ func (g *Gateway) handleGridDiff(w http.ResponseWriter, r *http.Request) {
 		for _, sd := range diff.Sites {
 			out.Sites = append(out.Sites, GridDiffSiteJSON{
 				Site:        sd.Site,
+				Cluster:     sd.Cluster,
 				FromVersion: sd.FromVersion,
 				ToVersion:   sd.ToVersion,
 				Differences: sd.Differences,

@@ -483,8 +483,8 @@ func TestIntelUnderChaos(t *testing.T) {
 	}
 	healthyETag := resp.Header.Get("ETag")
 	healthy := decode[GridAtJSON](t, body)
-	if len(healthy.Sites) != 3 || healthy.Degraded != nil {
-		t.Fatalf("healthy view = %d sites (degraded %v), want 3 clean", len(healthy.Sites), healthy.Degraded)
+	if len(healthy.Sites) != 8 || healthy.Degraded != nil {
+		t.Fatalf("healthy view = %d cluster stores (degraded %v), want 8 clean", len(healthy.Sites), healthy.Degraded)
 	}
 	respInc, _ := get(t, c, "/incidents?state=all")
 	healthyIncETag := respInc.Header.Get("ETag")
@@ -502,8 +502,8 @@ func TestIntelUnderChaos(t *testing.T) {
 		t.Fatalf("degraded ETag = %s (healthy %s), want a down-set key", downETag, healthyETag)
 	}
 	down := decode[GridAtJSON](t, body)
-	if len(down.Sites) != 2 || down.Degraded == nil {
-		t.Fatalf("degraded view = %d sites (degraded %v), want 2 + marker", len(down.Sites), down.Degraded)
+	if len(down.Sites) != 4 || down.Degraded == nil {
+		t.Fatalf("degraded view = %d cluster stores (degraded %v), want 4 + marker", len(down.Sites), down.Degraded)
 	}
 	for _, s := range down.Sites {
 		if s.Site == "lyon" {

@@ -14,9 +14,13 @@ package gateway
 // On a federated gateway the unscoped paths scatter-gather: the ETag joins
 // every shard's version counter ("v3.1.7"), a conditional hit answers 304
 // without touching any store, and the merged body nests one per-site
-// section per shard. Archived-version queries (?version=, ?from=, ?to=)
-// are per-site by nature and live on /sites/{site}/ref/...; the federated
-// paths reject them with a pointer there.
+// section, each listing its cluster stores (one per micro-shard).
+// Archived-version queries (?version=, ?from=, ?to=) are per store by
+// nature and live on /sites/{site}/ref/...; the federated paths reject
+// them with a pointer there. A micro-sharded site's scoped routes serve a
+// joined per-cluster view by default ("sv"/"sd" ETags) and require
+// ?cluster=X for archived access, which then has full single-store
+// semantics.
 
 import (
 	"fmt"
@@ -45,13 +49,39 @@ func parseVersion(r *http.Request, key string) (int, error) {
 
 // refShards returns the shards carrying a Reference API store.
 func (g *Gateway) refShards() []*shard {
+	return refShardsOf(g.shards)
+}
+
+// refShardsOf filters a shard set down to those carrying a Reference API
+// store.
+func refShardsOf(shards []*shard) []*shard {
 	var out []*shard
-	for _, s := range g.shards {
+	for _, s := range shards {
 		if s.cfg.Ref != nil {
 			out = append(out, s)
 		}
 	}
 	return out
+}
+
+// siteClusterShard finds the shard in a site's set labeled with the named
+// cluster.
+func siteClusterShard(shards []*shard, cluster string) *shard {
+	for _, s := range shards {
+		if s.cluster == cluster {
+			return s
+		}
+	}
+	return nil
+}
+
+// clusterList renders a site's micro-shard cluster labels for error hints.
+func clusterList(shards []*shard) string {
+	names := make([]string, len(shards))
+	for i, s := range shards {
+		names[i] = s.cluster
+	}
+	return strings.Join(names, ", ")
 }
 
 func (g *Gateway) handleRefInventory(w http.ResponseWriter, r *http.Request) {
@@ -185,15 +215,23 @@ func (s *shard) inventoryBody(ver int) ([]byte, error) {
 	return body, nil
 }
 
-// SiteInventoryJSON is one shard's slice of a federated inventory.
-type SiteInventoryJSON struct {
-	Site      string           `json:"site"`
+// ClusterInventoryJSON is one store's slice of a site inventory section —
+// a whole-site store (Cluster empty) or one cluster micro-shard.
+type ClusterInventoryJSON struct {
+	Cluster   string           `json:"cluster,omitempty"`
 	Version   int              `json:"version"`
 	Inventory *refapi.Snapshot `json:"inventory"`
 }
 
+// SiteInventoryJSON is one site's section of a federated (or joined
+// site-scoped) inventory: its stores in cluster order.
+type SiteInventoryJSON struct {
+	Site     string                 `json:"site"`
+	Clusters []ClusterInventoryJSON `json:"clusters"`
+}
+
 // FederatedInventoryJSON is the wire form of GET /ref/inventory on a
-// federated gateway: one per-site section per surviving shard, in shard
+// federated gateway: one per-site section per surviving site, in shard
 // order.
 type FederatedInventoryJSON struct {
 	Degraded *DegradedJSON       `json:"degraded,omitempty"`
@@ -238,7 +276,8 @@ func (g *Gateway) serveFederatedInventory(shards []*shard, w http.ResponseWriter
 	hit := g.fedInvKey == key && body != nil
 	g.fedMu.Unlock()
 	if !hit {
-		out := FederatedInventoryJSON{Degraded: degraded, Sites: make([]SiteInventoryJSON, len(shards))}
+		out := FederatedInventoryJSON{Degraded: degraded, Sites: []SiteInventoryJSON{}}
+		idxOf := map[string]int{}
 		for i, s := range shards {
 			var snap *refapi.Snapshot
 			s.rlocked(func() { snap = s.cfg.Ref.Version(vers[i]) })
@@ -247,7 +286,14 @@ func (g *Gateway) serveFederatedInventory(shards []*shard, w http.ResponseWriter
 					fmt.Sprintf("site %q version %d vanished", s.site, vers[i]))
 				return
 			}
-			out.Sites[i] = SiteInventoryJSON{Site: s.site, Version: vers[i], Inventory: snap}
+			j, ok := idxOf[s.site]
+			if !ok {
+				j = len(out.Sites)
+				idxOf[s.site] = j
+				out.Sites = append(out.Sites, SiteInventoryJSON{Site: s.site})
+			}
+			out.Sites[j].Clusters = append(out.Sites[j].Clusters,
+				ClusterInventoryJSON{Cluster: s.cluster, Version: vers[i], Inventory: snap})
 		}
 		var err error
 		body, err = marshalIndent(out)
@@ -265,19 +311,28 @@ func (g *Gateway) serveFederatedInventory(shards []*shard, w http.ResponseWriter
 
 // RefDiffJSON is the wire form of GET /ref/diff.
 type RefDiffJSON struct {
-	Site        string              `json:"site,omitempty"` // set in federated sections
+	Site        string              `json:"site,omitempty"`    // set in federated sections
+	Cluster     string              `json:"cluster,omitempty"` // micro-shard sections
 	From        int                 `json:"from"`
 	To          int                 `json:"to"`
 	Count       int                 `json:"count"`
 	Differences []refapi.Difference `json:"differences"`
 }
 
-// FederatedDiffJSON is the wire form of GET /ref/diff on a federated
-// gateway: each surviving shard's latest-step diff, in shard order.
-type FederatedDiffJSON struct {
-	Degraded *DegradedJSON `json:"degraded,omitempty"`
+// SiteDiffJSON is one site's section of a federated (or joined
+// site-scoped) diff: each store's latest-step diff, in cluster order.
+type SiteDiffJSON struct {
+	Site     string        `json:"site"`
 	Count    int           `json:"count"`
-	Sites    []RefDiffJSON `json:"sites"`
+	Clusters []RefDiffJSON `json:"clusters"`
+}
+
+// FederatedDiffJSON is the wire form of GET /ref/diff on a federated
+// gateway: one per-site section per surviving site, in shard order.
+type FederatedDiffJSON struct {
+	Degraded *DegradedJSON  `json:"degraded,omitempty"`
+	Count    int            `json:"count"`
+	Sites    []SiteDiffJSON `json:"sites"`
 }
 
 func (g *Gateway) handleRefDiff(w http.ResponseWriter, r *http.Request) {
@@ -405,7 +460,8 @@ func (g *Gateway) serveFederatedDiff(shards []*shard, w http.ResponseWriter, r *
 	hit := g.fedDiffKey == key && body != nil
 	g.fedMu.Unlock()
 	if !hit {
-		out := FederatedDiffJSON{Degraded: degraded, Sites: make([]RefDiffJSON, len(shards))}
+		out := FederatedDiffJSON{Degraded: degraded, Sites: []SiteDiffJSON{}}
+		idxOf := map[string]int{}
 		for i, s := range shards {
 			to := vers[i]
 			from := to - 1
@@ -417,8 +473,16 @@ func (g *Gateway) serveFederatedDiff(shards []*shard, w http.ResponseWriter, r *
 				httpError(w, http.StatusInternalServerError, err.Error())
 				return
 			}
-			out.Sites[i] = RefDiffJSON{Site: s.site, From: from, To: to,
-				Count: len(diffs), Differences: diffs}
+			j, ok := idxOf[s.site]
+			if !ok {
+				j = len(out.Sites)
+				idxOf[s.site] = j
+				out.Sites = append(out.Sites, SiteDiffJSON{Site: s.site})
+			}
+			out.Sites[j].Clusters = append(out.Sites[j].Clusters,
+				RefDiffJSON{Cluster: s.cluster, From: from, To: to,
+					Count: len(diffs), Differences: diffs})
+			out.Sites[j].Count += len(diffs)
 			out.Count += len(diffs)
 		}
 		var err error
@@ -430,6 +494,167 @@ func (g *Gateway) serveFederatedDiff(shards []*shard, w http.ResponseWriter, r *
 		g.fedMu.Lock()
 		g.fedDiffKey, g.fedDiffBody = key, body
 		g.fedMu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body) //nolint:errcheck
+}
+
+// ---- site-scoped views over micro-shards ------------------------------------
+
+// siteRefCache is one rendered joined site view plus the joined version
+// key it was rendered at.
+type siteRefCache struct {
+	key  string
+	body []byte
+}
+
+// serveSiteInventory implements /sites/{site}/ref/inventory. A site with a
+// single store keeps full single-store semantics on the bare path
+// (?version=, ?at=, per-version ETags). A micro-sharded site serves a
+// joined per-cluster view by default — ETag "sv3.1.7" over its stores'
+// version counters, conditional 304s, body cached per joined version —
+// and requires ?cluster=X for archived access, which then has full
+// single-store semantics against that cluster's store.
+func (g *Gateway) serveSiteInventory(w http.ResponseWriter, r *http.Request, site string) {
+	shards := refShardsOf(g.siteShards[site])
+	if len(shards) == 0 {
+		notConfigured(w, "reference API")
+		return
+	}
+	if len(shards) == 1 {
+		g.serveShardInventory(shards[0], w, r)
+		return
+	}
+	q := r.URL.Query()
+	if cl := q.Get("cluster"); cl != "" {
+		s := siteClusterShard(shards, cl)
+		if s == nil {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("no cluster %q at site %q", cl, site))
+			return
+		}
+		g.serveShardInventory(s, w, r)
+		return
+	}
+	if q.Get("version") != "" || q.Get("at") != "" {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			"site %q is micro-sharded and archives are per cluster store; add ?cluster=X (one of: %s)",
+			site, clusterList(shards)))
+		return
+	}
+	key, vers := joinedVersions(shards)
+	key = "s" + key
+	etag := `"` + key + `"`
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	g.siteRefMu.Lock()
+	cached := g.siteInvCache[site]
+	g.siteRefMu.Unlock()
+	body := cached.body
+	if cached.key != key || body == nil {
+		out := SiteInventoryJSON{Site: site}
+		for i, s := range shards {
+			var snap *refapi.Snapshot
+			s.rlocked(func() { snap = s.cfg.Ref.Version(vers[i]) })
+			if snap == nil {
+				httpError(w, http.StatusInternalServerError,
+					fmt.Sprintf("cluster %q version %d vanished", s.cluster, vers[i]))
+				return
+			}
+			out.Clusters = append(out.Clusters,
+				ClusterInventoryJSON{Cluster: s.cluster, Version: vers[i], Inventory: snap})
+		}
+		var err error
+		body, err = marshalIndent(out)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		g.siteRefMu.Lock()
+		if g.siteInvCache == nil {
+			g.siteInvCache = map[string]siteRefCache{}
+		}
+		g.siteInvCache[site] = siteRefCache{key: key, body: body}
+		g.siteRefMu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body) //nolint:errcheck
+}
+
+// serveSiteDiff implements /sites/{site}/ref/diff with the same shape as
+// serveSiteInventory: single-store semantics for a one-store site or with
+// ?cluster=X, a joined latest-step per-cluster view ("sd"-prefixed ETag)
+// otherwise; ?from=/?to= on the joined view point at ?cluster=.
+func (g *Gateway) serveSiteDiff(w http.ResponseWriter, r *http.Request, site string) {
+	shards := refShardsOf(g.siteShards[site])
+	if len(shards) == 0 {
+		notConfigured(w, "reference API")
+		return
+	}
+	if len(shards) == 1 {
+		g.serveShardDiff(shards[0], w, r)
+		return
+	}
+	q := r.URL.Query()
+	if cl := q.Get("cluster"); cl != "" {
+		s := siteClusterShard(shards, cl)
+		if s == nil {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("no cluster %q at site %q", cl, site))
+			return
+		}
+		g.serveShardDiff(s, w, r)
+		return
+	}
+	if q.Get("from") != "" || q.Get("to") != "" {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf(
+			"site %q is micro-sharded and version ranges are per cluster store; add ?cluster=X (one of: %s)",
+			site, clusterList(shards)))
+		return
+	}
+	key, vers := joinedVersions(shards)
+	key = "sd" + key
+	etag := `"` + key + `"`
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	g.siteRefMu.Lock()
+	cached := g.siteDiffCache[site]
+	g.siteRefMu.Unlock()
+	body := cached.body
+	if cached.key != key || body == nil {
+		out := SiteDiffJSON{Site: site}
+		for i, s := range shards {
+			to := vers[i]
+			from := to - 1
+			if from < 1 {
+				from = 1
+			}
+			diffs, err := s.diffSlice(from, to)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			out.Clusters = append(out.Clusters,
+				RefDiffJSON{Cluster: s.cluster, From: from, To: to,
+					Count: len(diffs), Differences: diffs})
+			out.Count += len(diffs)
+		}
+		var err error
+		body, err = marshalIndent(out)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		g.siteRefMu.Lock()
+		if g.siteDiffCache == nil {
+			g.siteDiffCache = map[string]siteRefCache{}
+		}
+		g.siteDiffCache[site] = siteRefCache{key: key, body: body}
+		g.siteRefMu.Unlock()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(body) //nolint:errcheck

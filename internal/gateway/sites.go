@@ -1,14 +1,15 @@
 package gateway
 
 // The site-scoped routes: /sites lists the federation layout, and
-// /sites/{site}/... exposes the shard owning the site — narrowed to that
-// site even when one monolithic shard serves the whole grid. These are
-// the endpoints whose latency is immune to other sites' campaign
-// progress: /sites/{site}/... takes exactly one shard's read gate, and
-// /sites takes none at all (topology is precomputed at assembly; node
-// states are read through the testbed's own mutex). (The mux predates
-// Go 1.22 pattern wildcards, so the subtree is dispatched by hand; every
-// route under /sites/ shares one metrics bucket.)
+// /sites/{site}/... exposes the shard(s) owning the site — one whole-grid
+// shard narrowed to the site (monolithic), or all of the site's
+// per-cluster micro-shards merged (federated). These are the endpoints
+// whose latency is immune to other sites' campaign progress:
+// /sites/{site}/... takes only the owning shards' read gates, and /sites
+// takes none at all (topology is precomputed at assembly; node states are
+// read through the testbed's own mutex). (The mux predates Go 1.22
+// pattern wildcards, so the subtree is dispatched by hand; every route
+// under /sites/ shares one metrics bucket.)
 
 import (
 	"fmt"
@@ -18,7 +19,8 @@ import (
 	"repro/internal/testbed"
 )
 
-// SiteJSON is one entry of GET /sites.
+// SiteJSON is one entry of GET /sites. Shard is the index of the site's
+// coordinator shard (its first micro-shard, when cluster-carved).
 type SiteJSON struct {
 	Name     string         `json:"name"`
 	Shard    int            `json:"shard"`
@@ -89,30 +91,54 @@ func (g *Gateway) handleSites(w http.ResponseWriter, r *http.Request) {
 			unreachable[name] = true
 		}
 	}
+	idxOf := map[string]int{} // site name → position in out.Sites
 	for i, s := range g.shards {
 		for _, st := range s.sites {
-			entry := st.entry
-			entry.Shard = i
-			entry.Down = down[entry.Name]
-			entry.Unreachable = unreachable[entry.Name]
+			var states map[string]int
 			if s.cfg.TB != nil && len(st.nodes) > 0 {
-				entry.States = make(map[string]int, 2)
+				states = make(map[string]int, 2)
 				for _, name := range st.nodes {
 					state, _ := s.cfg.TB.NodeState(name)
-					entry.States[state.String()]++
+					states[state.String()]++
 				}
 			}
-			out.Sites = append(out.Sites, entry)
+			j, seen := idxOf[st.entry.Name]
+			if !seen {
+				entry := st.entry
+				entry.Clusters = append([]string(nil), st.entry.Clusters...)
+				entry.Shard = i
+				entry.Down = down[entry.Name]
+				entry.Unreachable = unreachable[entry.Name]
+				entry.States = states
+				idxOf[entry.Name] = len(out.Sites)
+				out.Sites = append(out.Sites, entry)
+				continue
+			}
+			// Another micro-shard of an already-listed site: fold it in.
+			// Shard stays the coordinator's index.
+			e := &out.Sites[j]
+			e.Clusters = append(e.Clusters, st.entry.Clusters...)
+			e.Nodes += st.entry.Nodes
+			e.Cores += st.entry.Cores
+			for k, v := range states {
+				if e.States == nil {
+					e.States = map[string]int{}
+				}
+				e.States[k] += v
+			}
 		}
 	}
 	writeJSON(w, out)
 }
 
-// handleSiteScoped dispatches /sites/{site}/... to the shard owning the
+// handleSiteScoped dispatches /sites/{site}/... to the shards owning the
 // site. Monolithic gateways serve these too: the single shard owns every
 // site and each view narrows to the requested one (resources and
 // monitoring filter by site; jobs list only jobs tied to the site;
-// submissions are validated against — and pinned to — the site).
+// submissions are validated against — and pinned to — the site). Under
+// micro-sharding reads merge over the site's cluster shards and
+// submissions probe them in cluster order; the ci subtree proxies to the
+// coordinator cluster's server.
 func (g *Gateway) handleSiteScoped(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/sites/")
 	site, sub, _ := strings.Cut(rest, "/")
@@ -120,8 +146,8 @@ func (g *Gateway) handleSiteScoped(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	s := g.siteOf[site]
-	if s == nil {
+	ss := g.siteShards[site]
+	if len(ss) == 0 {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown site %q", site))
 		return
 	}
@@ -147,11 +173,11 @@ func (g *Gateway) handleSiteScoped(w http.ResponseWriter, r *http.Request) {
 		}
 	case "oar/jobs":
 		if requireMethod(http.MethodGet) {
-			g.serveOARJobs(w, r, s, site)
+			g.serveOARJobs(w, r, ss, site)
 		}
 	case "oar/submit":
 		if requireMethod(http.MethodPost) {
-			g.serveOARSubmit(w, r, s, site)
+			g.serveOARSubmit(w, r, ss, site)
 		}
 	case "monitor/metrics":
 		if requireMethod(http.MethodGet) {
@@ -159,28 +185,30 @@ func (g *Gateway) handleSiteScoped(w http.ResponseWriter, r *http.Request) {
 		}
 	case "ref/inventory":
 		if requireMethod(http.MethodGet) {
-			if s.cfg.Ref == nil {
-				notConfigured(w, "reference API")
-				return
-			}
-			g.serveShardInventory(s, w, r)
+			g.serveSiteInventory(w, r, site)
 		}
 	case "ref/diff":
 		if requireMethod(http.MethodGet) {
-			if s.cfg.Ref == nil {
-				notConfigured(w, "reference API")
-				return
-			}
-			g.serveShardDiff(s, w, r)
+			g.serveSiteDiff(w, r, site)
 		}
 	default:
 		if sub == "ci" || strings.HasPrefix(sub, "ci/") {
-			if s.cfg.CI == nil {
+			// The site's CI view is its coordinator cluster's server: under
+			// micro-sharding that is where the federation files grid tickets,
+			// so the scoped tree stays one coherent Jenkins.
+			var target *shard
+			for _, s := range ss {
+				if s.cfg.CI != nil {
+					target = s
+					break
+				}
+			}
+			if target == nil {
 				notConfigured(w, "ci")
 				return
 			}
-			proxy := http.StripPrefix("/sites/"+site+"/ci", s.cfg.CI.Handler())
-			s.rlocked(func() { proxy.ServeHTTP(w, r) })
+			proxy := http.StripPrefix("/sites/"+site+"/ci", target.cfg.CI.Handler())
+			target.rlocked(func() { proxy.ServeHTTP(w, r) })
 			return
 		}
 		http.NotFound(w, r)

@@ -11,13 +11,28 @@ import (
 	"repro/internal/simclock"
 )
 
-// SiteArchive couples one site's Reference API store with the read gate
-// that guards it against campaign progress. Gate runs fn under the site's
-// read lock; nil means the store needs no gating (tests, standalone use).
+// SiteArchive couples one store's Reference API archive with the read
+// gate that guards it against campaign progress. Site labels who owns the
+// store; Cluster narrows the label when a site is split into per-cluster
+// micro-shards (empty for one-store-per-site layouts — the two never mix
+// within one archive). Gate runs fn under the owning shard's read lock;
+// nil means the store needs no gating (tests, standalone use).
 type SiteArchive struct {
-	Site string
-	Ref  *refapi.Store
-	Gate func(func())
+	Site    string
+	Cluster string
+	Ref     *refapi.Store
+	Gate    func(func())
+}
+
+// key is the archive's identity: site alone for one-store-per-site
+// layouts, site/cluster once micro-sharded.
+func (s *SiteArchive) key() string { return archiveKey(s.Site, s.Cluster) }
+
+func archiveKey(site, cluster string) string {
+	if cluster == "" {
+		return site
+	}
+	return site + "/" + cluster
 }
 
 func (s *SiteArchive) gated(fn func()) {
@@ -28,34 +43,38 @@ func (s *SiteArchive) gated(fn func()) {
 	fn()
 }
 
-// GridArchive answers archival questions over every site at once. Sites
-// keep caller order (shard order), so all outputs are deterministic for a
-// given federation layout.
+// GridArchive answers archival questions over every store at once.
+// Entries keep caller order (shard order: site-grouped, cluster order
+// within a site), so all outputs are deterministic for a given federation
+// layout.
 type GridArchive struct {
-	sites  []SiteArchive
-	bySite map[string]*SiteArchive
+	sites []SiteArchive
+	byKey map[string]*SiteArchive
 }
 
-// NewGridArchive builds an archive over the given sites (order is
+// NewGridArchive builds an archive over the given stores (order is
 // preserved and becomes the output order everywhere).
 func NewGridArchive(sites []SiteArchive) *GridArchive {
 	a := &GridArchive{
-		sites:  append([]SiteArchive(nil), sites...),
-		bySite: make(map[string]*SiteArchive, len(sites)),
+		sites: append([]SiteArchive(nil), sites...),
+		byKey: make(map[string]*SiteArchive, len(sites)),
 	}
 	for i := range a.sites {
-		a.bySite[a.sites[i].Site] = &a.sites[i]
+		a.byKey[a.sites[i].key()] = &a.sites[i]
 	}
 	return a
 }
 
-// Len returns how many sites the archive covers.
+// Len returns how many archived stores the grid covers (one per site, or
+// one per micro-shard once cluster-carved).
 func (a *GridArchive) Len() int { return len(a.sites) }
 
-// SiteVersion is one site's archived version number at a query time.
+// SiteVersion is one store's archived version number at a query time.
+// Cluster carries the micro-shard label when the site is cluster-carved.
 type SiteVersion struct {
 	Site    string
-	Version int // 0 = the query time precedes the site's first capture
+	Cluster string
+	Version int // 0 = the query time precedes the store's first capture
 }
 
 // VersionVector answers "which version was current at t at every site"
@@ -69,7 +88,7 @@ func (a *GridArchive) VersionVector(t simclock.Time, exclude map[string]bool) []
 		if exclude[s.Site] {
 			continue
 		}
-		sv := SiteVersion{Site: s.Site}
+		sv := SiteVersion{Site: s.Site, Cluster: s.Cluster}
 		s.gated(func() {
 			if v, ok := s.Ref.VersionAt(t); ok {
 				sv.Version = v
@@ -94,9 +113,10 @@ func VersionKey(vec []SiteVersion) string {
 	return sb.String()
 }
 
-// SiteCapture is one site's slice of a grid snapshot.
+// SiteCapture is one store's slice of a grid snapshot.
 type SiteCapture struct {
 	Site     string
+	Cluster  string
 	Version  int
 	TakenAt  simclock.Time
 	Snapshot *refapi.Snapshot
@@ -149,7 +169,7 @@ func (a *GridArchive) At(t simclock.Time, exclude map[string]bool) GridSnapshot 
 func (a *GridArchive) Materialize(vec []SiteVersion) GridSnapshot {
 	var out GridSnapshot
 	for _, sv := range vec {
-		s := a.bySite[sv.Site]
+		s := a.byKey[archiveKey(sv.Site, sv.Cluster)]
 		if s == nil || sv.Version < 1 {
 			continue
 		}
@@ -163,6 +183,7 @@ func (a *GridArchive) Materialize(vec []SiteVersion) GridSnapshot {
 		}
 		out.Sites = append(out.Sites, SiteCapture{
 			Site:     sv.Site,
+			Cluster:  sv.Cluster,
 			Version:  snap.Version,
 			TakenAt:  snap.TakenAt,
 			Snapshot: snap,
@@ -171,10 +192,11 @@ func (a *GridArchive) Materialize(vec []SiteVersion) GridSnapshot {
 	return out
 }
 
-// SiteDiff is one site's contribution to a grid-level historical diff.
+// SiteDiff is one store's contribution to a grid-level historical diff.
 type SiteDiff struct {
 	Site        string
-	FromVersion int // 0 = the site had no capture at from yet
+	Cluster     string
+	FromVersion int // 0 = the store had no capture at from yet
 	ToVersion   int
 	Differences []refapi.Difference
 }
@@ -206,7 +228,7 @@ func (a *GridArchive) Diff(from, to simclock.Time, exclude map[string]bool) Grid
 		if sa == nil && sb == nil {
 			continue
 		}
-		sd := SiteDiff{Site: s.Site}
+		sd := SiteDiff{Site: s.Site, Cluster: s.Cluster}
 		if sa == nil {
 			sa = emptySnapshot
 		} else {
@@ -237,15 +259,16 @@ func (a *GridArchive) Diff(from, to simclock.Time, exclude map[string]bool) Grid
 func (a *GridArchive) DiffVector(from, to []SiteVersion) GridDiff {
 	fromOf := make(map[string]int, len(from))
 	for _, sv := range from {
-		fromOf[sv.Site] = sv.Version
+		fromOf[archiveKey(sv.Site, sv.Cluster)] = sv.Version
 	}
 	var out GridDiff
 	for _, sv := range to {
-		s := a.bySite[sv.Site]
-		if s == nil || (fromOf[sv.Site] == 0 && sv.Version == 0) {
+		k := archiveKey(sv.Site, sv.Cluster)
+		s := a.byKey[k]
+		if s == nil || (fromOf[k] == 0 && sv.Version == 0) {
 			continue
 		}
-		sd := SiteDiff{Site: sv.Site, FromVersion: fromOf[sv.Site], ToVersion: sv.Version}
+		sd := SiteDiff{Site: sv.Site, Cluster: sv.Cluster, FromVersion: fromOf[k], ToVersion: sv.Version}
 		var sa, sb *refapi.Snapshot
 		s.gated(func() {
 			if sd.FromVersion > 0 {
